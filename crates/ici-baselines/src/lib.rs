@@ -1,0 +1,32 @@
+//! Baseline storage strategies the paper compares against.
+//!
+//! * [`full`] — Bitcoin-style full replication: every node stores and
+//!   validates everything; blocks flood by epidemic gossip.
+//! * [`rapidchain`] — the paper's named comparator: committee sharding
+//!   with full in-committee replication, IDA-gossip dissemination, and BFT
+//!   vote rounds.
+//! * [`analytic`] — closed-form storage/bootstrap models cross-checking
+//!   the simulations.
+//!
+//! # Examples
+//!
+//! ```
+//! use ici_baselines::analytic::{ici_to_rapidchain_ratio, LedgerShape};
+//!
+//! let shape = LedgerShape { blocks: 10_000, mean_body_bytes: 1_000_000 };
+//! // Paper-scale parameters: N=4000, committees of 250, clusters of 64, r=1.
+//! let ratio = ici_to_rapidchain_ratio(shape, 4_000, 250, 64, 1);
+//! assert!((ratio - 0.25).abs() < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod full;
+pub mod rapidchain;
+pub mod record;
+
+pub use full::{FullConfig, FullReplicationNetwork};
+pub use rapidchain::{RapidChainConfig, RapidChainNetwork};
+pub use record::BaselineCommitRecord;

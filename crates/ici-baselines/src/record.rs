@@ -1,0 +1,56 @@
+//! Shared commit-record type for the baseline networks.
+
+use ici_chain::block::Height;
+use ici_net::node::NodeId;
+use ici_net::time::{Duration, SimTime};
+
+/// What a baseline records about one committed block.
+#[derive(Clone, Debug)]
+pub struct BaselineCommitRecord {
+    /// Block height (within its chain — the shard chain for RapidChain).
+    pub height: Height,
+    /// The proposing node.
+    pub proposer: NodeId,
+    /// When the proposer finished building and began disseminating.
+    pub proposed_at: SimTime,
+    /// When the last relevant node held the validated block.
+    pub network_commit: SimTime,
+    /// Number of nodes the block reached.
+    pub reached: usize,
+    /// Transactions included.
+    pub tx_count: u32,
+    /// Encoded body bytes.
+    pub body_bytes: u64,
+    /// Messages spent on this block.
+    pub messages: u64,
+    /// Bytes spent on this block.
+    pub bytes: u64,
+}
+
+impl BaselineCommitRecord {
+    /// Dissemination + validation latency.
+    pub fn commit_latency(&self) -> Duration {
+        self.network_commit.saturating_since(self.proposed_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_commit_minus_proposal() {
+        let record = BaselineCommitRecord {
+            height: 1,
+            proposer: NodeId::new(0),
+            proposed_at: SimTime::from_millis(10),
+            network_commit: SimTime::from_millis(35),
+            reached: 10,
+            tx_count: 5,
+            body_bytes: 100,
+            messages: 20,
+            bytes: 2_000,
+        };
+        assert_eq!(record.commit_latency(), Duration::from_millis(25));
+    }
+}

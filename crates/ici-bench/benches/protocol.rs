@@ -1,0 +1,284 @@
+//! Criterion benchmarks over protocol rounds: one per experiment family,
+//! so `cargo bench` exercises the code paths that regenerate every table
+//! and figure (the full sweeps live in the `e*` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ici_baselines::full::{FullConfig, FullReplicationNetwork};
+use ici_baselines::rapidchain::{RapidChainConfig, RapidChainNetwork};
+use ici_chain::transaction::{Address, Transaction};
+use ici_cluster::membership::JoinPolicy;
+use ici_consensus::gossip::{gossip_flood, GossipConfig};
+use ici_consensus::ida::{run_ida_dissemination, IdaConfig};
+use ici_consensus::pbft::{run_pbft_commit, PbftInputs};
+use ici_core::config::IciConfig;
+use ici_core::network::IciNetwork;
+use ici_crypto::sig::Keypair;
+use ici_net::link::LinkModel;
+use ici_net::metrics::MessageKind;
+use ici_net::network::Network;
+use ici_net::node::NodeId;
+use ici_net::time::{Duration, SimTime};
+use ici_net::topology::{Coord, Placement, Topology};
+use ici_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn quiet_link() -> LinkModel {
+    LinkModel {
+        max_jitter_ms: 0.0,
+        ..LinkModel::default()
+    }
+}
+
+fn fresh_network(n: usize) -> Network {
+    Network::new(
+        Topology::generate(n, &Placement::default(), 9),
+        quiet_link(),
+    )
+}
+
+fn txs(n: u64, nonce: u64) -> Vec<Transaction> {
+    (0..n)
+        .map(|i| {
+            Transaction::signed(
+                &Keypair::from_seed(i),
+                Address::from_seed(i + 1),
+                1,
+                1,
+                nonce,
+                vec![0u8; 200],
+            )
+        })
+        .collect()
+}
+
+fn ici_network(nodes: usize, c: usize) -> IciNetwork {
+    IciNetwork::new(
+        IciConfig::builder()
+            .nodes(nodes)
+            .cluster_size(c)
+            .replication(2)
+            .link(quiet_link())
+            .genesis(ici_chain::genesis::GenesisConfig::uniform(64, u64::MAX / 1_000_000))
+            .seed(9)
+            .build()
+            .expect("valid configuration"),
+    )
+    .expect("constructs")
+}
+
+/// E1/E2/E7 code path: one full ICI block lifecycle.
+fn bench_ici_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ici_block_lifecycle");
+    group.sample_size(10);
+    for (nodes, cluster) in [(64usize, 16usize), (128, 16)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{nodes}_c{cluster}")),
+            &(nodes, cluster),
+            |b, &(nodes, cluster)| {
+                b.iter_with_setup(
+                    || (ici_network(nodes, cluster), txs(20, 0)),
+                    |(mut network, batch)| {
+                        network.propose_block(batch).expect("commits");
+                        network
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+/// E3/E5 code path: one intra-cluster PBFT commit.
+fn bench_pbft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbft_commit");
+    for size in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let members: Vec<NodeId> = (0..size as u64).map(NodeId::new).collect();
+            b.iter_with_setup(
+                || fresh_network(size),
+                |mut net| {
+                    run_pbft_commit(
+                        &mut net,
+                        PbftInputs {
+                            members: &members,
+                            leader: NodeId::new(0),
+                            start: SimTime::ZERO,
+                            payload: |_| (MessageKind::BlockFull, 100_000),
+                            validation: |_| Duration::from_millis(1),
+                        },
+                    )
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Full-replication baseline (E1/E3/E7): one flood commit.
+fn bench_full_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_replication_block");
+    group.sample_size(10);
+    group.bench_function("n256", |b| {
+        b.iter_with_setup(
+            || {
+                (
+                    FullReplicationNetwork::new(FullConfig {
+                        nodes: 256,
+                        link: quiet_link(),
+                        genesis: ici_chain::genesis::GenesisConfig::uniform(
+                            64,
+                            u64::MAX / 1_000_000,
+                        ),
+                        seed: 9,
+                        ..FullConfig::default()
+                    }),
+                    txs(20, 0),
+                )
+            },
+            |(mut network, batch)| {
+                network.propose_block(batch).expect("commits");
+                network
+            },
+        );
+    });
+    group.finish();
+}
+
+/// RapidChain baseline (E1/E3/E7): one shard commit with IDA + votes.
+fn bench_rapidchain_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rapidchain_block");
+    group.sample_size(10);
+    group.bench_function("n256_committee64", |b| {
+        b.iter_with_setup(
+            || {
+                (
+                    RapidChainNetwork::new(RapidChainConfig {
+                        nodes: 256,
+                        committee_size: 64,
+                        link: quiet_link(),
+                        genesis: ici_chain::genesis::GenesisConfig::uniform(
+                            64,
+                            u64::MAX / 1_000_000,
+                        ),
+                        seed: 9,
+                        ..RapidChainConfig::default()
+                    }),
+                    txs(20, 0),
+                )
+            },
+            |(mut network, batch)| {
+                network.propose_block(0, batch).expect("commits");
+                network
+            },
+        );
+    });
+    group.finish();
+}
+
+/// E3 transport primitives: flood vs IDA.
+fn bench_dissemination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dissemination");
+    let peers: Vec<NodeId> = (0..128).map(NodeId::new).collect();
+    group.bench_function("gossip_flood_n128", |b| {
+        b.iter_with_setup(
+            || fresh_network(128),
+            |mut net| {
+                gossip_flood(
+                    &mut net,
+                    &peers,
+                    NodeId::new(0),
+                    SimTime::ZERO,
+                    MessageKind::BlockFull,
+                    100_000,
+                    &GossipConfig::default(),
+                )
+            },
+        );
+    });
+    let committee: Vec<NodeId> = (0..64).map(NodeId::new).collect();
+    group.bench_function("ida_c64", |b| {
+        b.iter_with_setup(
+            || fresh_network(64),
+            |mut net| {
+                run_ida_dissemination(
+                    &mut net,
+                    &committee,
+                    NodeId::new(0),
+                    SimTime::ZERO,
+                    100_000,
+                    &IdaConfig::default(),
+                )
+            },
+        );
+    });
+    group.finish();
+}
+
+/// E4 code path: node bootstrap over an existing chain.
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bootstrap");
+    group.sample_size(10);
+    group.bench_function("ici_join_n64_20blocks", |b| {
+        b.iter_with_setup(
+            || {
+                let mut network = ici_network(64, 16);
+                let mut generator = WorkloadGenerator::new(WorkloadConfig {
+                    accounts: 64,
+                    ..WorkloadConfig::default()
+                });
+                for _ in 0..20 {
+                    let batch = generator.batch(10);
+                    network.propose_block(batch).expect("commits");
+                }
+                network
+            },
+            |mut network| {
+                network
+                    .bootstrap_node(Coord::new(30.0, 30.0), JoinPolicy::NearestCentroid)
+                    .expect("joins")
+            },
+        );
+    });
+    group.finish();
+}
+
+/// E6 code path: audit + repair after a crash.
+fn bench_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair");
+    group.sample_size(10);
+    group.bench_function("crash2_repair_n64", |b| {
+        b.iter_with_setup(
+            || {
+                let mut network = ici_network(64, 16);
+                let mut generator = WorkloadGenerator::new(WorkloadConfig {
+                    accounts: 64,
+                    ..WorkloadConfig::default()
+                });
+                for _ in 0..10 {
+                    let batch = generator.batch(10);
+                    network.propose_block(batch).expect("commits");
+                }
+                network.crash_node(NodeId::new(1)).expect("known");
+                network.crash_node(NodeId::new(2)).expect("known");
+                network
+            },
+            |mut network| {
+                network.repair_all();
+                network
+            },
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ici_block,
+    bench_pbft,
+    bench_full_block,
+    bench_rapidchain_block,
+    bench_dissemination,
+    bench_bootstrap,
+    bench_repair,
+);
+criterion_main!(benches);

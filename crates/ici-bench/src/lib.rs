@@ -1,0 +1,153 @@
+//! Shared scaffolding for the experiment binaries (`src/bin/e*.rs`).
+//!
+//! Every binary regenerates one table/figure of the paper's evaluation
+//! (see `DESIGN.md` for the per-experiment index). Two scales are
+//! supported:
+//!
+//! * **small** (default) — laptop-friendly populations that preserve the
+//!   parameter *ratios* the paper's claims depend on (notably
+//!   `shards · r / cluster_size = 0.25`);
+//! * **paper** (`--paper` flag) — the abstract's scale (thousands of
+//!   nodes, RapidChain committees of 250). Slower; same code path.
+//!
+//! Results print as ASCII tables and are archived as JSON under
+//! `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use ici_net::link::LinkModel;
+use ici_sim::report::ExperimentRecord;
+use ici_sim::table::Table;
+use ici_workload::{PayloadSize, WorkloadConfig};
+
+/// Experiment scale selected on the command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-friendly populations (default).
+    Small,
+    /// The abstract's populations (`--paper`).
+    Paper,
+}
+
+impl Scale {
+    /// Parses the process arguments: `--paper` selects [`Scale::Paper`].
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--paper") {
+            Scale::Paper
+        } else {
+            Scale::Small
+        }
+    }
+}
+
+/// Network sizes for a strategy-comparison sweep.
+pub fn network_sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Small => vec![128, 256, 512],
+        Scale::Paper => vec![1_000, 2_000, 4_000],
+    }
+}
+
+/// ICI cluster size at each scale (64 in the paper regime).
+pub fn cluster_size(scale: Scale) -> usize {
+    match scale {
+        Scale::Small => 16,
+        Scale::Paper => 64,
+    }
+}
+
+/// RapidChain committee size at each scale (250 in the paper regime).
+///
+/// Chosen so that at the top of the sweep `shards · r / c = 0.25` with
+/// `r = 1` — the abstract's headline point.
+pub fn committee_size(scale: Scale) -> usize {
+    match scale {
+        Scale::Small => 128,
+        Scale::Paper => 250,
+    }
+}
+
+/// The standard experiment workload: 256 funded accounts, Zipf senders,
+/// 200-byte payloads.
+pub fn standard_workload(seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        accounts: 256,
+        senders: ici_workload::SenderDistribution::Zipf { exponent: 1.0 },
+        payload: PayloadSize::Fixed(200),
+        amount: 1,
+        fee: 1,
+        seed,
+    }
+}
+
+/// Jitter-free link model so experiment tables are exactly reproducible.
+pub fn quiet_link() -> LinkModel {
+    LinkModel {
+        max_jitter_ms: 0.0,
+        ..LinkModel::default()
+    }
+}
+
+/// Blocks per run at each scale.
+pub fn block_count(scale: Scale) -> usize {
+    match scale {
+        Scale::Small => 20,
+        Scale::Paper => 40,
+    }
+}
+
+/// Transactions per block at each scale.
+pub fn txs_per_block(scale: Scale) -> usize {
+    match scale {
+        Scale::Small => 40,
+        Scale::Paper => 100,
+    }
+}
+
+/// Prints tables and archives the experiment record under `results/`.
+pub fn emit(id: &str, title: &str, params: &str, tables: &[&Table]) {
+    for table in tables {
+        println!("{table}");
+    }
+    let record = ExperimentRecord::new(id, title, params, tables);
+    let path = PathBuf::from("results").join(format!("{}.json", id.to_lowercase()));
+    match record.write_json(&path) {
+        Ok(()) => println!("[saved {}]\n", path.display()),
+        Err(e) => eprintln!("[warn: could not save {}: {e}]", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_invariant_holds_at_both_scales() {
+        for scale in [Scale::Small, Scale::Paper] {
+            let n = *network_sizes(scale).last().expect("non-empty");
+            let shards = n.div_ceil(committee_size(scale));
+            let ratio = shards as f64 / cluster_size(scale) as f64; // r = 1
+            assert!(
+                (ratio - 0.25).abs() < 0.01,
+                "{scale:?}: k={shards}, c={}, ratio {ratio}",
+                cluster_size(scale)
+            );
+        }
+    }
+
+    #[test]
+    fn scale_parsing_defaults_small() {
+        // No --paper in the test harness args.
+        assert_eq!(Scale::from_args(), Scale::Small);
+    }
+
+    #[test]
+    fn workload_is_funded_and_deterministic() {
+        let w = standard_workload(1);
+        assert_eq!(w.accounts, 256);
+        assert_eq!(standard_workload(1), standard_workload(1));
+    }
+}

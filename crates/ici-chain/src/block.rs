@@ -1,0 +1,398 @@
+//! Blocks and block headers.
+//!
+//! A header commits to the parent block, the transaction Merkle root, the
+//! post-state root, and the proposer. ICIStrategy nodes that are not
+//! responsible for a block's body keep only the header (88 bytes of payload
+//! + roots), which is what makes intra-cluster storage sharing cheap — the
+//! header chain alone suffices to verify any body or Merkle proof fetched
+//! later.
+
+use std::fmt;
+
+use ici_crypto::merkle::MerkleTree;
+use ici_crypto::sha256::{double_sha256, Digest};
+
+use crate::codec::{CodecError, Decode, Encode, Reader, Writer};
+use crate::transaction::Transaction;
+
+/// A block identifier: the double-SHA-256 of the header encoding.
+pub type BlockId = Digest;
+
+/// Block height (genesis is height 0).
+pub type Height = u64;
+
+/// The fixed-size block header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BlockHeader {
+    /// Height in the chain; genesis is 0.
+    pub height: Height,
+    /// Id of the parent block header ([`Digest::ZERO`] for genesis).
+    pub parent: BlockId,
+    /// Merkle root over the block's transactions.
+    pub tx_root: Digest,
+    /// Commitment to the world state after applying this block.
+    pub state_root: Digest,
+    /// Proposal time, milliseconds of simulated time.
+    pub timestamp_ms: u64,
+    /// Node id of the proposer.
+    pub proposer: u64,
+    /// Proof-of-work nonce (unused, zero, under BFT-style commit).
+    pub pow_nonce: u64,
+    /// Number of transactions in the body.
+    pub tx_count: u32,
+    /// Encoded length of the body in bytes, so header-only nodes can account
+    /// for storage and plan fetches without the body in hand.
+    pub body_len: u32,
+}
+
+impl BlockHeader {
+    /// Encoded size of a header in bytes.
+    pub const ENCODED_LEN: usize = 8 + 32 + 32 + 32 + 8 + 8 + 8 + 4 + 4;
+
+    /// The header id (double-SHA-256 of the encoding).
+    pub fn id(&self) -> BlockId {
+        double_sha256(&self.to_bytes())
+    }
+}
+
+impl Encode for BlockHeader {
+    fn encode(&self, w: &mut Writer) {
+        self.height.encode(w);
+        self.parent.encode(w);
+        self.tx_root.encode(w);
+        self.state_root.encode(w);
+        self.timestamp_ms.encode(w);
+        self.proposer.encode(w);
+        self.pow_nonce.encode(w);
+        self.tx_count.encode(w);
+        self.body_len.encode(w);
+    }
+
+    fn encoded_len(&self) -> usize {
+        BlockHeader::ENCODED_LEN
+    }
+}
+
+impl Decode for BlockHeader {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(BlockHeader {
+            height: u64::decode(r)?,
+            parent: Digest::decode(r)?,
+            tx_root: Digest::decode(r)?,
+            state_root: Digest::decode(r)?,
+            timestamp_ms: u64::decode(r)?,
+            proposer: u64::decode(r)?,
+            pow_nonce: u64::decode(r)?,
+            tx_count: u32::decode(r)?,
+            body_len: u32::decode(r)?,
+        })
+    }
+}
+
+/// A full block: header plus transaction body.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Block {
+    header: BlockHeader,
+    transactions: Vec<Transaction>,
+}
+
+impl Block {
+    /// Assembles a block, computing `tx_root`, `tx_count`, and `body_len`
+    /// from `transactions`; the remaining header fields are taken from
+    /// `template`.
+    pub fn new(template: BlockHeader, transactions: Vec<Transaction>) -> Block {
+        let mut header = template;
+        header.tx_root = Block::compute_tx_root(&transactions);
+        header.tx_count = transactions.len() as u32;
+        header.body_len = transactions
+            .iter()
+            .map(|tx| tx.encoded_len())
+            .sum::<usize>() as u32;
+        Block {
+            header,
+            transactions,
+        }
+    }
+
+    /// Reassembles a block from parts already known to be consistent
+    /// (e.g. after decoding); validates the Merkle root and counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the mismatching field name if the header does not commit to
+    /// the body.
+    pub fn from_parts(
+        header: BlockHeader,
+        transactions: Vec<Transaction>,
+    ) -> Result<Block, BlockIntegrityError> {
+        if header.tx_count as usize != transactions.len() {
+            return Err(BlockIntegrityError::TxCount {
+                header: header.tx_count,
+                body: transactions.len() as u32,
+            });
+        }
+        let root = Block::compute_tx_root(&transactions);
+        if header.tx_root != root {
+            return Err(BlockIntegrityError::TxRoot);
+        }
+        let body_len = transactions
+            .iter()
+            .map(|tx| tx.encoded_len())
+            .sum::<usize>() as u32;
+        if header.body_len != body_len {
+            return Err(BlockIntegrityError::BodyLen {
+                header: header.body_len,
+                body: body_len,
+            });
+        }
+        Ok(Block {
+            header,
+            transactions,
+        })
+    }
+
+    /// Computes the Merkle root over transaction encodings.
+    pub fn compute_tx_root(transactions: &[Transaction]) -> Digest {
+        let encodings: Vec<Vec<u8>> = transactions.iter().map(|tx| tx.to_bytes()).collect();
+        MerkleTree::from_leaves(encodings.iter().map(|v| v.as_slice())).root()
+    }
+
+    /// Builds the Merkle tree over this block's transactions (for proofs).
+    pub fn tx_tree(&self) -> MerkleTree {
+        let encodings: Vec<Vec<u8>> = self.transactions.iter().map(|tx| tx.to_bytes()).collect();
+        MerkleTree::from_leaves(encodings.iter().map(|v| v.as_slice()))
+    }
+
+    /// The block header.
+    pub fn header(&self) -> &BlockHeader {
+        &self.header
+    }
+
+    /// The block id (== header id).
+    pub fn id(&self) -> BlockId {
+        self.header.id()
+    }
+
+    /// Height shortcut.
+    pub fn height(&self) -> Height {
+        self.header.height
+    }
+
+    /// The transaction body.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Consumes the block, returning header and body.
+    pub fn into_parts(self) -> (BlockHeader, Vec<Transaction>) {
+        (self.header, self.transactions)
+    }
+
+    /// Encoded size of the body alone (what a responsible node stores on
+    /// top of the header).
+    pub fn body_len(&self) -> usize {
+        self.header.body_len as usize
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Block")
+            .field("height", &self.header.height)
+            .field("id", &self.id())
+            .field("txs", &self.transactions.len())
+            .finish()
+    }
+}
+
+impl Encode for Block {
+    fn encode(&self, w: &mut Writer) {
+        self.header.encode(w);
+        self.transactions.encode(w);
+    }
+
+    fn encoded_len(&self) -> usize {
+        BlockHeader::ENCODED_LEN + 4 + self.header.body_len as usize
+    }
+}
+
+impl Decode for Block {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let header = BlockHeader::decode(r)?;
+        let transactions = Vec::<Transaction>::decode(r)?;
+        // Re-validate the commitments so a decoded block is always
+        // internally consistent.
+        Block::from_parts(header, transactions).map_err(|_| CodecError::InvalidTag(0xFB))
+    }
+}
+
+/// A block whose header does not commit to its body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockIntegrityError {
+    /// `tx_count` disagrees with the body length.
+    TxCount {
+        /// Count claimed by the header.
+        header: u32,
+        /// Actual number of body transactions.
+        body: u32,
+    },
+    /// The Merkle root does not match the body.
+    TxRoot,
+    /// `body_len` disagrees with the encoded body.
+    BodyLen {
+        /// Length claimed by the header.
+        header: u32,
+        /// Actual encoded body length.
+        body: u32,
+    },
+}
+
+impl fmt::Display for BlockIntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockIntegrityError::TxCount { header, body } => {
+                write!(f, "header claims {header} transactions, body has {body}")
+            }
+            BlockIntegrityError::TxRoot => f.write_str("merkle root does not match body"),
+            BlockIntegrityError::BodyLen { header, body } => {
+                write!(f, "header claims body of {header} bytes, body is {body}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockIntegrityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::Address;
+    use ici_crypto::sig::Keypair;
+
+    fn txs(n: u64) -> Vec<Transaction> {
+        (0..n)
+            .map(|i| {
+                Transaction::signed(
+                    &Keypair::from_seed(i),
+                    Address::from_seed(i + 100),
+                    10 + i,
+                    1,
+                    0,
+                    vec![0u8; 8],
+                )
+            })
+            .collect()
+    }
+
+    fn template(height: u64, parent: BlockId) -> BlockHeader {
+        BlockHeader {
+            height,
+            parent,
+            tx_root: Digest::ZERO,
+            state_root: Digest::ZERO,
+            timestamp_ms: 1_000,
+            proposer: 1,
+            pow_nonce: 0,
+            tx_count: 0,
+            body_len: 0,
+        }
+    }
+
+    #[test]
+    fn new_fills_commitments() {
+        let body = txs(3);
+        let expected_len: usize = body.iter().map(|t| t.encoded_len()).sum();
+        let block = Block::new(template(1, Digest::ZERO), body.clone());
+        assert_eq!(block.header().tx_count, 3);
+        assert_eq!(block.header().body_len as usize, expected_len);
+        assert_eq!(block.header().tx_root, Block::compute_tx_root(&body));
+    }
+
+    #[test]
+    fn header_encoding_is_fixed_size_and_round_trips() {
+        let block = Block::new(template(2, Digest::ZERO), txs(2));
+        let header = *block.header();
+        let bytes = header.to_bytes();
+        assert_eq!(bytes.len(), BlockHeader::ENCODED_LEN);
+        assert_eq!(BlockHeader::from_bytes(&bytes).unwrap(), header);
+    }
+
+    #[test]
+    fn block_encoding_round_trips() {
+        let block = Block::new(template(1, Digest::ZERO), txs(5));
+        let bytes = block.to_bytes();
+        assert_eq!(bytes.len(), block.encoded_len());
+        let decoded = Block::from_bytes(&bytes).expect("valid block");
+        assert_eq!(decoded, block);
+        assert_eq!(decoded.id(), block.id());
+    }
+
+    #[test]
+    fn decode_rejects_body_tampering() {
+        let block = Block::new(template(1, Digest::ZERO), txs(2));
+        let mut bytes = block.to_bytes();
+        // Flip a byte inside the body region (after the header).
+        let idx = BlockHeader::ENCODED_LEN + 10;
+        bytes[idx] ^= 0xFF;
+        assert!(Block::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates_commitments() {
+        let block = Block::new(template(1, Digest::ZERO), txs(2));
+        let (header, body) = block.into_parts();
+
+        let mut short = body.clone();
+        short.pop();
+        assert!(matches!(
+            Block::from_parts(header, short),
+            Err(BlockIntegrityError::TxCount { .. })
+        ));
+
+        let mut wrong_root = header;
+        wrong_root.tx_root = Digest::ZERO;
+        assert_eq!(
+            Block::from_parts(wrong_root, body.clone()),
+            Err(BlockIntegrityError::TxRoot)
+        );
+
+        assert!(Block::from_parts(header, body).is_ok());
+    }
+
+    #[test]
+    fn id_changes_with_any_header_field() {
+        let base = Block::new(template(1, Digest::ZERO), txs(1));
+        let base_id = base.id();
+
+        let mut h = *base.header();
+        h.height += 1;
+        assert_ne!(h.id(), base_id);
+
+        let mut h = *base.header();
+        h.timestamp_ms += 1;
+        assert_ne!(h.id(), base_id);
+
+        let mut h = *base.header();
+        h.proposer += 1;
+        assert_ne!(h.id(), base_id);
+    }
+
+    #[test]
+    fn empty_block_is_representable() {
+        let block = Block::new(template(0, Digest::ZERO), Vec::new());
+        assert_eq!(block.header().tx_count, 0);
+        assert_eq!(block.header().tx_root, Digest::ZERO);
+        assert_eq!(Block::from_bytes(&block.to_bytes()).unwrap(), block);
+    }
+
+    #[test]
+    fn tx_tree_proofs_verify_against_header_root() {
+        let block = Block::new(template(3, Digest::ZERO), txs(6));
+        let tree = block.tx_tree();
+        assert_eq!(tree.root(), block.header().tx_root);
+        for (i, tx) in block.transactions().iter().enumerate() {
+            let proof = tree.prove(i).expect("index in range");
+            assert!(proof.verify(&tx.to_bytes(), block.header().tx_root));
+        }
+    }
+}

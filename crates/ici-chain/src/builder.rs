@@ -1,0 +1,326 @@
+//! Block assembly.
+//!
+//! A proposer collects pending transactions, validates each against a
+//! scratch copy of the state (so an invalid transaction never poisons a
+//! proposal), and seals a block whose `state_root` commits to the
+//! post-execution state.
+
+use crate::block::{Block, BlockHeader, BlockId, Height};
+use crate::state::{StateError, WorldState};
+use crate::transaction::{Address, Transaction};
+
+/// Incrementally assembles the next block.
+///
+/// # Examples
+///
+/// ```
+/// use ici_chain::builder::BlockBuilder;
+/// use ici_chain::genesis::GenesisConfig;
+/// use ici_chain::transaction::{Address, Transaction};
+/// use ici_crypto::sig::Keypair;
+///
+/// let genesis_cfg = GenesisConfig::uniform(4, 1_000);
+/// let genesis = genesis_cfg.genesis_block();
+/// let state = genesis_cfg.initial_state();
+///
+/// let mut builder = BlockBuilder::new(genesis.header(), state, 7, 1_000);
+/// let tx = Transaction::signed(
+///     &Keypair::from_seed(0), Address::from_seed(1), 10, 1, 0, Vec::new(),
+/// );
+/// builder.push(tx).expect("valid transaction");
+/// let block = builder.seal();
+/// assert_eq!(block.height(), 1);
+/// assert_eq!(block.transactions().len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BlockBuilder {
+    height: Height,
+    parent: BlockId,
+    proposer: u64,
+    timestamp_ms: u64,
+    state: WorldState,
+    fee_collector: Address,
+    transactions: Vec<Transaction>,
+    body_len: usize,
+    max_txs: usize,
+    max_body_bytes: usize,
+}
+
+/// Why a transaction was not added to the block under construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// The block already holds `max_txs` transactions.
+    TxLimitReached(usize),
+    /// Adding the transaction would exceed `max_body_bytes`.
+    SizeLimitReached {
+        /// Configured byte budget.
+        limit: usize,
+        /// Bytes already committed plus the candidate.
+        would_be: usize,
+    },
+    /// The transaction fails state validation at this point in the block.
+    Invalid(StateError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::TxLimitReached(n) => write!(f, "block already holds {n} transactions"),
+            BuildError::SizeLimitReached { limit, would_be } => {
+                write!(f, "body would be {would_be} bytes, limit {limit}")
+            }
+            BuildError::Invalid(e) => write!(f, "invalid transaction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl BlockBuilder {
+    /// Default per-block transaction cap.
+    pub const DEFAULT_MAX_TXS: usize = 4_096;
+    /// Default per-block body byte budget (1 MiB, Bitcoin-like).
+    pub const DEFAULT_MAX_BODY_BYTES: usize = 1 << 20;
+
+    /// Starts a block extending `parent`, executing against `state` (the
+    /// post-state of `parent`), proposed by node `proposer` at
+    /// `timestamp_ms`.
+    pub fn new(
+        parent: &BlockHeader,
+        state: WorldState,
+        proposer: u64,
+        timestamp_ms: u64,
+    ) -> BlockBuilder {
+        BlockBuilder {
+            height: parent.height + 1,
+            parent: parent.id(),
+            proposer,
+            timestamp_ms,
+            fee_collector: Address::from_seed(proposer),
+            state,
+            transactions: Vec::new(),
+            body_len: 0,
+            max_txs: BlockBuilder::DEFAULT_MAX_TXS,
+            max_body_bytes: BlockBuilder::DEFAULT_MAX_BODY_BYTES,
+        }
+    }
+
+    /// Overrides the transaction-count cap.
+    pub fn max_txs(&mut self, max: usize) -> &mut BlockBuilder {
+        self.max_txs = max;
+        self
+    }
+
+    /// Overrides the body byte budget.
+    pub fn max_body_bytes(&mut self, max: usize) -> &mut BlockBuilder {
+        self.max_body_bytes = max;
+        self
+    }
+
+    /// Transactions accepted so far.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether no transaction has been accepted.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Validates and appends `tx`.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] if a cap is hit or the transaction is invalid against
+    /// the in-progress state; the builder is unchanged on error.
+    pub fn push(&mut self, tx: Transaction) -> Result<(), BuildError> {
+        if self.transactions.len() >= self.max_txs {
+            return Err(BuildError::TxLimitReached(self.transactions.len()));
+        }
+        let tx_len = crate::codec::Encode::encoded_len(&tx);
+        let would_be = self.body_len + tx_len;
+        if would_be > self.max_body_bytes {
+            return Err(BuildError::SizeLimitReached {
+                limit: self.max_body_bytes,
+                would_be,
+            });
+        }
+        self.state
+            .apply(&tx, self.fee_collector)
+            .map_err(BuildError::Invalid)?;
+        self.body_len = would_be;
+        self.transactions.push(tx);
+        Ok(())
+    }
+
+    /// Fills the block greedily from `pending`, skipping transactions that
+    /// fail, until a cap is reached. Returns how many were accepted.
+    pub fn fill<I>(&mut self, pending: I) -> usize
+    where
+        I: IntoIterator<Item = Transaction>,
+    {
+        let mut accepted = 0;
+        for tx in pending {
+            match self.push(tx) {
+                Ok(()) => accepted += 1,
+                Err(BuildError::Invalid(_)) => continue,
+                Err(_) => break, // caps reached
+            }
+        }
+        accepted
+    }
+
+    /// Seals the block, consuming the builder.
+    pub fn seal(self) -> Block {
+        Block::new(
+            BlockHeader {
+                height: self.height,
+                parent: self.parent,
+                tx_root: ici_crypto::sha256::Digest::ZERO, // filled by Block::new
+                state_root: self.state.root(),
+                timestamp_ms: self.timestamp_ms,
+                proposer: self.proposer,
+                pow_nonce: 0,
+                tx_count: 0,
+                body_len: 0,
+            },
+            self.transactions,
+        )
+    }
+
+    /// Seals and also returns the post-state (so the proposer need not
+    /// re-execute its own block).
+    pub fn seal_with_state(self) -> (Block, WorldState) {
+        let state = self.state.clone();
+        (self.seal(), state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genesis::GenesisConfig;
+    use ici_crypto::sig::Keypair;
+
+    fn setup() -> (Block, WorldState) {
+        let cfg = GenesisConfig::uniform(8, 10_000);
+        (cfg.genesis_block(), cfg.initial_state())
+    }
+
+    fn transfer(seed: u64, nonce: u64, amount: u64) -> Transaction {
+        Transaction::signed(
+            &Keypair::from_seed(seed),
+            Address::from_seed(seed + 1),
+            amount,
+            1,
+            nonce,
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn sealed_block_links_to_parent() {
+        let (genesis, state) = setup();
+        let mut b = BlockBuilder::new(genesis.header(), state, 3, 500);
+        b.push(transfer(0, 0, 10)).expect("valid");
+        let block = b.seal();
+        assert_eq!(block.height(), 1);
+        assert_eq!(block.header().parent, genesis.id());
+        assert_eq!(block.header().proposer, 3);
+        assert_eq!(block.header().timestamp_ms, 500);
+    }
+
+    #[test]
+    fn state_root_commits_to_execution() {
+        let (genesis, state) = setup();
+        let mut b = BlockBuilder::new(genesis.header(), state.clone(), 3, 500);
+        b.push(transfer(0, 0, 10)).expect("valid");
+        let (block, post) = b.seal_with_state();
+        assert_eq!(block.header().state_root, post.root());
+        assert_ne!(block.header().state_root, state.root());
+
+        // Independent re-execution reaches the same root.
+        let mut replay = state;
+        replay.apply_block(&block).expect("replays");
+        assert_eq!(replay.root(), block.header().state_root);
+    }
+
+    #[test]
+    fn invalid_transactions_are_rejected_not_included() {
+        let (genesis, state) = setup();
+        let mut b = BlockBuilder::new(genesis.header(), state, 1, 0);
+        // Overspend.
+        let err = b.push(transfer(0, 0, 1_000_000)).expect_err("overspend");
+        assert!(matches!(err, BuildError::Invalid(StateError::InsufficientBalance { .. })));
+        assert!(b.is_empty());
+        // A valid one still goes through afterwards.
+        b.push(transfer(0, 0, 10)).expect("valid");
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn sequential_nonces_within_one_block() {
+        let (genesis, state) = setup();
+        let mut b = BlockBuilder::new(genesis.header(), state, 1, 0);
+        b.push(transfer(0, 0, 10)).expect("nonce 0");
+        b.push(transfer(0, 1, 10)).expect("nonce 1");
+        let err = b.push(transfer(0, 1, 10)).expect_err("nonce reuse");
+        assert!(matches!(err, BuildError::Invalid(StateError::BadNonce { .. })));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn tx_cap_is_enforced() {
+        let (genesis, state) = setup();
+        let mut b = BlockBuilder::new(genesis.header(), state, 1, 0);
+        b.max_txs(2);
+        b.push(transfer(0, 0, 1)).expect("1st");
+        b.push(transfer(1, 0, 1)).expect("2nd");
+        assert_eq!(
+            b.push(transfer(2, 0, 1)),
+            Err(BuildError::TxLimitReached(2))
+        );
+    }
+
+    #[test]
+    fn byte_cap_is_enforced() {
+        let (genesis, state) = setup();
+        let mut b = BlockBuilder::new(genesis.header(), state, 1, 0);
+        b.max_body_bytes(200);
+        b.push(transfer(0, 0, 1)).expect("fits");
+        let err = b.push(transfer(1, 0, 1)).expect_err("exceeds 200 bytes");
+        assert!(matches!(err, BuildError::SizeLimitReached { .. }));
+    }
+
+    #[test]
+    fn fill_skips_invalid_and_stops_at_caps() {
+        let (genesis, state) = setup();
+        let mut b = BlockBuilder::new(genesis.header(), state, 1, 0);
+        b.max_txs(3);
+        let pending = vec![
+            transfer(0, 0, 10),
+            transfer(0, 5, 10), // bad nonce — skipped
+            transfer(1, 0, 10),
+            transfer(2, 0, 10),
+            transfer(3, 0, 10), // over the cap — fill stops
+        ];
+        let accepted = b.fill(pending);
+        assert_eq!(accepted, 3);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn empty_block_seals() {
+        let (genesis, state) = setup();
+        let block = BlockBuilder::new(genesis.header(), state.clone(), 1, 9).seal();
+        assert_eq!(block.transactions().len(), 0);
+        assert_eq!(block.header().state_root, state.root());
+    }
+}

@@ -1,0 +1,367 @@
+//! The replicated world state: account balances and nonces.
+//!
+//! Applying a block is deterministic, so every node that executes the same
+//! chain prefix reaches the same state and the same [`WorldState::root`]
+//! commitment — the property the collaborative verification protocol relies
+//! on when cluster members cross-check a proposed block's `state_root`.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use ici_crypto::sha256::{Digest, Sha256};
+
+use crate::block::Block;
+use crate::transaction::{Address, Transaction};
+
+/// Balance and sequence number of one account.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccountState {
+    /// Spendable balance.
+    pub balance: u64,
+    /// Next expected transaction nonce.
+    pub nonce: u64,
+}
+
+/// Reasons a transaction is rejected by state execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StateError {
+    /// Sender balance below `amount + fee`.
+    InsufficientBalance {
+        /// Sender address.
+        sender: Address,
+        /// Balance available.
+        available: u64,
+        /// Amount plus fee required.
+        required: u64,
+    },
+    /// Transaction nonce is not the sender's next nonce.
+    BadNonce {
+        /// Sender address.
+        sender: Address,
+        /// Nonce expected by the state.
+        expected: u64,
+        /// Nonce carried by the transaction.
+        actual: u64,
+    },
+    /// Signature verification failed.
+    BadSignature,
+    /// `amount + fee` overflowed.
+    AmountOverflow,
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::InsufficientBalance {
+                sender,
+                available,
+                required,
+            } => write!(
+                f,
+                "insufficient balance for {sender}: have {available}, need {required}"
+            ),
+            StateError::BadNonce {
+                sender,
+                expected,
+                actual,
+            } => write!(f, "bad nonce for {sender}: expected {expected}, got {actual}"),
+            StateError::BadSignature => f.write_str("invalid transaction signature"),
+            StateError::AmountOverflow => f.write_str("amount + fee overflows"),
+        }
+    }
+}
+
+impl Error for StateError {}
+
+/// The full account state, keyed by address.
+///
+/// Backed by a `BTreeMap` so iteration order — and therefore the state
+/// root — is canonical.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorldState {
+    accounts: BTreeMap<Address, AccountState>,
+}
+
+impl WorldState {
+    /// An empty state (no accounts).
+    pub fn new() -> WorldState {
+        WorldState::default()
+    }
+
+    /// Creates a state with the given initial balances (nonces zero).
+    pub fn with_balances<I>(balances: I) -> WorldState
+    where
+        I: IntoIterator<Item = (Address, u64)>,
+    {
+        let accounts = balances
+            .into_iter()
+            .map(|(addr, balance)| (addr, AccountState { balance, nonce: 0 }))
+            .collect();
+        WorldState { accounts }
+    }
+
+    /// Looks up an account, returning the default (zero) state if absent.
+    pub fn account(&self, address: &Address) -> AccountState {
+        self.accounts.get(address).copied().unwrap_or_default()
+    }
+
+    /// Balance shortcut.
+    pub fn balance(&self, address: &Address) -> u64 {
+        self.account(address).balance
+    }
+
+    /// Next-nonce shortcut.
+    pub fn nonce(&self, address: &Address) -> u64 {
+        self.account(address).nonce
+    }
+
+    /// Number of accounts with recorded state.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Whether no account has recorded state.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// Credits `amount` to `address` (used for genesis allocations and fee
+    /// payouts).
+    pub fn credit(&mut self, address: Address, amount: u64) {
+        let entry = self.accounts.entry(address).or_default();
+        entry.balance = entry.balance.saturating_add(amount);
+    }
+
+    /// Validates `tx` against the current state without mutating it.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StateError`] the transaction would trigger.
+    pub fn check(&self, tx: &Transaction) -> Result<(), StateError> {
+        if !tx.verify_signature() {
+            return Err(StateError::BadSignature);
+        }
+        let sender = tx.sender_address();
+        let account = self.account(&sender);
+        if tx.nonce() != account.nonce {
+            return Err(StateError::BadNonce {
+                sender,
+                expected: account.nonce,
+                actual: tx.nonce(),
+            });
+        }
+        let required = tx
+            .amount()
+            .checked_add(tx.fee())
+            .ok_or(StateError::AmountOverflow)?;
+        if account.balance < required {
+            return Err(StateError::InsufficientBalance {
+                sender,
+                available: account.balance,
+                required,
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies `tx`, transferring `amount` to the recipient and `fee` to
+    /// `fee_collector`.
+    ///
+    /// # Errors
+    ///
+    /// Fails (leaving the state untouched) under the same conditions as
+    /// [`WorldState::check`].
+    pub fn apply(&mut self, tx: &Transaction, fee_collector: Address) -> Result<(), StateError> {
+        self.check(tx)?;
+        let sender = tx.sender_address();
+        {
+            let entry = self.accounts.entry(sender).or_default();
+            entry.balance -= tx.amount() + tx.fee();
+            entry.nonce += 1;
+        }
+        self.credit(tx.recipient(), tx.amount());
+        if tx.fee() > 0 {
+            self.credit(fee_collector, tx.fee());
+        }
+        Ok(())
+    }
+
+    /// Applies every transaction of `block`, paying fees to the proposer's
+    /// derived address.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing transaction, returning its index and
+    /// error; earlier transactions remain applied (callers validate on a
+    /// clone first — see [`crate::validation`]).
+    pub fn apply_block(&mut self, block: &Block) -> Result<(), (usize, StateError)> {
+        let collector = Address::from_seed(block.header().proposer);
+        for (i, tx) in block.transactions().iter().enumerate() {
+            self.apply(tx, collector).map_err(|e| (i, e))?;
+        }
+        Ok(())
+    }
+
+    /// A canonical commitment to the full state: the SHA-256 over all
+    /// `(address, balance, nonce)` triples in address order.
+    pub fn root(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"ici-state-v1:");
+        for (addr, acct) in &self.accounts {
+            h.update(addr.as_bytes());
+            h.update(&acct.balance.to_be_bytes());
+            h.update(&acct.nonce.to_be_bytes());
+        }
+        h.finalize()
+    }
+
+    /// Total supply across all accounts (conserved by [`WorldState::apply`]).
+    pub fn total_supply(&self) -> u64 {
+        self.accounts.values().map(|a| a.balance).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ici_crypto::sig::Keypair;
+
+    fn funded(seed: u64, balance: u64) -> (Keypair, WorldState) {
+        let pair = Keypair::from_seed(seed);
+        let state = WorldState::with_balances([(Address::from_seed(seed), balance)]);
+        (pair, state)
+    }
+
+    fn transfer(from: &Keypair, to: Address, amount: u64, fee: u64, nonce: u64) -> Transaction {
+        Transaction::signed(from, to, amount, fee, nonce, Vec::new())
+    }
+
+    #[test]
+    fn simple_transfer_moves_funds_and_bumps_nonce() {
+        let (alice, mut state) = funded(1, 100);
+        let bob = Address::from_seed(2);
+        let collector = Address::from_seed(99);
+        state
+            .apply(&transfer(&alice, bob, 30, 5, 0), collector)
+            .expect("valid transfer");
+        assert_eq!(state.balance(&Address::from_seed(1)), 65);
+        assert_eq!(state.balance(&bob), 30);
+        assert_eq!(state.balance(&collector), 5);
+        assert_eq!(state.nonce(&Address::from_seed(1)), 1);
+    }
+
+    #[test]
+    fn insufficient_balance_is_rejected_without_mutation() {
+        let (alice, mut state) = funded(1, 10);
+        let before = state.clone();
+        let err = state
+            .apply(&transfer(&alice, Address::from_seed(2), 30, 5, 0), Address::from_seed(99))
+            .expect_err("should fail");
+        assert!(matches!(err, StateError::InsufficientBalance { required: 35, .. }));
+        assert_eq!(state, before);
+    }
+
+    #[test]
+    fn wrong_nonce_is_rejected() {
+        let (alice, mut state) = funded(1, 100);
+        let err = state
+            .apply(&transfer(&alice, Address::from_seed(2), 1, 0, 5), Address::from_seed(99))
+            .expect_err("should fail");
+        assert!(matches!(err, StateError::BadNonce { expected: 0, actual: 5, .. }));
+    }
+
+    #[test]
+    fn replay_is_rejected_by_nonce() {
+        let (alice, mut state) = funded(1, 100);
+        let tx = transfer(&alice, Address::from_seed(2), 10, 0, 0);
+        let collector = Address::from_seed(99);
+        state.apply(&tx, collector).expect("first apply");
+        let err = state.apply(&tx, collector).expect_err("replay");
+        assert!(matches!(err, StateError::BadNonce { .. }));
+    }
+
+    #[test]
+    fn bad_signature_is_rejected() {
+        let (_, mut state) = funded(1, 100);
+        // Sign with a key that does not match the claimed sender by
+        // constructing with a different pair then swapping: easiest is to
+        // decode-modify, but the public API path is to check a tx whose
+        // payload was altered after signing.
+        let alice = Keypair::from_seed(1);
+        let tx = transfer(&alice, Address::from_seed(2), 10, 0, 0);
+        let mut bytes = crate::codec::Encode::to_bytes(&tx);
+        // Flip a byte in the amount field (offset: 33 pk + 20 addr = 53).
+        bytes[53 + 7] ^= 0x01;
+        let forged = <Transaction as crate::codec::Decode>::from_bytes(&bytes).expect("decodes");
+        assert_eq!(
+            state.apply(&forged, Address::from_seed(99)),
+            Err(StateError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn amount_overflow_is_rejected() {
+        let (alice, state) = funded(1, u64::MAX);
+        let tx = transfer(&alice, Address::from_seed(2), u64::MAX, 1, 0);
+        assert_eq!(state.check(&tx), Err(StateError::AmountOverflow));
+    }
+
+    #[test]
+    fn total_supply_is_conserved() {
+        let (alice, mut state) = funded(1, 1000);
+        let supply = state.total_supply();
+        state
+            .apply(&transfer(&alice, Address::from_seed(2), 100, 7, 0), Address::from_seed(3))
+            .expect("valid");
+        assert_eq!(state.total_supply(), supply);
+    }
+
+    #[test]
+    fn root_is_order_independent_but_content_sensitive() {
+        let a = WorldState::with_balances([
+            (Address::from_seed(1), 10),
+            (Address::from_seed(2), 20),
+        ]);
+        let b = WorldState::with_balances([
+            (Address::from_seed(2), 20),
+            (Address::from_seed(1), 10),
+        ]);
+        assert_eq!(a.root(), b.root());
+
+        let c = WorldState::with_balances([
+            (Address::from_seed(1), 11),
+            (Address::from_seed(2), 20),
+        ]);
+        assert_ne!(a.root(), c.root());
+    }
+
+    #[test]
+    fn empty_state_has_stable_root() {
+        assert_eq!(WorldState::new().root(), WorldState::default().root());
+        assert!(WorldState::new().is_empty());
+    }
+
+    #[test]
+    fn self_transfer_keeps_balance_minus_fee() {
+        let (alice, mut state) = funded(1, 100);
+        let me = Address::from_seed(1);
+        state
+            .apply(&transfer(&alice, me, 40, 3, 0), Address::from_seed(99))
+            .expect("valid");
+        assert_eq!(state.balance(&me), 97);
+        assert_eq!(state.nonce(&me), 1);
+    }
+
+    #[test]
+    fn fee_to_self_collector() {
+        // A proposer including its own fee payout must still conserve supply.
+        let (alice, mut state) = funded(1, 100);
+        let collector = Address::from_seed(1);
+        state
+            .apply(&transfer(&alice, Address::from_seed(2), 10, 5, 0), collector)
+            .expect("valid");
+        assert_eq!(state.balance(&Address::from_seed(1)), 90);
+        assert_eq!(state.total_supply(), 100);
+    }
+}

@@ -1,0 +1,493 @@
+//! Per-node chain storage.
+//!
+//! ICIStrategy's central trick is that a node may hold the *header* of every
+//! block but the *body* of only the blocks assigned to it. [`ChainStore`]
+//! models exactly that: an append-only header chain plus a partial body map,
+//! with byte-accurate storage accounting used by the E1/E2 experiments.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use ici_crypto::sha256::Digest;
+
+use crate::block::{Block, BlockHeader, BlockId, Height};
+use crate::codec::Encode;
+use crate::transaction::Transaction;
+
+/// Errors from appending to a [`ChainStore`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// Appended header's height is not `tip_height + 1` (or 0 for the first).
+    NonSequentialHeight {
+        /// Height expected next.
+        expected: Height,
+        /// Height offered.
+        actual: Height,
+    },
+    /// Appended header's parent does not match the current tip id.
+    ParentMismatch {
+        /// Id of the current tip.
+        tip: BlockId,
+        /// Parent claimed by the new header.
+        claimed: BlockId,
+    },
+    /// Body offered for a height whose header is absent.
+    NoHeader(Height),
+    /// Body does not match the stored header's commitments.
+    BodyMismatch(Height),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NonSequentialHeight { expected, actual } => {
+                write!(f, "expected next height {expected}, got {actual}")
+            }
+            StoreError::ParentMismatch { tip, claimed } => {
+                write!(f, "parent mismatch: tip {tip}, claimed {claimed}")
+            }
+            StoreError::NoHeader(h) => write!(f, "no header stored at height {h}"),
+            StoreError::BodyMismatch(h) => write!(f, "body does not match header at height {h}"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+/// Append-only header chain with partial bodies.
+#[derive(Clone, Debug, Default)]
+pub struct ChainStore {
+    headers: Vec<BlockHeader>,
+    /// Bodies held locally, keyed by height. Sparse under ICIStrategy.
+    bodies: HashMap<Height, Vec<Transaction>>,
+    /// Block id → height index.
+    by_id: HashMap<BlockId, Height>,
+    /// Running total of stored body bytes (headers are counted separately).
+    body_bytes: u64,
+}
+
+impl ChainStore {
+    /// An empty store.
+    pub fn new() -> ChainStore {
+        ChainStore::default()
+    }
+
+    /// Number of headers held (== chain length).
+    pub fn len(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.headers.is_empty()
+    }
+
+    /// The tip header, if any.
+    pub fn tip(&self) -> Option<&BlockHeader> {
+        self.headers.last()
+    }
+
+    /// Height of the tip, if any.
+    pub fn tip_height(&self) -> Option<Height> {
+        self.tip().map(|h| h.height)
+    }
+
+    /// Header at `height`.
+    pub fn header(&self, height: Height) -> Option<&BlockHeader> {
+        self.headers.get(height as usize)
+    }
+
+    /// All headers, genesis first.
+    pub fn headers(&self) -> &[BlockHeader] {
+        &self.headers
+    }
+
+    /// Height of the block with id `id`.
+    pub fn height_of(&self, id: &BlockId) -> Option<Height> {
+        self.by_id.get(id).copied()
+    }
+
+    /// Whether the body at `height` is held locally.
+    pub fn has_body(&self, height: Height) -> bool {
+        self.bodies.contains_key(&height)
+    }
+
+    /// The body at `height`, if held.
+    pub fn body(&self, height: Height) -> Option<&[Transaction]> {
+        self.bodies.get(&height).map(Vec::as_slice)
+    }
+
+    /// Reassembles the full block at `height` if both header and body are
+    /// held.
+    pub fn block(&self, height: Height) -> Option<Block> {
+        let header = *self.header(height)?;
+        let body = self.bodies.get(&height)?.clone();
+        Block::from_parts(header, body).ok()
+    }
+
+    /// Appends a header, enforcing height/parent linkage.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NonSequentialHeight`] or [`StoreError::ParentMismatch`].
+    pub fn append_header(&mut self, header: BlockHeader) -> Result<(), StoreError> {
+        let expected = self.headers.len() as Height;
+        if header.height != expected {
+            return Err(StoreError::NonSequentialHeight {
+                expected,
+                actual: header.height,
+            });
+        }
+        if let Some(tip) = self.tip() {
+            let tip_id = tip.id();
+            if header.parent != tip_id {
+                return Err(StoreError::ParentMismatch {
+                    tip: tip_id,
+                    claimed: header.parent,
+                });
+            }
+        } else if header.parent != Digest::ZERO {
+            return Err(StoreError::ParentMismatch {
+                tip: Digest::ZERO,
+                claimed: header.parent,
+            });
+        }
+        self.by_id.insert(header.id(), header.height);
+        self.headers.push(header);
+        Ok(())
+    }
+
+    /// Attaches a body to an already-stored header.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoHeader`] if the header is absent,
+    /// [`StoreError::BodyMismatch`] if the body fails the header's
+    /// commitments.
+    pub fn attach_body(
+        &mut self,
+        height: Height,
+        body: Vec<Transaction>,
+    ) -> Result<(), StoreError> {
+        let header = *self.header(height).ok_or(StoreError::NoHeader(height))?;
+        let block = Block::from_parts(header, body).map_err(|_| StoreError::BodyMismatch(height))?;
+        let (_, body) = block.into_parts();
+        if self.bodies.insert(height, body).is_none() {
+            self.body_bytes += header.body_len as u64;
+        }
+        Ok(())
+    }
+
+    /// Appends a full block (header + body) at the tip.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChainStore::append_header`].
+    pub fn append_block(&mut self, block: &Block) -> Result<(), StoreError> {
+        self.append_header(*block.header())?;
+        let height = block.height();
+        if self
+            .bodies
+            .insert(height, block.transactions().to_vec())
+            .is_none()
+        {
+            self.body_bytes += block.header().body_len as u64;
+        }
+        Ok(())
+    }
+
+    /// Drops the body at `height`, keeping the header. Returns whether a
+    /// body was present. Used when responsibility moves away from this node.
+    pub fn prune_body(&mut self, height: Height) -> bool {
+        if let Some(_body) = self.bodies.remove(&height) {
+            let len = self.header(height).map(|h| h.body_len as u64).unwrap_or(0);
+            self.body_bytes = self.body_bytes.saturating_sub(len);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Heights whose bodies are held, in ascending order.
+    pub fn body_heights(&self) -> Vec<Height> {
+        let mut heights: Vec<Height> = self.bodies.keys().copied().collect();
+        heights.sort_unstable();
+        heights
+    }
+
+    /// Number of bodies held.
+    pub fn body_count(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// Bytes of stored headers.
+    pub fn header_bytes(&self) -> u64 {
+        (self.headers.len() * BlockHeader::ENCODED_LEN) as u64
+    }
+
+    /// Bytes of stored bodies.
+    pub fn body_bytes(&self) -> u64 {
+        self.body_bytes
+    }
+
+    /// Total storage footprint in bytes (headers + bodies). The quantity
+    /// plotted in experiments E1/E2/E4.
+    pub fn total_bytes(&self) -> u64 {
+        self.header_bytes() + self.body_bytes()
+    }
+}
+
+impl Encode for ChainStore {
+    /// Encodes the full store (headers, then each held body with its
+    /// height). Used for bootstrap snapshots.
+    fn encode(&self, w: &mut crate::codec::Writer) {
+        self.headers.encode(w);
+        let heights = self.body_heights();
+        w.put_u32(heights.len() as u32);
+        for h in heights {
+            h.encode(w);
+            self.bodies[&h].encode(w);
+        }
+    }
+}
+
+impl crate::codec::Decode for ChainStore {
+    /// Decodes a snapshot, re-validating header linkage and every body's
+    /// commitments — a malformed or tampered snapshot is rejected, so a
+    /// bootstrapping node can take a snapshot from an untrusted peer.
+    fn decode(r: &mut crate::codec::Reader<'_>) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::CodecError;
+        let headers = Vec::<BlockHeader>::decode(r)?;
+        let mut store = ChainStore::new();
+        for header in headers {
+            store
+                .append_header(header)
+                .map_err(|_| CodecError::InvalidTag(0xFC))?;
+        }
+        let body_count = r.take_u32()? as usize;
+        for _ in 0..body_count {
+            let height = Height::decode(r)?;
+            let body = Vec::<Transaction>::decode(r)?;
+            store
+                .attach_body(height, body)
+                .map_err(|_| CodecError::InvalidTag(0xFD))?;
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::Address;
+    use ici_crypto::sig::Keypair;
+
+    fn tx(i: u64) -> Transaction {
+        Transaction::signed(
+            &Keypair::from_seed(i),
+            Address::from_seed(i + 1),
+            1,
+            0,
+            0,
+            vec![0u8; 32],
+        )
+    }
+
+    fn chain(n: u64) -> Vec<Block> {
+        let mut blocks = Vec::new();
+        let mut parent = Digest::ZERO;
+        for height in 0..n {
+            let block = Block::new(
+                BlockHeader {
+                    height,
+                    parent,
+                    tx_root: Digest::ZERO,
+                    state_root: Digest::ZERO,
+                    timestamp_ms: height * 1000,
+                    proposer: height % 4,
+                    pow_nonce: 0,
+                    tx_count: 0,
+                    body_len: 0,
+                },
+                vec![tx(height * 10), tx(height * 10 + 1)],
+            );
+            parent = block.id();
+            blocks.push(block);
+        }
+        blocks
+    }
+
+    #[test]
+    fn append_full_chain_and_query() {
+        let blocks = chain(5);
+        let mut store = ChainStore::new();
+        for b in &blocks {
+            store.append_block(b).expect("sequential append");
+        }
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.tip_height(), Some(4));
+        assert_eq!(store.block(2).expect("full block"), blocks[2]);
+        assert_eq!(store.height_of(&blocks[3].id()), Some(3));
+        assert_eq!(store.body_count(), 5);
+    }
+
+    #[test]
+    fn header_only_then_attach_body() {
+        let blocks = chain(3);
+        let mut store = ChainStore::new();
+        for b in &blocks {
+            store.append_header(*b.header()).expect("append header");
+        }
+        assert_eq!(store.body_count(), 0);
+        assert!(store.block(1).is_none());
+
+        store
+            .attach_body(1, blocks[1].transactions().to_vec())
+            .expect("attach");
+        assert!(store.has_body(1));
+        assert_eq!(store.block(1).expect("now full"), blocks[1]);
+    }
+
+    #[test]
+    fn attach_rejects_wrong_body() {
+        let blocks = chain(3);
+        let mut store = ChainStore::new();
+        for b in &blocks {
+            store.append_header(*b.header()).expect("append header");
+        }
+        assert_eq!(
+            store.attach_body(1, blocks[2].transactions().to_vec()),
+            Err(StoreError::BodyMismatch(1))
+        );
+        assert_eq!(
+            store.attach_body(9, Vec::new()),
+            Err(StoreError::NoHeader(9))
+        );
+    }
+
+    #[test]
+    fn linkage_is_enforced() {
+        let blocks = chain(3);
+        let mut store = ChainStore::new();
+        store.append_block(&blocks[0]).expect("genesis");
+        // Skipping a height fails.
+        assert!(matches!(
+            store.append_header(*blocks[2].header()),
+            Err(StoreError::NonSequentialHeight { expected: 1, actual: 2 })
+        ));
+        // Right height, wrong parent fails.
+        let mut forged = *blocks[1].header();
+        forged.parent = Digest::ZERO;
+        assert!(matches!(
+            store.append_header(forged),
+            Err(StoreError::ParentMismatch { .. })
+        ));
+        // Non-zero parent for genesis fails on a fresh store.
+        let mut fresh = ChainStore::new();
+        let mut bad_genesis = *blocks[0].header();
+        bad_genesis.parent = blocks[1].id();
+        assert!(matches!(
+            fresh.append_header(bad_genesis),
+            Err(StoreError::ParentMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn storage_accounting_tracks_attach_and_prune() {
+        let blocks = chain(4);
+        let mut store = ChainStore::new();
+        for b in &blocks {
+            store.append_block(b).expect("append");
+        }
+        let full = store.total_bytes();
+        assert_eq!(
+            store.header_bytes(),
+            (4 * BlockHeader::ENCODED_LEN) as u64
+        );
+        assert_eq!(
+            store.body_bytes(),
+            blocks.iter().map(|b| b.header().body_len as u64).sum::<u64>()
+        );
+
+        assert!(store.prune_body(2));
+        assert!(!store.prune_body(2));
+        assert_eq!(
+            store.total_bytes(),
+            full - blocks[2].header().body_len as u64
+        );
+        assert_eq!(store.body_heights(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn double_attach_does_not_double_count() {
+        let blocks = chain(2);
+        let mut store = ChainStore::new();
+        store.append_block(&blocks[0]).expect("append");
+        let bytes = store.body_bytes();
+        store
+            .attach_body(0, blocks[0].transactions().to_vec())
+            .expect("re-attach");
+        assert_eq!(store.body_bytes(), bytes);
+    }
+
+    #[test]
+    fn empty_store_defaults() {
+        let store = ChainStore::new();
+        assert!(store.is_empty());
+        assert_eq!(store.tip_height(), None);
+        assert_eq!(store.total_bytes(), 0);
+        assert!(store.body_heights().is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trips_with_partial_bodies() {
+        use crate::codec::Decode;
+        let blocks = chain(5);
+        let mut store = ChainStore::new();
+        for b in &blocks {
+            store.append_header(*b.header()).expect("append");
+        }
+        store
+            .attach_body(1, blocks[1].transactions().to_vec())
+            .expect("attach");
+        store
+            .attach_body(3, blocks[3].transactions().to_vec())
+            .expect("attach");
+
+        let bytes = crate::codec::Encode::to_bytes(&store);
+        let decoded = ChainStore::from_bytes(&bytes).expect("round trip");
+        assert_eq!(decoded.len(), 5);
+        assert_eq!(decoded.body_heights(), vec![1, 3]);
+        assert_eq!(decoded.total_bytes(), store.total_bytes());
+        assert_eq!(decoded.block(3).expect("full"), blocks[3]);
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_tampering() {
+        use crate::codec::Decode;
+        let blocks = chain(3);
+        let mut store = ChainStore::new();
+        for b in &blocks {
+            store.append_block(b).expect("append");
+        }
+        let bytes = crate::codec::Encode::to_bytes(&store);
+        // Flip a byte inside the header region: linkage breaks.
+        let mut tampered = bytes.clone();
+        tampered[20] ^= 0xFF;
+        assert!(ChainStore::from_bytes(&tampered).is_err());
+        // Truncations fail cleanly at any cut.
+        for cut in [0, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(ChainStore::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        use crate::codec::Decode;
+        let store = ChainStore::new();
+        let bytes = crate::codec::Encode::to_bytes(&store);
+        let decoded = ChainStore::from_bytes(&bytes).expect("round trip");
+        assert!(decoded.is_empty());
+    }
+}

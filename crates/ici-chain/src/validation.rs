@@ -1,0 +1,362 @@
+//! Full block validation.
+//!
+//! [`validate_block`] is the single source of truth for whether a block
+//! extends a chain correctly: linkage, header/body consistency, signatures,
+//! state execution, and the `state_root` commitment. Both the ICIStrategy
+//! collaborative verifier and the baselines call into it (the collaborative
+//! verifier additionally lets different cluster members run
+//! [`verify_tx_range`] on disjoint slices).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::block::{Block, BlockHeader};
+use crate::state::{StateError, WorldState};
+use crate::transaction::Address;
+
+/// Why a block failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Height is not `parent.height + 1`.
+    WrongHeight {
+        /// Height expected.
+        expected: u64,
+        /// Height carried by the block.
+        actual: u64,
+    },
+    /// `parent` field does not match the parent header's id.
+    WrongParent,
+    /// Timestamp not strictly after the parent's.
+    NonMonotonicTimestamp,
+    /// A transaction failed state validation.
+    BadTransaction {
+        /// Index of the offending transaction.
+        index: usize,
+        /// The underlying state error.
+        error: StateError,
+    },
+    /// Declared `state_root` does not match the executed post-state.
+    StateRootMismatch,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::WrongHeight { expected, actual } => {
+                write!(f, "expected height {expected}, got {actual}")
+            }
+            ValidationError::WrongParent => f.write_str("parent id mismatch"),
+            ValidationError::NonMonotonicTimestamp => {
+                f.write_str("timestamp not after parent's")
+            }
+            ValidationError::BadTransaction { index, error } => {
+                write!(f, "transaction {index} invalid: {error}")
+            }
+            ValidationError::StateRootMismatch => {
+                f.write_str("state root does not match execution")
+            }
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+/// Validates `block` as the child of `parent`, executing it on a copy of
+/// `pre_state`. Returns the post-state on success.
+///
+/// Assumes `block` is internally consistent (guaranteed by construction via
+/// [`Block::new`] / [`Block::from_parts`] / decoding).
+///
+/// # Errors
+///
+/// The first [`ValidationError`] encountered, checked in the order: linkage,
+/// timestamp, per-transaction execution, state root.
+pub fn validate_block(
+    block: &Block,
+    parent: &BlockHeader,
+    pre_state: &WorldState,
+) -> Result<WorldState, ValidationError> {
+    let header = block.header();
+    if header.height != parent.height + 1 {
+        return Err(ValidationError::WrongHeight {
+            expected: parent.height + 1,
+            actual: header.height,
+        });
+    }
+    if header.parent != parent.id() {
+        return Err(ValidationError::WrongParent);
+    }
+    if header.timestamp_ms <= parent.timestamp_ms {
+        return Err(ValidationError::NonMonotonicTimestamp);
+    }
+
+    let mut state = pre_state.clone();
+    state
+        .apply_block(block)
+        .map_err(|(index, error)| ValidationError::BadTransaction { index, error })?;
+
+    if state.root() != header.state_root {
+        return Err(ValidationError::StateRootMismatch);
+    }
+    Ok(state)
+}
+
+/// Verifies a contiguous transaction range `[start, end)` of `block`
+/// *stamp-only*: signature and well-formedness checks that need no state.
+///
+/// This is the unit of work the ICIStrategy collaborative verifier hands to
+/// each cluster member: node `i` of `c` members checks roughly `1/c` of the
+/// block's signatures; state execution (which is inherently sequential) is
+/// done once by the leader and cross-checked through `state_root`.
+///
+/// Returns the index of the first transaction with an invalid signature, or
+/// `Ok(checked)` with the number checked.
+///
+/// # Errors
+///
+/// The index of the first failing transaction.
+pub fn verify_tx_range(block: &Block, start: usize, end: usize) -> Result<usize, usize> {
+    let txs = block.transactions();
+    let end = end.min(txs.len());
+    let start = start.min(end);
+    for (offset, tx) in txs[start..end].iter().enumerate() {
+        if !tx.verify_signature() {
+            return Err(start + offset);
+        }
+    }
+    Ok(end - start)
+}
+
+/// Splits `tx_count` transactions into `parts` contiguous ranges of
+/// near-equal size, for distributing verification work across a cluster.
+/// Returns `(start, end)` pairs; some may be empty if `parts > tx_count`.
+pub fn split_ranges(tx_count: usize, parts: usize) -> Vec<(usize, usize)> {
+    if parts == 0 {
+        return Vec::new();
+    }
+    let base = tx_count / parts;
+    let extra = tx_count % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+/// Validates a header-only chain: linkage and monotonic timestamps, no
+/// execution. What a bootstrapping node runs over a downloaded header chain
+/// before fetching any bodies.
+///
+/// # Errors
+///
+/// The height at which linkage first breaks.
+pub fn validate_header_chain(headers: &[BlockHeader]) -> Result<(), u64> {
+    for pair in headers.windows(2) {
+        let (parent, child) = (&pair[0], &pair[1]);
+        if child.height != parent.height + 1
+            || child.parent != parent.id()
+            || child.timestamp_ms <= parent.timestamp_ms
+        {
+            return Err(child.height);
+        }
+    }
+    Ok(())
+}
+
+/// Computes the fee total of a block (what the proposer earns).
+pub fn block_fees(block: &Block) -> u64 {
+    block.transactions().iter().map(|tx| tx.fee()).sum()
+}
+
+/// The address credited with a block's fees.
+pub fn fee_collector(header: &BlockHeader) -> Address {
+    Address::from_seed(header.proposer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BlockBuilder;
+    use crate::genesis::GenesisConfig;
+    use crate::transaction::Transaction;
+    use ici_crypto::sig::Keypair;
+
+    fn setup() -> (Block, WorldState) {
+        let cfg = GenesisConfig::uniform(8, 10_000);
+        (cfg.genesis_block(), cfg.initial_state())
+    }
+
+    fn transfer(seed: u64, nonce: u64, amount: u64) -> Transaction {
+        Transaction::signed(
+            &Keypair::from_seed(seed),
+            Address::from_seed(seed + 1),
+            amount,
+            1,
+            nonce,
+            Vec::new(),
+        )
+    }
+
+    fn child_of(genesis: &Block, state: &WorldState, n_txs: u64) -> Block {
+        let mut b = BlockBuilder::new(genesis.header(), state.clone(), 2, 1_000);
+        for i in 0..n_txs {
+            b.push(transfer(i, 0, 10)).expect("valid");
+        }
+        b.seal()
+    }
+
+    #[test]
+    fn valid_block_passes_and_returns_post_state() {
+        let (genesis, state) = setup();
+        let block = child_of(&genesis, &state, 3);
+        let post = validate_block(&block, genesis.header(), &state).expect("valid block");
+        assert_eq!(post.root(), block.header().state_root);
+        assert_eq!(post.nonce(&Address::from_seed(0)), 1);
+    }
+
+    #[test]
+    fn wrong_height_rejected() {
+        let (genesis, state) = setup();
+        let block = child_of(&genesis, &state, 1);
+        let (mut header, body) = block.into_parts();
+        header.height = 5;
+        let forged = Block::new(header, body);
+        assert!(matches!(
+            validate_block(&forged, genesis.header(), &state),
+            Err(ValidationError::WrongHeight { expected: 1, actual: 5 })
+        ));
+    }
+
+    #[test]
+    fn wrong_parent_rejected() {
+        let (genesis, state) = setup();
+        let block = child_of(&genesis, &state, 1);
+        let (mut header, body) = block.into_parts();
+        header.parent = ici_crypto::sha256::Digest::ZERO;
+        let forged = Block::new(header, body);
+        assert_eq!(
+            validate_block(&forged, genesis.header(), &state),
+            Err(ValidationError::WrongParent)
+        );
+    }
+
+    #[test]
+    fn stale_timestamp_rejected() {
+        let (genesis, state) = setup();
+        let block = {
+            let b = BlockBuilder::new(genesis.header(), state.clone(), 2, 0);
+            b.seal() // timestamp 0 == genesis timestamp
+        };
+        assert_eq!(
+            validate_block(&block, genesis.header(), &state),
+            Err(ValidationError::NonMonotonicTimestamp)
+        );
+    }
+
+    #[test]
+    fn bad_state_root_rejected() {
+        let (genesis, state) = setup();
+        let block = child_of(&genesis, &state, 1);
+        let (mut header, body) = block.into_parts();
+        header.state_root = ici_crypto::sha256::Digest::ZERO;
+        let forged = Block::new(header, body);
+        assert_eq!(
+            validate_block(&forged, genesis.header(), &state),
+            Err(ValidationError::StateRootMismatch)
+        );
+    }
+
+    #[test]
+    fn invalid_transaction_rejected_with_index() {
+        let (genesis, state) = setup();
+        // Build a block with a transaction the pre-state cannot afford by
+        // sealing against a richer scratch state.
+        let rich = WorldState::with_balances([(Address::from_seed(0), 1_000_000)]);
+        let mut b = BlockBuilder::new(genesis.header(), rich, 2, 1_000);
+        b.push(transfer(0, 0, 500_000)).expect("valid against rich state");
+        let block = b.seal();
+        assert!(matches!(
+            validate_block(&block, genesis.header(), &state),
+            Err(ValidationError::BadTransaction { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn tx_range_verification_covers_block_in_parts() {
+        let (genesis, state) = setup();
+        let block = child_of(&genesis, &state, 7);
+        let ranges = split_ranges(block.transactions().len(), 3);
+        let mut total = 0;
+        for (start, end) in ranges {
+            total += verify_tx_range(&block, start, end).expect("all signatures valid");
+        }
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn tx_range_reports_first_bad_signature() {
+        let (genesis, state) = setup();
+        let block = child_of(&genesis, &state, 3);
+        let (header, mut body) = block.into_parts();
+        // Corrupt the signature of tx 1 by re-signing a different payload.
+        body[1] = {
+            let mut bytes = crate::codec::Encode::to_bytes(&body[1]);
+            let last = bytes.len() - 1;
+            bytes[last] ^= 1; // inside the signature field
+            <Transaction as crate::codec::Decode>::from_bytes(&bytes).expect("decodes")
+        };
+        let tampered = Block::new(header, body);
+        assert_eq!(verify_tx_range(&tampered, 0, 3), Err(1));
+        // A range that excludes the bad index passes.
+        assert_eq!(verify_tx_range(&tampered, 2, 3), Ok(1));
+    }
+
+    #[test]
+    fn split_ranges_partitions_exactly() {
+        for (count, parts) in [(10, 3), (3, 10), (0, 4), (16, 4), (7, 1)] {
+            let ranges = split_ranges(count, parts);
+            assert_eq!(ranges.len(), parts);
+            let mut covered = 0;
+            let mut cursor = 0;
+            for (s, e) in ranges {
+                assert_eq!(s, cursor);
+                assert!(e >= s);
+                covered += e - s;
+                cursor = e;
+            }
+            assert_eq!(covered, count, "count={count} parts={parts}");
+        }
+        assert!(split_ranges(5, 0).is_empty());
+    }
+
+    #[test]
+    fn header_chain_validation() {
+        let (genesis, state) = setup();
+        let b1 = child_of(&genesis, &state, 2);
+        let post = validate_block(&b1, genesis.header(), &state).expect("valid");
+        let b2 = {
+            let builder = BlockBuilder::new(b1.header(), post, 3, 2_000);
+            builder.seal()
+        };
+        let headers = vec![*genesis.header(), *b1.header(), *b2.header()];
+        assert_eq!(validate_header_chain(&headers), Ok(()));
+
+        let broken = vec![*genesis.header(), *b2.header()];
+        assert_eq!(validate_header_chain(&broken), Err(2));
+    }
+
+    #[test]
+    fn fees_accrue_to_proposer() {
+        let (genesis, state) = setup();
+        let block = child_of(&genesis, &state, 4);
+        assert_eq!(block_fees(&block), 4);
+        assert_eq!(fee_collector(block.header()), Address::from_seed(2));
+        let post = validate_block(&block, genesis.header(), &state).expect("valid");
+        assert_eq!(post.balance(&Address::from_seed(2)), 10_000 - 10 - 1 + 4 + 10);
+        // seed 2 started with 10_000, sent 10+1 as a sender (tx i=2), earned
+        // 4 in fees, and received 10 from tx i=1 (seed 1 -> seed 2).
+    }
+}

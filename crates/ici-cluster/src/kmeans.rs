@@ -1,0 +1,373 @@
+//! Latency-aware clustering: k-means and balanced k-means.
+//!
+//! The paper divides participants into clusters "via clustering"; the
+//! natural objective in a WAN is low intra-cluster latency, so nodes are
+//! clustered over their latency-space coordinates. Two algorithms:
+//!
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding. Clusters track
+//!   network geography but sizes float.
+//! * [`balanced_kmeans`] — the same centroids, but assignment fills
+//!   clusters to a hard capacity `⌈n/k⌉` nearest-first. ICIStrategy wants
+//!   near-equal cluster sizes (per-node storage is `≈ chain / |cluster|`,
+//!   so a tiny cluster would overload its members).
+//!
+//! Plus [`random_partition`], the baseline for experiment E8.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ici_net::node::NodeId;
+use ici_net::topology::{Coord, Topology};
+
+use crate::partition::{ClusterId, Partition};
+
+/// Configuration for the k-means algorithms.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold: stop when no centroid moves further than this
+    /// (ms).
+    pub tolerance: f64,
+    /// Seed for k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// A config with `k` clusters and sensible defaults (50 iterations,
+    /// 0.01 ms tolerance).
+    pub fn with_k(k: usize, seed: u64) -> KMeansConfig {
+        KMeansConfig {
+            k,
+            max_iters: 50,
+            tolerance: 0.01,
+            seed,
+        }
+    }
+}
+
+fn kmeans_pp_init(coords: &[Coord], k: usize, rng: &mut StdRng) -> Vec<Coord> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(coords[rng.gen_range(0..coords.len())]);
+    let mut dist2: Vec<f64> = coords
+        .iter()
+        .map(|c| {
+            let d = c.distance(&centroids[0]);
+            d * d
+        })
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dist2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All points coincide with existing centroids; pick uniformly.
+            coords[rng.gen_range(0..coords.len())]
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = coords.len() - 1;
+            for (i, d) in dist2.iter().enumerate() {
+                if target < *d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            coords[chosen]
+        };
+        centroids.push(next);
+        for (i, c) in coords.iter().enumerate() {
+            let d = c.distance(&next);
+            dist2[i] = dist2[i].min(d * d);
+        }
+    }
+    centroids
+}
+
+fn nearest(centroids: &[Coord], point: &Coord) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = point.distance(c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+fn recompute_centroids(
+    coords: &[Coord],
+    assignment: &[usize],
+    k: usize,
+    old: &[Coord],
+) -> Vec<Coord> {
+    let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
+    for (i, &c) in assignment.iter().enumerate() {
+        sums[c].0 += coords[i].x;
+        sums[c].1 += coords[i].y;
+        sums[c].2 += 1;
+    }
+    sums.iter()
+        .enumerate()
+        .map(|(i, (x, y, n))| {
+            if *n == 0 {
+                old[i] // keep an empty cluster's centroid in place
+            } else {
+                Coord::new(x / *n as f64, y / *n as f64)
+            }
+        })
+        .collect()
+}
+
+/// Runs Lloyd's k-means over the topology's coordinates.
+///
+/// # Panics
+///
+/// Panics if `config.k == 0` or the topology is empty.
+pub fn kmeans(topology: &Topology, config: &KMeansConfig) -> Partition {
+    assert!(config.k > 0, "k must be positive");
+    assert!(!topology.is_empty(), "topology must be non-empty");
+    let coords = topology.coords();
+    let k = config.k.min(coords.len());
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x6B6D_6561_6E73);
+    let mut centroids = kmeans_pp_init(coords, k, &mut rng);
+    let mut assignment = vec![0usize; coords.len()];
+
+    for _ in 0..config.max_iters {
+        for (i, c) in coords.iter().enumerate() {
+            assignment[i] = nearest(&centroids, c);
+        }
+        let next = recompute_centroids(coords, &assignment, k, &centroids);
+        let moved = centroids
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| a.distance(b))
+            .fold(0.0f64, f64::max);
+        centroids = next;
+        if moved <= config.tolerance {
+            break;
+        }
+    }
+    for (i, c) in coords.iter().enumerate() {
+        assignment[i] = nearest(&centroids, c);
+    }
+    Partition::from_assignment(
+        assignment
+            .into_iter()
+            .map(|c| ClusterId::new(c as u32))
+            .collect(),
+    )
+}
+
+/// Balanced k-means: k-means centroids, then capacity-constrained
+/// assignment. Every cluster ends with `⌊n/k⌋` or `⌈n/k⌉` members.
+///
+/// Assignment sorts all `(node, centroid)` pairs by distance and fills
+/// greedily, so each node gets the closest centroid that still has room —
+/// `O(nk log nk)`, fast enough for the paper-scale 4,000-node sweeps.
+///
+/// # Panics
+///
+/// Panics if `config.k == 0` or the topology is empty.
+pub fn balanced_kmeans(topology: &Topology, config: &KMeansConfig) -> Partition {
+    let unbalanced = kmeans(topology, config);
+    let coords = topology.coords();
+    let n = coords.len();
+    let k = config.k.min(n);
+
+    // Recover centroids of the unbalanced solution.
+    let mut centroids = vec![Coord::default(); k];
+    let mut counts = vec![0usize; k];
+    for (i, coord) in coords.iter().enumerate() {
+        let c = unbalanced.cluster_of(NodeId::new(i as u64)).index();
+        centroids[c].x += coord.x;
+        centroids[c].y += coord.y;
+        counts[c] += 1;
+    }
+    for (c, count) in counts.iter().enumerate() {
+        if *count > 0 {
+            centroids[c].x /= *count as f64;
+            centroids[c].y /= *count as f64;
+        }
+    }
+
+    let cap_high = n.div_ceil(k);
+    let n_high = if n % k == 0 { k } else { n % k };
+    // `n_high` clusters may take ⌈n/k⌉; the rest are capped at ⌊n/k⌋.
+    let mut capacity: Vec<usize> = (0..k)
+        .map(|i| if i < n_high { cap_high } else { n / k })
+        .collect();
+
+    // Sort every (node, centroid) pair by distance; fill greedily. Distance
+    // ties break on (node, cluster) index for determinism.
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(n * k);
+    for (i, coord) in coords.iter().enumerate() {
+        for (c, centroid) in centroids.iter().enumerate() {
+            pairs.push((coord.distance(centroid), i, c));
+        }
+    }
+    pairs.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    let mut assignment = vec![usize::MAX; n];
+    let mut placed = 0;
+    for (_, node, cluster) in pairs {
+        if placed == n {
+            break;
+        }
+        if assignment[node] == usize::MAX && capacity[cluster] > 0 {
+            assignment[node] = cluster;
+            capacity[cluster] -= 1;
+            placed += 1;
+        }
+    }
+
+    Partition::from_assignment(
+        assignment
+            .into_iter()
+            .map(|c| ClusterId::new(c as u32))
+            .collect(),
+    )
+}
+
+/// Uniform random partition into `k` near-equal clusters (round-robin over
+/// a shuffled node order). The clustering baseline of experiment E8.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn random_partition(n: usize, k: usize, seed: u64) -> Partition {
+    assert!(k > 0, "k must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7261_6E64_7061_7274);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut assignment = vec![ClusterId::new(0); n];
+    for (pos, node) in order.into_iter().enumerate() {
+        assignment[node] = ClusterId::new((pos % k) as u32);
+    }
+    Partition::from_assignment(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ici_net::topology::Placement;
+
+    fn wan(n: usize, seed: u64) -> Topology {
+        Topology::generate(
+            n,
+            &Placement::Regional {
+                regions: 4,
+                side: 120.0,
+                spread: 4.0,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn kmeans_is_deterministic() {
+        let topo = wan(80, 1);
+        let cfg = KMeansConfig::with_k(4, 9);
+        assert_eq!(kmeans(&topo, &cfg), kmeans(&topo, &cfg));
+    }
+
+    #[test]
+    fn kmeans_covers_all_nodes() {
+        let topo = wan(100, 2);
+        let p = kmeans(&topo, &KMeansConfig::with_k(5, 3));
+        assert_eq!(p.node_count(), 100);
+        assert_eq!(p.sizes().iter().sum::<usize>(), 100);
+        assert!(p.cluster_count() <= 5);
+    }
+
+    #[test]
+    fn kmeans_beats_random_on_regional_topologies() {
+        let topo = wan(120, 5);
+        let km = kmeans(&topo, &KMeansConfig::with_k(4, 1));
+        let rnd = random_partition(120, 4, 1);
+        let km_d = km.mean_intra_cluster_distance(&topo);
+        let rnd_d = rnd.mean_intra_cluster_distance(&topo);
+        assert!(
+            km_d < rnd_d * 0.7,
+            "kmeans {km_d:.1}ms not clearly below random {rnd_d:.1}ms"
+        );
+    }
+
+    #[test]
+    fn balanced_kmeans_is_balanced() {
+        let topo = wan(103, 7);
+        let p = balanced_kmeans(&topo, &KMeansConfig::with_k(5, 2));
+        assert_eq!(p.node_count(), 103);
+        assert!(p.imbalance() <= 1, "sizes {:?}", p.sizes());
+    }
+
+    #[test]
+    fn balanced_kmeans_still_latency_aware() {
+        let topo = wan(120, 11);
+        let bal = balanced_kmeans(&topo, &KMeansConfig::with_k(4, 1));
+        let rnd = random_partition(120, 4, 1);
+        assert!(
+            bal.mean_intra_cluster_distance(&topo) < rnd.mean_intra_cluster_distance(&topo),
+            "balanced k-means should still beat random"
+        );
+    }
+
+    #[test]
+    fn exact_division_gives_equal_sizes() {
+        let topo = wan(100, 3);
+        let p = balanced_kmeans(&topo, &KMeansConfig::with_k(4, 0));
+        assert_eq!(p.sizes(), vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn k_larger_than_n_degrades_gracefully() {
+        let topo = wan(3, 1);
+        let p = kmeans(&topo, &KMeansConfig::with_k(10, 0));
+        assert_eq!(p.node_count(), 3);
+        assert!(p.cluster_count() <= 3);
+    }
+
+    #[test]
+    fn k_equals_one_is_single_cluster() {
+        let topo = wan(20, 1);
+        let p = kmeans(&topo, &KMeansConfig::with_k(1, 0));
+        assert_eq!(p.cluster_count(), 1);
+        assert_eq!(p.members(ClusterId::new(0)).len(), 20);
+    }
+
+    #[test]
+    fn random_partition_is_balanced_and_seeded() {
+        let a = random_partition(50, 7, 3);
+        let b = random_partition(50, 7, 3);
+        let c = random_partition(50, 7, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.imbalance() <= 1);
+        assert_eq!(a.cluster_count(), 7);
+    }
+
+    #[test]
+    fn identical_coordinates_do_not_hang() {
+        let topo = Topology::from_coords(vec![Coord::new(1.0, 1.0); 12]);
+        let p = kmeans(&topo, &KMeansConfig::with_k(3, 0));
+        assert_eq!(p.node_count(), 12);
+        let b = balanced_kmeans(&topo, &KMeansConfig::with_k(3, 0));
+        assert!(b.imbalance() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let topo = wan(10, 0);
+        let _ = kmeans(&topo, &KMeansConfig::with_k(0, 0));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests over clustering and membership.
+
+use ici_cluster::kmeans::{balanced_kmeans, kmeans, random_partition, KMeansConfig};
+use ici_cluster::membership::{JoinPolicy, Membership};
+use ici_cluster::partition::ClusterId;
+use ici_net::node::NodeId;
+use ici_net::topology::{Placement, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every clustering algorithm assigns every node to exactly one
+    /// cluster with dense ids.
+    #[test]
+    fn partitions_are_total_and_dense(
+        n in 2usize..120,
+        k in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let topo = Topology::generate(n, &Placement::default(), seed);
+        let cfg = KMeansConfig::with_k(k, seed);
+        for partition in [
+            random_partition(n, k, seed),
+            kmeans(&topo, &cfg),
+            balanced_kmeans(&topo, &cfg),
+        ] {
+            prop_assert_eq!(partition.node_count(), n);
+            prop_assert_eq!(partition.sizes().iter().sum::<usize>(), n);
+            for i in 0..n as u64 {
+                let c = partition.cluster_of(NodeId::new(i));
+                prop_assert!(c.index() < partition.cluster_count());
+                prop_assert!(partition.members(c).contains(&NodeId::new(i)));
+            }
+        }
+    }
+
+    /// Balanced k-means and random partitions are always within one of
+    /// perfectly even.
+    #[test]
+    fn balanced_partitions_are_balanced(
+        n in 2usize..120,
+        k in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let topo = Topology::generate(n, &Placement::default(), seed);
+        let balanced = balanced_kmeans(&topo, &KMeansConfig::with_k(k, seed));
+        prop_assert!(balanced.imbalance() <= 1, "sizes {:?}", balanced.sizes());
+        let random = random_partition(n, k, seed);
+        prop_assert!(random.imbalance() <= 1, "sizes {:?}", random.sizes());
+    }
+
+    /// Membership join/leave bookkeeping is exact.
+    #[test]
+    fn membership_counts_are_exact(
+        n in 4usize..40,
+        k in 1usize..6,
+        ops in proptest::collection::vec((any::<bool>(), any::<prop::sample::Index>()), 0..40),
+        seed in any::<u64>(),
+    ) {
+        let mut membership = Membership::new(random_partition(n, k, seed));
+        let mut expect_active: Vec<bool> = vec![true; n];
+        for (rejoin, pick) in ops {
+            let node = NodeId::new(pick.index(n) as u64);
+            if rejoin {
+                membership.rejoin(node);
+                expect_active[node.index()] = true;
+            } else {
+                membership.leave(node);
+                expect_active[node.index()] = false;
+            }
+        }
+        prop_assert_eq!(
+            membership.total_active(),
+            expect_active.iter().filter(|a| **a).count()
+        );
+        let per_cluster: usize = (0..membership.cluster_count() as u32)
+            .map(|c| membership.active_count(ClusterId::new(c)))
+            .sum();
+        prop_assert_eq!(per_cluster, membership.total_active());
+    }
+
+    /// Joins always land in a valid cluster and activate the node.
+    #[test]
+    fn joins_are_placed_validly(
+        n in 4usize..30,
+        k in 2usize..5,
+        joins in 1usize..6,
+        nearest in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut topo = Topology::generate(n, &Placement::default(), seed);
+        let mut membership = Membership::new(random_partition(n, k, seed));
+        let policy = if nearest { JoinPolicy::NearestCentroid } else { JoinPolicy::SmallestCluster };
+        for j in 0..joins {
+            let coord = ici_net::topology::Coord::new(j as f64 * 7.0, 3.0);
+            let node = topo.push(coord);
+            let cluster = membership.join(node, coord, &topo, policy);
+            prop_assert!(cluster.index() < membership.cluster_count());
+            prop_assert!(membership.is_active(node));
+            prop_assert_eq!(membership.cluster_of(node), cluster);
+        }
+        prop_assert_eq!(membership.total_active(), n + joins);
+    }
+}

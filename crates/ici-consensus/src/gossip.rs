@@ -1,0 +1,246 @@
+//! Epidemic push gossip.
+//!
+//! The full-replication baseline (Bitcoin-style) floods blocks: a node
+//! forwards a payload to `fanout` random peers on first receipt. The run is
+//! event-driven over the simulated network and returns every node's
+//! first-receipt time; bytes/messages land in the network meter.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ici_net::metrics::MessageKind;
+use ici_net::network::Network;
+use ici_net::node::NodeId;
+use ici_net::queue::EventQueue;
+use ici_net::time::SimTime;
+
+/// Gossip parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GossipConfig {
+    /// Peers each node forwards to on first receipt.
+    pub fanout: usize,
+    /// Seed for peer sampling.
+    pub seed: u64,
+}
+
+impl Default for GossipConfig {
+    /// Fanout 8 — enough for whp full coverage at Bitcoin-like scales.
+    fn default() -> GossipConfig {
+        GossipConfig { fanout: 8, seed: 0 }
+    }
+}
+
+/// Floods `bytes` of `kind` from `origin` (holding it at `start`) to the
+/// population `peers` (origin included or not — it is added implicitly).
+///
+/// Returns first-receipt times; nodes that the epidemic missed (possible
+/// with small fanout) are absent. Crashed nodes neither receive nor relay.
+pub fn gossip_flood(
+    net: &mut Network,
+    peers: &[NodeId],
+    origin: NodeId,
+    start: SimTime,
+    kind: MessageKind,
+    bytes: u64,
+    config: &GossipConfig,
+) -> BTreeMap<NodeId, SimTime> {
+    let mut first_receipt: BTreeMap<NodeId, SimTime> = BTreeMap::new();
+    if !net.is_up(origin) || peers.is_empty() {
+        return first_receipt;
+    }
+    let mut queue: EventQueue<NodeId> = EventQueue::new();
+    queue.schedule(start, origin);
+
+    while let Some((now, node)) = queue.pop() {
+        if first_receipt.contains_key(&node) {
+            continue; // duplicate delivery
+        }
+        first_receipt.insert(node, now);
+
+        // Forward to `fanout` peers sampled without replacement,
+        // deterministically from (seed, node).
+        let mut rng = StdRng::seed_from_u64(
+            config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(node.get()),
+        );
+        let mut candidates: Vec<NodeId> =
+            peers.iter().copied().filter(|p| *p != node).collect();
+        let picks = config.fanout.min(candidates.len());
+        for _ in 0..picks {
+            let idx = rng.gen_range(0..candidates.len());
+            let target = candidates.swap_remove(idx);
+            if first_receipt.contains_key(&target) {
+                // Redundant push still costs bandwidth, as in a real flood.
+                let _ = net.send(node, target, kind, bytes);
+                continue;
+            }
+            if let Some(delay) = net.send(node, target, kind, bytes).delay() {
+                queue.schedule(now + delay, target);
+            }
+        }
+    }
+    first_receipt
+}
+
+/// Convenience: coverage fraction of a gossip result over `peers`.
+pub fn coverage(receipts: &BTreeMap<NodeId, SimTime>, peers: &[NodeId]) -> f64 {
+    if peers.is_empty() {
+        return 1.0;
+    }
+    let covered = peers.iter().filter(|p| receipts.contains_key(p)).count();
+    covered as f64 / peers.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ici_net::link::LinkModel;
+    use ici_net::topology::{Placement, Topology};
+
+    fn network(n: usize) -> Network {
+        let topo = Topology::generate(n, &Placement::Uniform { side: 30.0 }, 5);
+        Network::new(
+            topo,
+            LinkModel {
+                max_jitter_ms: 0.0,
+                ..LinkModel::default()
+            },
+        )
+    }
+
+    fn peers(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn flood_reaches_everyone_with_reasonable_fanout() {
+        let mut net = network(100);
+        let receipts = gossip_flood(
+            &mut net,
+            &peers(100),
+            NodeId::new(0),
+            SimTime::ZERO,
+            MessageKind::BlockFull,
+            50_000,
+            &GossipConfig::default(),
+        );
+        assert_eq!(coverage(&receipts, &peers(100)), 1.0);
+        assert_eq!(receipts[&NodeId::new(0)], SimTime::ZERO);
+    }
+
+    #[test]
+    fn receipt_times_increase_with_hops() {
+        let mut net = network(60);
+        let receipts = gossip_flood(
+            &mut net,
+            &peers(60),
+            NodeId::new(0),
+            SimTime::from_millis(10),
+            MessageKind::BlockFull,
+            10_000,
+            &GossipConfig::default(),
+        );
+        for (node, t) in &receipts {
+            if *node != NodeId::new(0) {
+                assert!(*t > SimTime::from_millis(10), "{node} at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut net = network(50);
+            gossip_flood(
+                &mut net,
+                &peers(50),
+                NodeId::new(3),
+                SimTime::ZERO,
+                MessageKind::BlockFull,
+                1_000,
+                &GossipConfig { fanout: 6, seed },
+            )
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn messages_scale_with_fanout_not_n_squared() {
+        let mut net = network(100);
+        let cfg = GossipConfig { fanout: 8, seed: 1 };
+        let _ = gossip_flood(
+            &mut net,
+            &peers(100),
+            NodeId::new(0),
+            SimTime::ZERO,
+            MessageKind::BlockFull,
+            1_000,
+            &cfg,
+        );
+        let msgs = net.meter().total().messages;
+        assert!(msgs <= 100 * 8, "flood used {msgs} messages");
+        assert!(msgs >= 99, "flood too sparse: {msgs}");
+    }
+
+    #[test]
+    fn crashed_nodes_do_not_relay_or_receive() {
+        let mut net = network(40);
+        for i in 10..20 {
+            net.crash(NodeId::new(i));
+        }
+        let receipts = gossip_flood(
+            &mut net,
+            &peers(40),
+            NodeId::new(0),
+            SimTime::ZERO,
+            MessageKind::BlockFull,
+            1_000,
+            &GossipConfig::default(),
+        );
+        for i in 10..20 {
+            assert!(!receipts.contains_key(&NodeId::new(i)));
+        }
+        // Live nodes still covered (fanout 8 over 30 live nodes).
+        let live: Vec<NodeId> = (0..10).chain(20..40).map(NodeId::new).collect();
+        assert!(coverage(&receipts, &live) > 0.9);
+    }
+
+    #[test]
+    fn dead_origin_spreads_nothing() {
+        let mut net = network(10);
+        net.crash(NodeId::new(0));
+        let receipts = gossip_flood(
+            &mut net,
+            &peers(10),
+            NodeId::new(0),
+            SimTime::ZERO,
+            MessageKind::BlockFull,
+            1_000,
+            &GossipConfig::default(),
+        );
+        assert!(receipts.is_empty());
+    }
+
+    #[test]
+    fn subset_gossip_stays_in_subset() {
+        let mut net = network(30);
+        let committee: Vec<NodeId> = (0..10).map(NodeId::new).collect();
+        let receipts = gossip_flood(
+            &mut net,
+            &committee,
+            NodeId::new(2),
+            SimTime::ZERO,
+            MessageKind::BlockShard,
+            500,
+            &GossipConfig::default(),
+        );
+        for node in receipts.keys() {
+            assert!(committee.contains(node));
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! PBFT-style intra-cluster commit, message-metered.
+//!
+//! ICIStrategy commits blocks inside a cluster with a three-phase BFT
+//! exchange (pre-prepare → prepare → commit) over the simulated network.
+//! Every transmission goes through [`Network::send`], so the run leaves the
+//! communication experiments an exact byte/message trace; latencies come
+//! out of the link model and the per-member validation cost.
+//!
+//! The model is faithful for the honest-crash setting the paper evaluates:
+//! crashed members neither validate nor vote, quorums are computed over the
+//! configured membership, and a member commits at the arrival of its
+//! `2f+1`-th commit vote.
+
+use std::collections::BTreeMap;
+
+use ici_net::metrics::MessageKind;
+use ici_net::network::Network;
+use ici_net::node::NodeId;
+use ici_net::time::{Duration, SimTime};
+
+use crate::quorum::quorum;
+
+/// Size of a prepare/commit vote on the wire: block digest (32) + height
+/// (8) + voter id (8) + signature (64) ≈ 112 bytes.
+pub const VOTE_BYTES: u64 = 112;
+
+/// Outcome of one intra-cluster commit round.
+#[derive(Clone, Debug, Default)]
+pub struct CommitReport {
+    /// When each live member committed the block. Members missing from the
+    /// map never reached a commit quorum.
+    pub commit_times: BTreeMap<NodeId, SimTime>,
+    /// Quorum size used.
+    pub quorum: usize,
+}
+
+impl CommitReport {
+    /// Whether at least a quorum of members committed.
+    pub fn is_committed(&self) -> bool {
+        self.quorum > 0 && self.commit_times.len() >= self.quorum
+    }
+
+    /// Earliest member commit time.
+    pub fn first_commit(&self) -> Option<SimTime> {
+        self.commit_times.values().min().copied()
+    }
+
+    /// Time at which the `quorum`-th member committed — the cluster-level
+    /// commit instant.
+    pub fn quorum_commit(&self) -> Option<SimTime> {
+        if !self.is_committed() {
+            return None;
+        }
+        let mut times: Vec<SimTime> = self.commit_times.values().copied().collect();
+        times.sort_unstable();
+        Some(times[self.quorum - 1])
+    }
+
+    /// Latest member commit time.
+    pub fn last_commit(&self) -> Option<SimTime> {
+        self.commit_times.values().max().copied()
+    }
+}
+
+/// Per-member inputs to a commit round.
+///
+/// ICIStrategy and the baselines differ only in what the leader ships to
+/// each member (full block vs body vs header) and how long validation takes
+/// (solo vs collaborative share); both are injected as closures.
+pub struct PbftInputs<'a, P, V>
+where
+    P: Fn(NodeId) -> (MessageKind, u64),
+    V: Fn(NodeId) -> Duration,
+{
+    /// Cluster membership (quorums are computed over its length).
+    pub members: &'a [NodeId],
+    /// The proposing member.
+    pub leader: NodeId,
+    /// Proposal time.
+    pub start: SimTime,
+    /// What the leader sends each member: message class and byte count.
+    pub payload: P,
+    /// How long each member takes to validate before voting prepare.
+    pub validation: V,
+}
+
+/// Runs one pre-prepare → prepare → commit exchange.
+///
+/// Returns per-member commit times; traffic lands in `net`'s meter. If the
+/// leader is crashed, nobody commits.
+pub fn run_pbft_commit<P, V>(net: &mut Network, inputs: PbftInputs<'_, P, V>) -> CommitReport
+where
+    P: Fn(NodeId) -> (MessageKind, u64),
+    V: Fn(NodeId) -> Duration,
+{
+    let members = inputs.members;
+    let c = members.len();
+    let q = quorum(c);
+    let mut report = CommitReport {
+        commit_times: BTreeMap::new(),
+        quorum: q,
+    };
+    if c == 0 || !net.is_up(inputs.leader) {
+        return report;
+    }
+
+    // Phase 1 — pre-prepare: leader ships the payload.
+    let mut ready: BTreeMap<NodeId, SimTime> = BTreeMap::new();
+    for &m in members {
+        let arrival = if m == inputs.leader {
+            Some(inputs.start)
+        } else {
+            let (kind, bytes) = (inputs.payload)(m);
+            net.send(inputs.leader, m, kind, bytes)
+                .delay()
+                .map(|d| inputs.start + d)
+        };
+        if let Some(at) = arrival {
+            ready.insert(m, at + (inputs.validation)(m));
+        }
+    }
+
+    // Phase 2 — prepare: each ready member broadcasts a vote; a member is
+    // *prepared* at its q-th prepare arrival (own vote counts at send time).
+    let prepared = vote_round(net, members, &ready, q);
+
+    // Phase 3 — commit: same pattern over commit votes.
+    let committed = vote_round(net, members, &prepared, q);
+
+    report.commit_times = committed;
+    report
+}
+
+/// Runs `rounds` successive all-to-all vote exchanges starting from
+/// `ready` (per-member readiness times), with quorum `q` per round.
+/// Returns the final per-member quorum times. Used directly by consensus
+/// variants that handle dissemination themselves (e.g. IDA-gossip).
+pub fn run_vote_rounds(
+    net: &mut Network,
+    members: &[NodeId],
+    ready: &BTreeMap<NodeId, SimTime>,
+    q: usize,
+    rounds: usize,
+) -> BTreeMap<NodeId, SimTime> {
+    let mut times = ready.clone();
+    for _ in 0..rounds {
+        times = vote_round(net, members, &times, q);
+    }
+    times
+}
+
+/// Each member in `send_times` broadcasts a vote at its send time; returns,
+/// for every member that collects `q` votes (its own included), the arrival
+/// time of the `q`-th.
+fn vote_round(
+    net: &mut Network,
+    members: &[NodeId],
+    send_times: &BTreeMap<NodeId, SimTime>,
+    q: usize,
+) -> BTreeMap<NodeId, SimTime> {
+    let mut arrivals: BTreeMap<NodeId, Vec<SimTime>> = BTreeMap::new();
+    for &voter in members {
+        let Some(&at) = send_times.get(&voter) else {
+            continue;
+        };
+        for &dest in members {
+            if dest == voter {
+                arrivals.entry(dest).or_default().push(at);
+                continue;
+            }
+            if let Some(delay) = net.send(voter, dest, MessageKind::Vote, VOTE_BYTES).delay() {
+                arrivals.entry(dest).or_default().push(at + delay);
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    for (dest, mut times) in arrivals {
+        if !net.is_up(dest) || times.len() < q {
+            continue;
+        }
+        times.sort_unstable();
+        out.insert(dest, times[q - 1]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ici_net::link::LinkModel;
+    use ici_net::topology::{Placement, Topology};
+
+    fn network(n: usize) -> Network {
+        let topo = Topology::generate(n, &Placement::Uniform { side: 20.0 }, 3);
+        Network::new(
+            topo,
+            LinkModel {
+                max_jitter_ms: 0.0,
+                ..LinkModel::default()
+            },
+        )
+    }
+
+    fn members(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    fn run(net: &mut Network, m: &[NodeId], leader: NodeId) -> CommitReport {
+        run_pbft_commit(
+            net,
+            PbftInputs {
+                members: m,
+                leader,
+                start: SimTime::ZERO,
+                payload: |_| (MessageKind::BlockFull, 100_000),
+                validation: |_| Duration::from_millis(2),
+            },
+        )
+    }
+
+    #[test]
+    fn all_honest_members_commit() {
+        let mut net = network(7);
+        let m = members(7);
+        let report = run(&mut net, &m, NodeId::new(0));
+        assert!(report.is_committed());
+        assert_eq!(report.commit_times.len(), 7);
+        assert_eq!(report.quorum, 5);
+        assert!(report.first_commit().expect("committed") > SimTime::ZERO);
+        assert!(report.quorum_commit() <= report.last_commit());
+    }
+
+    #[test]
+    fn traffic_is_metered_per_phase() {
+        let mut net = network(4);
+        let m = members(4);
+        let _ = run(&mut net, &m, NodeId::new(0));
+        // Pre-prepare: 3 block sends. Prepare + commit: 4·3 votes each.
+        let meter = net.meter();
+        assert_eq!(meter.kind(MessageKind::BlockFull).messages, 3);
+        assert_eq!(meter.kind(MessageKind::Vote).messages, 24);
+        assert_eq!(meter.kind(MessageKind::Vote).bytes, 24 * VOTE_BYTES);
+    }
+
+    #[test]
+    fn crashed_leader_commits_nothing() {
+        let mut net = network(4);
+        net.crash(NodeId::new(0));
+        let report = run(&mut net, &members(4), NodeId::new(0));
+        assert!(!report.is_committed());
+        assert!(report.commit_times.is_empty());
+        assert_eq!(net.meter().total().messages, 0);
+    }
+
+    #[test]
+    fn commit_survives_f_crashes() {
+        // c=7 tolerates f=2 crashed members.
+        let mut net = network(7);
+        net.crash(NodeId::new(5));
+        net.crash(NodeId::new(6));
+        let report = run(&mut net, &members(7), NodeId::new(0));
+        assert!(report.is_committed());
+        assert_eq!(report.commit_times.len(), 5);
+        assert!(!report.commit_times.contains_key(&NodeId::new(5)));
+    }
+
+    #[test]
+    fn too_many_crashes_block_commit() {
+        // c=7, f=2: crashing 3 members leaves only 4 < 2f+1 = 5 voters.
+        let mut net = network(7);
+        for i in 4..7 {
+            net.crash(NodeId::new(i));
+        }
+        let report = run(&mut net, &members(7), NodeId::new(0));
+        assert!(!report.is_committed());
+    }
+
+    #[test]
+    fn validation_time_delays_commit() {
+        let m = members(4);
+        let fast = {
+            let mut net = network(4);
+            run_pbft_commit(
+                &mut net,
+                PbftInputs {
+                    members: &m,
+                    leader: NodeId::new(0),
+                    start: SimTime::ZERO,
+                    payload: |_| (MessageKind::BlockFull, 1_000),
+                    validation: |_| Duration::ZERO,
+                },
+            )
+        };
+        let slow = {
+            let mut net = network(4);
+            run_pbft_commit(
+                &mut net,
+                PbftInputs {
+                    members: &m,
+                    leader: NodeId::new(0),
+                    start: SimTime::ZERO,
+                    payload: |_| (MessageKind::BlockFull, 1_000),
+                    validation: |_| Duration::from_millis(50),
+                },
+            )
+        };
+        let f = fast.quorum_commit().expect("fast commits");
+        let s = slow.quorum_commit().expect("slow commits");
+        assert!(s.saturating_since(f) >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn start_time_offsets_everything() {
+        let m = members(4);
+        let base = {
+            let mut net = network(4);
+            run(&mut net, &m, NodeId::new(0))
+        };
+        let offset = {
+            let mut net = network(4);
+            run_pbft_commit(
+                &mut net,
+                PbftInputs {
+                    members: &m,
+                    leader: NodeId::new(0),
+                    start: SimTime::from_millis(1_000),
+                    payload: |_| (MessageKind::BlockFull, 100_000),
+                    validation: |_| Duration::from_millis(2),
+                },
+            )
+        };
+        let b = base.quorum_commit().expect("commits");
+        let o = offset.quorum_commit().expect("commits");
+        assert_eq!(
+            o.saturating_since(b),
+            Duration::from_millis(1_000),
+            "jitter-free run should shift exactly"
+        );
+    }
+
+    #[test]
+    fn single_member_cluster_commits_instantly_after_validation() {
+        let mut net = network(1);
+        let m = members(1);
+        let report = run(&mut net, &m, NodeId::new(0));
+        assert!(report.is_committed());
+        assert_eq!(
+            report.commit_times[&NodeId::new(0)],
+            SimTime::ZERO + Duration::from_millis(2)
+        );
+    }
+}

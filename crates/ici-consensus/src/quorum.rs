@@ -1,0 +1,79 @@
+//! BFT quorum arithmetic.
+//!
+//! Intra-cluster commits tolerate `f = ⌊(c − 1) / 3⌋` Byzantine members out
+//! of `c`, with quorums of `2f + 1`. These helpers keep the arithmetic in
+//! one place (and make the edge cases — tiny clusters — explicit).
+
+/// Maximum number of Byzantine members tolerated in a group of `members`.
+pub fn max_faulty(members: usize) -> usize {
+    members.saturating_sub(1) / 3
+}
+
+/// Quorum size for a group of `members`: `⌈(n + f + 1) / 2⌉`.
+///
+/// For `n = 3f + 1` this is the familiar `2f + 1`; for other group sizes
+/// it is the smallest quorum whose pairwise intersections still contain at
+/// least one honest member (`2q − n > f`), which the naive `2f + 1` does
+/// not guarantee (e.g. `n = 5, f = 1`).
+pub fn quorum(members: usize) -> usize {
+    if members == 0 {
+        return 0;
+    }
+    let f = max_faulty(members);
+    ((members + f + 1).div_ceil(2)).min(members)
+}
+
+/// Whether `votes` suffice to commit in a group of `members`.
+pub fn has_quorum(votes: usize, members: usize) -> bool {
+    members > 0 && votes >= quorum(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_values() {
+        assert_eq!(max_faulty(4), 1);
+        assert_eq!(quorum(4), 3);
+        assert_eq!(max_faulty(7), 2);
+        assert_eq!(quorum(7), 5);
+        assert_eq!(max_faulty(100), 33);
+        assert_eq!(quorum(100), 67);
+    }
+
+    #[test]
+    fn tiny_groups() {
+        assert_eq!(max_faulty(0), 0);
+        assert_eq!(quorum(0), 0);
+        assert_eq!(quorum(1), 1);
+        assert_eq!(quorum(2), 2);
+        assert_eq!(quorum(3), 2);
+        assert_eq!(quorum(5), 4);
+    }
+
+    #[test]
+    fn quorum_never_exceeds_membership() {
+        for c in 0..200 {
+            assert!(quorum(c) <= c.max(0), "c={c}");
+        }
+    }
+
+    #[test]
+    fn two_quorums_always_intersect_in_an_honest_node() {
+        // 2 * quorum - members > f  ⇒  intersection beyond the faulty set.
+        for c in 4..200 {
+            let q = quorum(c);
+            let f = max_faulty(c);
+            assert!(2 * q > c + f, "c={c} q={q} f={f}");
+        }
+    }
+
+    #[test]
+    fn has_quorum_boundary() {
+        assert!(!has_quorum(66, 100));
+        assert!(has_quorum(67, 100));
+        assert!(!has_quorum(0, 0));
+        assert!(has_quorum(1, 1));
+    }
+}

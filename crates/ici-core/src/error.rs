@@ -1,0 +1,100 @@
+//! Error types of the core protocol.
+
+use std::error::Error;
+use std::fmt;
+
+use ici_chain::block::Height;
+use ici_chain::validation::ValidationError;
+use ici_net::node::NodeId;
+
+/// Errors surfaced by the ICIStrategy network.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IciError {
+    /// Configuration failed validation.
+    Config(String),
+    /// Proposed block failed validation at the proposer cluster.
+    InvalidBlock(ValidationError),
+    /// No live leader could be elected in the proposer cluster.
+    NoLeader,
+    /// The proposer cluster could not assemble a commit quorum.
+    NoQuorum {
+        /// Cluster that failed to commit.
+        cluster: u32,
+        /// Live members available.
+        live: usize,
+        /// Quorum required.
+        needed: usize,
+    },
+    /// A queried block does not exist.
+    UnknownHeight(Height),
+    /// The queried body is not retrievable from any live node.
+    BodyUnavailable(Height),
+    /// The node id is not part of the network.
+    UnknownNode(NodeId),
+    /// Operation requires a live node but it is crashed.
+    NodeDown(NodeId),
+}
+
+impl fmt::Display for IciError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IciError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            IciError::InvalidBlock(e) => write!(f, "invalid block: {e}"),
+            IciError::NoLeader => f.write_str("no live leader available"),
+            IciError::NoQuorum {
+                cluster,
+                live,
+                needed,
+            } => write!(
+                f,
+                "cluster c{cluster} cannot reach quorum: {live} live, {needed} needed"
+            ),
+            IciError::UnknownHeight(h) => write!(f, "no block at height {h}"),
+            IciError::BodyUnavailable(h) => {
+                write!(f, "body at height {h} unavailable from any live node")
+            }
+            IciError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            IciError::NodeDown(n) => write!(f, "node {n} is crashed"),
+        }
+    }
+}
+
+impl Error for IciError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IciError::InvalidBlock(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidationError> for IciError {
+    fn from(e: ValidationError) -> IciError {
+        IciError::InvalidBlock(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(IciError::Config("bad".into()).to_string().contains("bad"));
+        assert!(IciError::UnknownHeight(9).to_string().contains('9'));
+        assert!(IciError::NoQuorum {
+            cluster: 2,
+            live: 3,
+            needed: 5
+        }
+        .to_string()
+        .contains("c2"));
+    }
+
+    #[test]
+    fn validation_error_converts_with_source() {
+        let err: IciError = ValidationError::WrongParent.into();
+        assert!(matches!(err, IciError::InvalidBlock(_)));
+        assert!(Error::source(&err).is_some());
+    }
+}

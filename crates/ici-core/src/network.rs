@@ -1,0 +1,329 @@
+//! The ICIStrategy network: construction and state accessors.
+//!
+//! [`IciNetwork`] owns everything a run needs: the simulated WAN, the
+//! cluster partition, the authoritative chain and state, and per-node
+//! storage holdings. The protocol itself lives in the sibling modules
+//! ([`crate::lifecycle`], [`crate::query`], [`crate::bootstrap`],
+//! [`crate::failure`]), all as `impl IciNetwork` blocks.
+
+use std::collections::BTreeSet;
+
+use ici_chain::block::{Block, BlockHeader, Height};
+use ici_chain::state::WorldState;
+use ici_cluster::kmeans::{balanced_kmeans, kmeans, random_partition, KMeansConfig};
+use ici_cluster::membership::Membership;
+use ici_cluster::partition::ClusterId;
+use ici_crypto::sha256::Digest;
+use ici_net::network::Network;
+use ici_net::node::NodeId;
+use ici_net::time::SimTime;
+use ici_net::topology::Topology;
+use ici_storage::assignment::{
+    AssignmentStrategy, RendezvousAssignment, RingAssignment, RoundRobinAssignment,
+};
+use ici_storage::audit::{audit_cluster, Holdings, IntegrityReport};
+use ici_storage::stats::StorageStats;
+
+use crate::config::{Assignment, Clustering, IciConfig};
+use crate::error::IciError;
+use crate::holdings::NodeHoldings;
+use crate::lifecycle::BlockCommitRecord;
+
+/// A complete simulated ICIStrategy deployment.
+pub struct IciNetwork {
+    pub(crate) config: IciConfig,
+    pub(crate) net: Network,
+    pub(crate) membership: Membership,
+    /// The committed chain, genesis first. Authoritative copy; per-node
+    /// replicas are tracked in `holdings`.
+    pub(crate) chain: Vec<Block>,
+    /// Post-state of the tip.
+    pub(crate) state: WorldState,
+    /// Per-node storage accounting, indexed by node id.
+    pub(crate) holdings: Vec<NodeHoldings>,
+    /// Simulation clock; advances as blocks commit.
+    pub(crate) clock: SimTime,
+    /// One record per committed block (after genesis).
+    pub(crate) commit_log: Vec<BlockCommitRecord>,
+}
+
+impl IciNetwork {
+    /// Builds the network: places nodes, forms clusters, installs genesis.
+    ///
+    /// # Errors
+    ///
+    /// [`IciError::Config`] if the configuration is inconsistent.
+    pub fn new(config: IciConfig) -> Result<IciNetwork, IciError> {
+        config.validate().map_err(IciError::Config)?;
+        let topology = Topology::generate(config.nodes, &config.placement, config.seed);
+        let k = config.cluster_count();
+        let partition = match config.clustering {
+            Clustering::BalancedKMeans => {
+                balanced_kmeans(&topology, &KMeansConfig::with_k(k, config.seed))
+            }
+            Clustering::KMeans => kmeans(&topology, &KMeansConfig::with_k(k, config.seed)),
+            Clustering::Random => random_partition(config.nodes, k, config.seed),
+        };
+        let membership = Membership::new(partition);
+        let net = Network::new(topology, config.link);
+
+        let genesis = config.genesis.genesis_block();
+        let state = config.genesis.initial_state();
+        let mut holdings = vec![NodeHoldings::new(); config.nodes];
+
+        // Genesis is known to everyone: header everywhere, body (empty) on
+        // the assigned owners of each cluster.
+        let genesis_id = genesis.id();
+        let genesis_body = genesis.header().body_len as u64;
+        for h in &mut holdings {
+            h.add_header();
+        }
+        let mut network = IciNetwork {
+            config,
+            net,
+            membership,
+            chain: vec![genesis],
+            state,
+            holdings,
+            clock: SimTime::ZERO,
+            commit_log: Vec::new(),
+        };
+        for cluster in network.clusters() {
+            for owner in network.owners_in_cluster(cluster, &genesis_id, 0) {
+                network.holdings[owner.index()].add_body(0, genesis_body);
+            }
+        }
+        Ok(network)
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &IciConfig {
+        &self.config
+    }
+
+    /// The underlying simulated network (topology, meter, liveness).
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable access to the simulated network (failure injection).
+    pub fn net_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Cluster membership view.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Chain length including genesis.
+    pub fn chain_len(&self) -> Height {
+        self.chain.len() as Height
+    }
+
+    /// The committed block at `height`.
+    pub fn block(&self, height: Height) -> Option<&Block> {
+        self.chain.get(height as usize)
+    }
+
+    /// The tip header.
+    pub fn tip(&self) -> &BlockHeader {
+        self.chain.last().expect("chain holds at least genesis").header()
+    }
+
+    /// The post-state of the tip.
+    pub fn state(&self) -> &WorldState {
+        &self.state
+    }
+
+    /// Per-block commit records (excludes genesis).
+    pub fn commit_log(&self) -> &[BlockCommitRecord] {
+        &self.commit_log
+    }
+
+    /// Storage holdings of `node`.
+    pub fn holdings(&self, node: NodeId) -> Option<&NodeHoldings> {
+        self.holdings.get(node.index())
+    }
+
+    /// Iterator over all cluster ids.
+    pub fn clusters(&self) -> Vec<ClusterId> {
+        (0..self.membership.cluster_count() as u32)
+            .map(ClusterId::new)
+            .collect()
+    }
+
+    /// Active members of `cluster` that are also network-live.
+    pub fn live_members(&self, cluster: ClusterId) -> Vec<NodeId> {
+        self.membership
+            .active_members(cluster)
+            .into_iter()
+            .filter(|n| self.net.is_up(*n))
+            .collect()
+    }
+
+    /// The configured assignment's owners of block `(id, height)` within
+    /// `cluster`, computed over the cluster's *active* members (the set
+    /// assignment decisions are made against; network-crashed nodes are
+    /// still owners until membership reconfiguration removes them).
+    pub fn owners_in_cluster(
+        &self,
+        cluster: ClusterId,
+        id: &Digest,
+        height: Height,
+    ) -> Vec<NodeId> {
+        let members = self.membership.active_members(cluster);
+        self.dispatch_owners(id, height, &members)
+    }
+
+    pub(crate) fn dispatch_owners(
+        &self,
+        id: &Digest,
+        height: Height,
+        members: &[NodeId],
+    ) -> Vec<NodeId> {
+        self.dispatch_owners_with_r(id, height, members, self.config.replication)
+    }
+
+    /// Like [`IciNetwork::dispatch_owners`] but with an explicit owner
+    /// count — the recovery planner asks for the full preference ranking.
+    pub(crate) fn dispatch_owners_with_r(
+        &self,
+        id: &Digest,
+        height: Height,
+        members: &[NodeId],
+        r: usize,
+    ) -> Vec<NodeId> {
+        match self.config.assignment {
+            Assignment::Rendezvous => RendezvousAssignment.owners(id, height, members, r),
+            Assignment::Ring => RingAssignment::default().owners(id, height, members, r),
+            Assignment::RoundRobin => RoundRobinAssignment.owners(id, height, members, r),
+        }
+    }
+
+    /// Per-node total storage bytes, indexed by node id.
+    pub fn storage_bytes(&self) -> Vec<u64> {
+        self.holdings.iter().map(NodeHoldings::total_bytes).collect()
+    }
+
+    /// Summary statistics over per-node storage.
+    pub fn storage_stats(&self) -> StorageStats {
+        StorageStats::from_bytes(self.storage_bytes())
+    }
+
+    /// Bytes a single full replica of the chain occupies (headers+bodies),
+    /// the denominator of the storage-ratio tables.
+    pub fn full_replica_bytes(&self) -> u64 {
+        self.chain
+            .iter()
+            .map(|b| (BlockHeader::ENCODED_LEN + b.header().body_len as usize) as u64)
+            .sum()
+    }
+
+    /// Audits intra-cluster integrity of `cluster` against the committed
+    /// chain, counting only network-live members.
+    pub fn audit(&self, cluster: ClusterId) -> IntegrityReport {
+        let mut snapshot = Holdings::new();
+        let mut live = BTreeSet::new();
+        for member in self.membership.active_members(cluster) {
+            snapshot.insert(
+                member,
+                self.holdings[member.index()].body_heights().clone(),
+            );
+            if self.net.is_up(member) {
+                live.insert(member);
+            }
+        }
+        audit_cluster(&snapshot, &live, self.chain_len())
+    }
+
+    /// Audits every cluster; returns per-cluster reports.
+    pub fn audit_all(&self) -> Vec<IntegrityReport> {
+        self.clusters().into_iter().map(|c| self.audit(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IciConfig;
+
+    fn small() -> IciNetwork {
+        let config = IciConfig::builder()
+            .nodes(32)
+            .cluster_size(8)
+            .replication(2)
+            .seed(1)
+            .build()
+            .expect("valid");
+        IciNetwork::new(config).expect("constructs")
+    }
+
+    #[test]
+    fn construction_installs_genesis_everywhere() {
+        let net = small();
+        assert_eq!(net.chain_len(), 1);
+        assert_eq!(net.tip().height, 0);
+        for node in 0..32u64 {
+            let h = net.holdings(NodeId::new(node)).expect("known node");
+            assert_eq!(h.header_count(), 1);
+        }
+    }
+
+    #[test]
+    fn clusters_cover_all_nodes() {
+        let net = small();
+        let total: usize = net
+            .clusters()
+            .into_iter()
+            .map(|c| net.membership().active_members(c).len())
+            .sum();
+        assert_eq!(total, 32);
+        assert_eq!(net.clusters().len(), 4);
+    }
+
+    #[test]
+    fn genesis_audit_is_intact_in_every_cluster() {
+        let net = small();
+        for report in net.audit_all() {
+            assert!(report.is_intact());
+        }
+    }
+
+    #[test]
+    fn owners_are_cluster_members() {
+        let net = small();
+        for cluster in net.clusters() {
+            let owners = net.owners_in_cluster(cluster, &net.chain[0].id(), 0);
+            assert_eq!(owners.len(), 2);
+            for o in owners {
+                assert_eq!(net.membership().cluster_of(o), cluster);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut config = IciConfig::default();
+        config.replication = 0;
+        assert!(matches!(
+            IciNetwork::new(config),
+            Err(IciError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn storage_stats_reflect_headers_only_plus_genesis() {
+        let net = small();
+        let stats = net.storage_stats();
+        assert_eq!(stats.nodes, 32);
+        // Genesis body is empty, so every node stores exactly one header.
+        assert_eq!(stats.min, BlockHeader::ENCODED_LEN as u64);
+        assert_eq!(stats.max, BlockHeader::ENCODED_LEN as u64);
+    }
+}

@@ -1,0 +1,233 @@
+//! Light (SPV-style) transaction queries with Merkle proofs.
+//!
+//! Because every ICIStrategy node keeps the full header chain, any node can
+//! verify any single transaction without ever fetching a body: it asks an
+//! owner for the transaction plus a Merkle inclusion proof and checks the
+//! proof against the `tx_root` in its local header. This is the light half
+//! of the query protocol — the response is `O(tx + log n)` bytes instead of
+//! a whole body, and the serving peer is untrusted.
+
+use ici_chain::block::Height;
+use ici_chain::codec::Encode;
+use ici_chain::transaction::{Transaction, TxId};
+use ici_crypto::merkle::MerkleProof;
+use ici_net::metrics::MessageKind;
+use ici_net::node::NodeId;
+use ici_net::time::Duration;
+
+use crate::error::IciError;
+use crate::network::IciNetwork;
+use crate::query::QUERY_BYTES;
+
+/// Result of a light transaction query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxProofReport {
+    /// Height of the block containing the transaction.
+    pub height: Height,
+    /// Index of the transaction within the block.
+    pub index: u64,
+    /// The transaction itself.
+    pub transaction: Transaction,
+    /// The Merkle inclusion proof, already verified by the requester
+    /// against its local header chain.
+    pub proof: MerkleProof,
+    /// The serving node.
+    pub server: NodeId,
+    /// Request→verification latency.
+    pub latency: Duration,
+    /// Response bytes (transaction + proof).
+    pub bytes: u64,
+}
+
+impl IciNetwork {
+    /// Locates `tx_id` in the committed chain (the simulator's global
+    /// index; real nodes keep the same map for their own transactions).
+    pub fn locate_transaction(&self, tx_id: &TxId) -> Option<(Height, u64)> {
+        for block in &self.chain {
+            for (i, tx) in block.transactions().iter().enumerate() {
+                if tx.id() == *tx_id {
+                    return Some((block.height(), i as u64));
+                }
+            }
+        }
+        None
+    }
+
+    /// Fetches `tx_id` with a Merkle proof on behalf of `requester` and
+    /// verifies the proof against the requester's header chain.
+    ///
+    /// # Errors
+    ///
+    /// * [`IciError::UnknownNode`] / [`IciError::NodeDown`] — bad requester;
+    /// * [`IciError::UnknownHeight`] — the transaction is not on chain
+    ///   (reported against height `u64::MAX`);
+    /// * [`IciError::BodyUnavailable`] — no live owner can serve it.
+    pub fn query_transaction(
+        &mut self,
+        requester: NodeId,
+        tx_id: &TxId,
+    ) -> Result<TxProofReport, IciError> {
+        if requester.index() >= self.holdings.len() {
+            return Err(IciError::UnknownNode(requester));
+        }
+        if !self.net.is_up(requester) {
+            return Err(IciError::NodeDown(requester));
+        }
+        let (height, index) = self
+            .locate_transaction(tx_id)
+            .ok_or(IciError::UnknownHeight(u64::MAX))?;
+        let block = &self.chain[height as usize];
+        let block_id = block.id();
+        let tx_root = block.header().tx_root;
+
+        // Find a live holder: intra-cluster owners first, then anywhere.
+        let my_cluster = self.membership.cluster_of(requester);
+        let mut candidates: Vec<NodeId> = Vec::new();
+        let local = self.membership.active_members(my_cluster);
+        candidates.extend(self.dispatch_owners(&block_id, height, &local));
+        for cluster in self.clusters() {
+            if cluster == my_cluster {
+                continue;
+            }
+            let members = self.membership.active_members(cluster);
+            candidates.extend(self.dispatch_owners(&block_id, height, &members));
+        }
+        let server = candidates
+            .into_iter()
+            .find(|n| self.net.is_up(*n) && self.holdings[n.index()].has_body(height))
+            .ok_or(IciError::BodyUnavailable(height))?;
+
+        // The server builds the proof from its stored body.
+        let tree = block.tx_tree();
+        let proof = tree.prove(index as usize).expect("index in range");
+        let transaction = block.transactions()[index as usize].clone();
+        let response_bytes = transaction.encoded_len() as u64 + proof.encoded_len() as u64;
+
+        let there = self
+            .net
+            .send(requester, server, MessageKind::Query, QUERY_BYTES)
+            .delay()
+            .ok_or(IciError::NodeDown(server))?;
+        let back = self
+            .net
+            .send(server, requester, MessageKind::Response, response_bytes)
+            .delay()
+            .ok_or(IciError::NodeDown(server))?;
+
+        // Requester-side verification against its own header.
+        let verified = proof.verify(&transaction.to_bytes(), tx_root);
+        debug_assert!(verified, "server produced an invalid proof");
+        if !verified {
+            return Err(IciError::BodyUnavailable(height));
+        }
+        let latency =
+            there + back + self.config.cost.hash(response_bytes) ;
+
+        Ok(TxProofReport {
+            height,
+            index,
+            transaction,
+            proof,
+            server,
+            latency,
+            bytes: response_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IciConfig;
+    use ici_chain::genesis::GenesisConfig;
+    use ici_chain::transaction::Address;
+    use ici_crypto::sig::Keypair;
+
+    fn network_with_txs() -> (IciNetwork, Vec<TxId>) {
+        let config = IciConfig::builder()
+            .nodes(24)
+            .cluster_size(8)
+            .replication(2)
+            .genesis(GenesisConfig::uniform(32, 1_000_000))
+            .seed(19)
+            .build()
+            .expect("valid");
+        let mut net = IciNetwork::new(config).expect("constructs");
+        let mut ids = Vec::new();
+        for round in 0..3 {
+            let txs: Vec<Transaction> = (0..5)
+                .map(|i| {
+                    Transaction::signed(
+                        &Keypair::from_seed(i),
+                        Address::from_seed(i + 1),
+                        2,
+                        1,
+                        round,
+                        vec![round as u8; 50],
+                    )
+                })
+                .collect();
+            ids.extend(txs.iter().map(Transaction::id));
+            net.propose_block(txs).expect("commits");
+        }
+        (net, ids)
+    }
+
+    #[test]
+    fn light_query_returns_verified_proof() {
+        let (mut net, ids) = network_with_txs();
+        let report = net
+            .query_transaction(NodeId::new(0), &ids[7])
+            .expect("served");
+        assert_eq!(report.transaction.id(), ids[7]);
+        // The proof verifies against the header the requester holds.
+        let header = *net.block(report.height).expect("exists").header();
+        assert!(report
+            .proof
+            .verify(&ici_chain::codec::Encode::to_bytes(&report.transaction), header.tx_root));
+        assert!(report.latency > Duration::ZERO);
+    }
+
+    #[test]
+    fn proof_response_is_much_smaller_than_body() {
+        let (mut net, ids) = network_with_txs();
+        let report = net
+            .query_transaction(NodeId::new(1), &ids[0])
+            .expect("served");
+        let body_bytes = net.block(report.height).expect("exists").body_len() as u64;
+        assert!(
+            report.bytes < body_bytes,
+            "proof {} vs body {}",
+            report.bytes,
+            body_bytes
+        );
+    }
+
+    #[test]
+    fn unknown_transaction_is_an_error() {
+        let (mut net, _) = network_with_txs();
+        let bogus = ici_crypto::Sha256::digest(b"never committed");
+        assert!(matches!(
+            net.query_transaction(NodeId::new(0), &bogus),
+            Err(IciError::UnknownHeight(_))
+        ));
+    }
+
+    #[test]
+    fn locate_finds_height_and_index() {
+        let (net, ids) = network_with_txs();
+        let (height, index) = net.locate_transaction(&ids[6]).expect("on chain");
+        assert_eq!(height, 2); // second committed block
+        assert_eq!(index, 1);
+    }
+
+    #[test]
+    fn dead_requester_rejected() {
+        let (mut net, ids) = network_with_txs();
+        net.crash_node(NodeId::new(3)).expect("known");
+        assert_eq!(
+            net.query_transaction(NodeId::new(3), &ids[0]),
+            Err(IciError::NodeDown(NodeId::new(3)))
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! HMAC-SHA256 (RFC 2104), validated against the RFC 4231 test vectors.
+//!
+//! Used by the simulated signature scheme in [`crate::sig`] and by keyed
+//! derivations elsewhere in the workspace.
+//!
+//! # Examples
+//!
+//! ```
+//! use ici_crypto::hmac::hmac_sha256;
+//!
+//! let tag = hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+//! assert_eq!(
+//!     tag.to_hex(),
+//!     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8"
+//! );
+//! ```
+
+use crate::sha256::{Digest, Sha256};
+
+const BLOCK_LEN: usize = 64;
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// Keys longer than the 64-byte SHA-256 block are hashed first, per RFC 2104.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
+    HmacSha256::new(key).update(message).finalize()
+}
+
+/// Streaming HMAC-SHA256.
+///
+/// The message can be fed incrementally, which lets callers authenticate
+/// large simulated block bodies without concatenating buffers.
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// Key XORed with `OPAD`, retained for the outer hash.
+    outer_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates a new MAC instance keyed with `key`.
+    pub fn new(key: &[u8]) -> HmacSha256 {
+        let mut padded = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            padded[..Digest::LEN].copy_from_slice(Sha256::digest(key).as_bytes());
+        } else {
+            padded[..key.len()].copy_from_slice(key);
+        }
+
+        let mut inner_key = [0u8; BLOCK_LEN];
+        let mut outer_key = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            inner_key[i] = padded[i] ^ IPAD;
+            outer_key[i] = padded[i] ^ OPAD;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&inner_key);
+        HmacSha256 { inner, outer_key }
+    }
+
+    /// Appends message bytes.
+    pub fn update(&mut self, message: &[u8]) -> &mut HmacSha256 {
+        self.inner.update(message);
+        self
+    }
+
+    /// Completes the MAC computation.
+    pub fn finalize(&self) -> Digest {
+        let inner_digest = self.inner.clone().finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+
+    /// Verifies `tag` against the accumulated message in constant time
+    /// over the digest bytes.
+    pub fn verify(&self, tag: &Digest) -> bool {
+        let computed = self.finalize();
+        let mut diff = 0u8;
+        for (a, b) in computed.as_bytes().iter().zip(tag.as_bytes()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 4231 test cases 1–4, 6, 7 (case 5 truncates the output, which
+    /// this API intentionally does not support).
+    #[test]
+    fn rfc4231_vectors() {
+        struct Case {
+            key: Vec<u8>,
+            data: Vec<u8>,
+            expected: &'static str,
+        }
+        let cases = [
+            Case {
+                key: vec![0x0b; 20],
+                data: b"Hi There".to_vec(),
+                expected: "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+            },
+            Case {
+                key: b"Jefe".to_vec(),
+                data: b"what do ya want for nothing?".to_vec(),
+                expected: "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+            },
+            Case {
+                key: vec![0xaa; 20],
+                data: vec![0xdd; 50],
+                expected: "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
+            },
+            Case {
+                key: (1..=25).collect(),
+                data: vec![0xcd; 50],
+                expected: "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b",
+            },
+            Case {
+                key: vec![0xaa; 131],
+                data: b"Test Using Larger Than Block-Size Key - Hash Key First".to_vec(),
+                expected: "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+            },
+            Case {
+                key: vec![0xaa; 131],
+                data: b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.".to_vec(),
+                expected: "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2",
+            },
+        ];
+        for (i, case) in cases.iter().enumerate() {
+            assert_eq!(
+                hmac_sha256(&case.key, &case.data).to_hex(),
+                case.expected,
+                "RFC 4231 case {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let key = b"a moderately long simulation key";
+        let msg: Vec<u8> = (0..300u16).map(|i| (i % 256) as u8).collect();
+        let oneshot = hmac_sha256(key, &msg);
+        for split in [0, 1, 63, 64, 65, 150, msg.len()] {
+            let mut mac = HmacSha256::new(key);
+            mac.update(&msg[..split]);
+            mac.update(&msg[split..]);
+            assert_eq!(mac.finalize(), oneshot, "split {split}");
+        }
+    }
+
+    #[test]
+    fn verify_accepts_correct_and_rejects_wrong() {
+        let mut mac = HmacSha256::new(b"k");
+        mac.update(b"payload");
+        let tag = mac.finalize();
+        assert!(mac.verify(&tag));
+
+        let mut wrong = tag.into_bytes();
+        wrong[0] ^= 1;
+        assert!(!mac.verify(&Digest::from_bytes(wrong)));
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+
+    #[test]
+    fn exactly_block_size_key_is_used_verbatim() {
+        // A 64-byte key must not be hashed; spot-check by comparing to a
+        // manually padded computation.
+        let key = [0x42u8; 64];
+        let msg = b"block-size key";
+        let tag = hmac_sha256(&key, msg);
+
+        let mut inner = Sha256::new();
+        let ik: Vec<u8> = key.iter().map(|b| b ^ IPAD).collect();
+        inner.update(&ik).update(msg);
+        let inner_digest = inner.finalize();
+        let mut outer = Sha256::new();
+        let ok: Vec<u8> = key.iter().map(|b| b ^ OPAD).collect();
+        outer.update(&ok).update(inner_digest.as_bytes());
+        assert_eq!(tag, outer.finalize());
+    }
+}

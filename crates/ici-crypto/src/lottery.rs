@@ -1,0 +1,174 @@
+//! Deterministic hash lotteries.
+//!
+//! Two primitives the protocols share:
+//!
+//! * [`lottery_score`] — a verifiable pseudo-random score binding an epoch
+//!   seed, a round, and a participant identity. Used for intra-cluster
+//!   leader election (lowest score wins) in place of a VRF; every honest
+//!   node computes the same winner without communication.
+//! * [`rendezvous_rank`] — highest-random-weight (HRW) hashing, used by the
+//!   storage layer to map a block to the `r` responsible nodes of a cluster
+//!   with minimal reshuffling when membership changes.
+
+use crate::sha256::{Digest, Sha256};
+
+/// Computes the lottery score of `participant` for `(seed, round)`.
+///
+/// Scores are uniform in `u64`; the convention across the workspace is that
+/// the *lowest* score wins. Ties are broken by the caller using the
+/// participant identity.
+pub fn lottery_score(seed: &Digest, round: u64, participant: u64) -> u64 {
+    let mut h = Sha256::new();
+    h.update(b"ici-lottery-v1:");
+    h.update(seed.as_bytes());
+    h.update(&round.to_be_bytes());
+    h.update(&participant.to_be_bytes());
+    h.finalize().prefix_u64()
+}
+
+/// Returns the participant with the minimal lottery score, breaking ties by
+/// the smaller identity. Returns `None` for an empty candidate set.
+pub fn lottery_winner<I>(seed: &Digest, round: u64, candidates: I) -> Option<u64>
+where
+    I: IntoIterator<Item = u64>,
+{
+    candidates
+        .into_iter()
+        .map(|id| (lottery_score(seed, round, id), id))
+        .min()
+        .map(|(_, id)| id)
+}
+
+/// Computes the HRW (rendezvous) weight of `node` for `key`.
+///
+/// To pick the `r` owners of a key among a node set, take the `r` nodes with
+/// the *highest* weights (see [`rendezvous_top`]). When a node joins or
+/// leaves, only the keys whose top-`r` set intersected it move — the property
+/// that keeps re-replication traffic small after churn.
+pub fn rendezvous_rank(key: &Digest, node: u64) -> u64 {
+    let mut h = Sha256::new();
+    h.update(b"ici-hrw-v1:");
+    h.update(key.as_bytes());
+    h.update(&node.to_be_bytes());
+    h.finalize().prefix_u64()
+}
+
+/// Returns the `r` nodes with the highest rendezvous weight for `key`,
+/// ordered best-first. If fewer than `r` candidates exist, all are returned.
+pub fn rendezvous_top<I>(key: &Digest, candidates: I, r: usize) -> Vec<u64>
+where
+    I: IntoIterator<Item = u64>,
+{
+    let mut scored: Vec<(u64, u64)> = candidates
+        .into_iter()
+        .map(|id| (rendezvous_rank(key, id), id))
+        .collect();
+    // Highest weight first; ties broken by smaller id for determinism.
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    scored.truncate(r);
+    scored.into_iter().map(|(_, id)| id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed(tag: u8) -> Digest {
+        Sha256::digest(&[tag])
+    }
+
+    #[test]
+    fn scores_are_deterministic() {
+        assert_eq!(
+            lottery_score(&seed(1), 5, 42),
+            lottery_score(&seed(1), 5, 42)
+        );
+    }
+
+    #[test]
+    fn scores_vary_with_every_input() {
+        let base = lottery_score(&seed(1), 5, 42);
+        assert_ne!(base, lottery_score(&seed(2), 5, 42));
+        assert_ne!(base, lottery_score(&seed(1), 6, 42));
+        assert_ne!(base, lottery_score(&seed(1), 5, 43));
+    }
+
+    #[test]
+    fn winner_is_min_score() {
+        let s = seed(9);
+        let ids = [3u64, 11, 17, 29];
+        let expect = ids
+            .iter()
+            .copied()
+            .min_by_key(|id| (lottery_score(&s, 0, *id), *id))
+            .expect("non-empty");
+        assert_eq!(lottery_winner(&s, 0, ids), Some(expect));
+    }
+
+    #[test]
+    fn winner_of_empty_set_is_none() {
+        assert_eq!(lottery_winner(&seed(0), 0, std::iter::empty()), None);
+    }
+
+    #[test]
+    fn leadership_rotates_over_rounds() {
+        // With 8 candidates and 64 rounds, a single fixed winner would mean
+        // the lottery is broken.
+        let s = seed(4);
+        let ids: Vec<u64> = (0..8).collect();
+        let winners: std::collections::HashSet<u64> = (0..64)
+            .map(|round| lottery_winner(&s, round, ids.iter().copied()).expect("non-empty"))
+            .collect();
+        assert!(winners.len() > 3, "only {} distinct leaders", winners.len());
+    }
+
+    #[test]
+    fn rendezvous_top_is_stable_subset_under_membership_growth() {
+        let key = seed(7);
+        let small: Vec<u64> = (0..10).collect();
+        let large: Vec<u64> = (0..11).collect();
+        let before = rendezvous_top(&key, small.iter().copied(), 3);
+        let after = rendezvous_top(&key, large.iter().copied(), 3);
+        // Adding one node changes at most one owner.
+        let moved = before.iter().filter(|id| !after.contains(id)).count();
+        assert!(moved <= 1, "adding a node moved {moved} owners");
+    }
+
+    #[test]
+    fn rendezvous_top_returns_distinct_nodes_in_weight_order() {
+        let key = seed(3);
+        let top = rendezvous_top(&key, 0..20u64, 5);
+        assert_eq!(top.len(), 5);
+        let unique: std::collections::HashSet<&u64> = top.iter().collect();
+        assert_eq!(unique.len(), 5);
+        for pair in top.windows(2) {
+            assert!(rendezvous_rank(&key, pair[0]) >= rendezvous_rank(&key, pair[1]));
+        }
+    }
+
+    #[test]
+    fn rendezvous_top_handles_small_candidate_sets() {
+        let key = seed(5);
+        assert_eq!(rendezvous_top(&key, 0..2u64, 5).len(), 2);
+        assert!(rendezvous_top(&key, std::iter::empty(), 3).is_empty());
+    }
+
+    #[test]
+    fn rendezvous_spreads_keys_roughly_evenly() {
+        // 1000 keys over 10 nodes with r=1: each node should own a
+        // non-degenerate share (loose bound, deterministic inputs).
+        let nodes: Vec<u64> = (0..10).collect();
+        let mut counts = vec![0usize; 10];
+        for k in 0..1000u32 {
+            let key = Sha256::digest(&k.to_be_bytes());
+            let owner = rendezvous_top(&key, nodes.iter().copied(), 1)[0];
+            counts[owner as usize] += 1;
+        }
+        for (node, count) in counts.iter().enumerate() {
+            assert!(
+                (40..=250).contains(count),
+                "node {node} owns {count} of 1000 keys"
+            );
+        }
+    }
+}

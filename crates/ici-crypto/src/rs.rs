@@ -1,0 +1,444 @@
+//! A systematic Reed–Solomon erasure code over GF(2^8).
+//!
+//! The RapidChain baseline disseminates blocks with IDA-gossip: the proposer
+//! splits a block into `k` data shards, computes `m` parity shards, and sends
+//! one shard per neighbour; any `k` of the `k + m` shards reconstruct the
+//! block. This module provides that code.
+//!
+//! The construction is evaluation-based: shard `i` is the evaluation at
+//! `x = i` of the degree-`< k` polynomial (one polynomial per byte position)
+//! that passes through the data shards at `x = 0..k`. Encoding and
+//! reconstruction are Lagrange interpolations, so the code is systematic
+//! (shards `0..k` are the data verbatim) and MDS (any `k` shards suffice).
+//!
+//! # Examples
+//!
+//! ```
+//! use ici_crypto::rs::ReedSolomon;
+//!
+//! let rs = ReedSolomon::new(4, 2)?;
+//! let block = b"a block body to protect against shard loss".to_vec();
+//! let mut shards: Vec<Option<Vec<u8>>> =
+//!     rs.encode_payload(&block).into_iter().map(Some).collect();
+//! shards[1] = None; // lose up to `parity` shards
+//! shards[4] = None;
+//! rs.reconstruct(&mut shards)?;
+//! assert_eq!(rs.join_payload(&shards, block.len())?, block);
+//! # Ok::<(), ici_crypto::rs::RsError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::gf256::{mul_acc, Gf256};
+
+/// Errors produced by Reed–Solomon operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RsError {
+    /// `data_shards` or `parity_shards` was zero, or the total exceeded 256.
+    InvalidShardCounts {
+        /// Requested number of data shards.
+        data: usize,
+        /// Requested number of parity shards.
+        parity: usize,
+    },
+    /// The caller passed the wrong number of shards.
+    WrongShardCount {
+        /// Expected total shard count.
+        expected: usize,
+        /// Provided shard count.
+        actual: usize,
+    },
+    /// Present shards disagree on length, or a shard was empty.
+    InconsistentShardLength,
+    /// Fewer than `data_shards` shards are present; reconstruction is
+    /// impossible.
+    TooFewShards {
+        /// Shards required.
+        needed: usize,
+        /// Shards available.
+        present: usize,
+    },
+    /// The requested payload length does not fit the provided shards.
+    PayloadLength,
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::InvalidShardCounts { data, parity } => write!(
+                f,
+                "invalid shard counts: data={data}, parity={parity} (need both > 0, total <= 256)"
+            ),
+            RsError::WrongShardCount { expected, actual } => {
+                write!(f, "expected {expected} shards, got {actual}")
+            }
+            RsError::InconsistentShardLength => {
+                f.write_str("present shards are empty or differ in length")
+            }
+            RsError::TooFewShards { needed, present } => {
+                write!(f, "need {needed} shards to reconstruct, only {present} present")
+            }
+            RsError::PayloadLength => f.write_str("payload length inconsistent with shards"),
+        }
+    }
+}
+
+impl Error for RsError {}
+
+/// A Reed–Solomon coder with a fixed `(data, parity)` geometry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReedSolomon {
+    data_shards: usize,
+    parity_shards: usize,
+}
+
+impl ReedSolomon {
+    /// Creates a coder with `data` data shards and `parity` parity shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::InvalidShardCounts`] unless `data >= 1`,
+    /// `parity >= 1`, and `data + parity <= 256` (GF(2^8) has 256 distinct
+    /// evaluation points).
+    pub fn new(data: usize, parity: usize) -> Result<ReedSolomon, RsError> {
+        if data == 0 || parity == 0 || data + parity > 256 {
+            return Err(RsError::InvalidShardCounts { data, parity });
+        }
+        Ok(ReedSolomon {
+            data_shards: data,
+            parity_shards: parity,
+        })
+    }
+
+    /// Number of data shards `k`.
+    pub fn data_shards(&self) -> usize {
+        self.data_shards
+    }
+
+    /// Number of parity shards `m`.
+    pub fn parity_shards(&self) -> usize {
+        self.parity_shards
+    }
+
+    /// Total shards `n = k + m`.
+    pub fn total_shards(&self) -> usize {
+        self.data_shards + self.parity_shards
+    }
+
+    /// Lagrange coefficients `c_j` such that the polynomial through points
+    /// `(xs[j], y_j)` evaluates at `target` to `Σ c_j · y_j`.
+    fn lagrange_row(xs: &[u8], target: u8) -> Vec<Gf256> {
+        let t = Gf256(target);
+        xs.iter()
+            .enumerate()
+            .map(|(j, &xj)| {
+                let mut num = Gf256::ONE;
+                let mut den = Gf256::ONE;
+                for (l, &xl) in xs.iter().enumerate() {
+                    if l != j {
+                        num = num.mul(t.sub(Gf256(xl)));
+                        den = den.mul(Gf256(xj).sub(Gf256(xl)));
+                    }
+                }
+                num.div(den)
+            })
+            .collect()
+    }
+
+    /// Computes the parity shards for `data` (one `Vec<u8>` per data shard,
+    /// all the same length).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shard count or lengths are inconsistent.
+    pub fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError> {
+        if data.len() != self.data_shards {
+            return Err(RsError::WrongShardCount {
+                expected: self.data_shards,
+                actual: data.len(),
+            });
+        }
+        let shard_len = data[0].len();
+        if shard_len == 0 || data.iter().any(|s| s.len() != shard_len) {
+            return Err(RsError::InconsistentShardLength);
+        }
+        let xs: Vec<u8> = (0..self.data_shards as u16).map(|x| x as u8).collect();
+        let mut parity = Vec::with_capacity(self.parity_shards);
+        for p in 0..self.parity_shards {
+            let target = (self.data_shards + p) as u8;
+            let row = ReedSolomon::lagrange_row(&xs, target);
+            let mut shard = vec![0u8; shard_len];
+            for (j, coeff) in row.iter().enumerate() {
+                mul_acc(&mut shard, &data[j], *coeff);
+            }
+            parity.push(shard);
+        }
+        Ok(parity)
+    }
+
+    /// Splits `payload` into `k` equal data shards (zero-padded) and appends
+    /// the `m` parity shards, returning all `n` shards.
+    ///
+    /// Use [`ReedSolomon::join_payload`] with the original length to invert.
+    pub fn encode_payload(&self, payload: &[u8]) -> Vec<Vec<u8>> {
+        let shard_len = payload.len().div_ceil(self.data_shards).max(1);
+        let mut shards: Vec<Vec<u8>> = Vec::with_capacity(self.total_shards());
+        for i in 0..self.data_shards {
+            let start = (i * shard_len).min(payload.len());
+            let end = ((i + 1) * shard_len).min(payload.len());
+            let mut shard = payload[start..end].to_vec();
+            shard.resize(shard_len, 0);
+            shards.push(shard);
+        }
+        let parity = self
+            .encode(&shards)
+            .expect("shards built internally are consistent");
+        shards.extend(parity);
+        shards
+    }
+
+    /// Reconstructs all missing shards in place.
+    ///
+    /// `shards` must contain exactly `n` entries; `None` marks an erased
+    /// shard. On success every entry is `Some`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if fewer than `k` shards are present, the count is wrong, or
+    /// present shards disagree on length.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), RsError> {
+        if shards.len() != self.total_shards() {
+            return Err(RsError::WrongShardCount {
+                expected: self.total_shards(),
+                actual: shards.len(),
+            });
+        }
+        let present: Vec<usize> = shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_some().then_some(i))
+            .collect();
+        if present.len() < self.data_shards {
+            return Err(RsError::TooFewShards {
+                needed: self.data_shards,
+                present: present.len(),
+            });
+        }
+        let shard_len = shards[present[0]].as_ref().expect("present").len();
+        if shard_len == 0
+            || present
+                .iter()
+                .any(|&i| shards[i].as_ref().expect("present").len() != shard_len)
+        {
+            return Err(RsError::InconsistentShardLength);
+        }
+
+        // Any k present shards determine the polynomial.
+        let basis: Vec<usize> = present[..self.data_shards].to_vec();
+        let xs: Vec<u8> = basis.iter().map(|&i| i as u8).collect();
+        let missing: Vec<usize> = (0..self.total_shards())
+            .filter(|i| shards[*i].is_none())
+            .collect();
+        for target in missing {
+            let row = ReedSolomon::lagrange_row(&xs, target as u8);
+            let mut out = vec![0u8; shard_len];
+            for (j, &src_idx) in basis.iter().enumerate() {
+                let src = shards[src_idx].as_ref().expect("basis shard present");
+                mul_acc(&mut out, src, row[j]);
+            }
+            shards[target] = Some(out);
+        }
+        Ok(())
+    }
+
+    /// Reassembles the original payload of `payload_len` bytes from fully
+    /// present shards (run [`ReedSolomon::reconstruct`] first if needed).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any data shard is missing or `payload_len` exceeds the data
+    /// capacity.
+    pub fn join_payload(
+        &self,
+        shards: &[Option<Vec<u8>>],
+        payload_len: usize,
+    ) -> Result<Vec<u8>, RsError> {
+        if shards.len() != self.total_shards() {
+            return Err(RsError::WrongShardCount {
+                expected: self.total_shards(),
+                actual: shards.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(payload_len);
+        for shard in shards.iter().take(self.data_shards) {
+            let shard = shard.as_ref().ok_or(RsError::TooFewShards {
+                needed: self.data_shards,
+                present: shards.iter().flatten().count(),
+            })?;
+            out.extend_from_slice(shard);
+        }
+        if payload_len > out.len() {
+            return Err(RsError::PayloadLength);
+        }
+        out.truncate(payload_len);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_payload(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn new_validates_geometry() {
+        assert!(ReedSolomon::new(0, 2).is_err());
+        assert!(ReedSolomon::new(2, 0).is_err());
+        assert!(ReedSolomon::new(200, 57).is_err());
+        assert!(ReedSolomon::new(200, 56).is_ok());
+        assert!(ReedSolomon::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn systematic_data_shards_are_verbatim() {
+        let rs = ReedSolomon::new(4, 2).expect("valid geometry");
+        let payload = sample_payload(40);
+        let shards = rs.encode_payload(&payload);
+        assert_eq!(shards.len(), 6);
+        let rejoined: Vec<u8> = shards[..4].concat();
+        assert_eq!(&rejoined[..40], &payload[..]);
+    }
+
+    #[test]
+    fn survives_any_loss_up_to_parity() {
+        let rs = ReedSolomon::new(5, 3).expect("valid geometry");
+        let payload = sample_payload(101);
+        let encoded = rs.encode_payload(&payload);
+
+        // Erase every possible set of exactly `parity` shards.
+        let n = rs.total_shards();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    let mut shards: Vec<Option<Vec<u8>>> =
+                        encoded.iter().cloned().map(Some).collect();
+                    shards[a] = None;
+                    shards[b] = None;
+                    shards[c] = None;
+                    rs.reconstruct(&mut shards)
+                        .unwrap_or_else(|e| panic!("erasures {a},{b},{c}: {e}"));
+                    assert_eq!(
+                        rs.join_payload(&shards, payload.len()).expect("joined"),
+                        payload,
+                        "erasures {a},{b},{c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_erasures_is_an_error() {
+        let rs = ReedSolomon::new(3, 2).expect("valid geometry");
+        let encoded = rs.encode_payload(&sample_payload(30));
+        let mut shards: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[2] = None;
+        assert_eq!(
+            rs.reconstruct(&mut shards),
+            Err(RsError::TooFewShards {
+                needed: 3,
+                present: 2
+            })
+        );
+    }
+
+    #[test]
+    fn reconstructed_parity_matches_reencoding() {
+        let rs = ReedSolomon::new(4, 2).expect("valid geometry");
+        let payload = sample_payload(64);
+        let encoded = rs.encode_payload(&payload);
+        let mut shards: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
+        shards[4] = None; // a parity shard
+        rs.reconstruct(&mut shards).expect("reconstruct parity");
+        assert_eq!(shards[4].as_ref().expect("present"), &encoded[4]);
+    }
+
+    #[test]
+    fn payload_shorter_than_k_still_works() {
+        let rs = ReedSolomon::new(8, 4).expect("valid geometry");
+        let payload = vec![0xCD, 0x01];
+        let mut shards: Vec<Option<Vec<u8>>> =
+            rs.encode_payload(&payload).into_iter().map(Some).collect();
+        for i in [0, 3, 9, 11] {
+            shards[i] = None;
+        }
+        rs.reconstruct(&mut shards).expect("reconstruct");
+        assert_eq!(rs.join_payload(&shards, 2).expect("joined"), payload);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let rs = ReedSolomon::new(3, 1).expect("valid geometry");
+        let shards = rs.encode_payload(&[]);
+        assert_eq!(shards.len(), 4);
+        let opt: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        assert_eq!(rs.join_payload(&opt, 0).expect("joined"), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn encode_rejects_inconsistent_input() {
+        let rs = ReedSolomon::new(2, 1).expect("valid geometry");
+        assert_eq!(
+            rs.encode(&[vec![1, 2]]),
+            Err(RsError::WrongShardCount {
+                expected: 2,
+                actual: 1
+            })
+        );
+        assert_eq!(
+            rs.encode(&[vec![1, 2], vec![3]]),
+            Err(RsError::InconsistentShardLength)
+        );
+        assert_eq!(
+            rs.encode(&[vec![], vec![]]),
+            Err(RsError::InconsistentShardLength)
+        );
+    }
+
+    #[test]
+    fn join_detects_bad_payload_len() {
+        let rs = ReedSolomon::new(2, 1).expect("valid geometry");
+        let shards: Vec<Option<Vec<u8>>> = rs
+            .encode_payload(&sample_payload(10))
+            .into_iter()
+            .map(Some)
+            .collect();
+        assert_eq!(rs.join_payload(&shards, 1000), Err(RsError::PayloadLength));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = ReedSolomon::new(0, 0).expect_err("invalid");
+        assert!(err.to_string().contains("invalid shard counts"));
+    }
+
+    #[test]
+    fn large_geometry_round_trip() {
+        let rs = ReedSolomon::new(16, 8).expect("valid geometry");
+        let payload = sample_payload(4096);
+        let mut shards: Vec<Option<Vec<u8>>> =
+            rs.encode_payload(&payload).into_iter().map(Some).collect();
+        // Drop 8 mixed data/parity shards.
+        for i in [0, 2, 5, 7, 15, 16, 20, 23] {
+            shards[i] = None;
+        }
+        rs.reconstruct(&mut shards).expect("reconstruct");
+        assert_eq!(rs.join_payload(&shards, 4096).expect("joined"), payload);
+    }
+}

@@ -1,0 +1,444 @@
+//! A from-scratch implementation of the SHA-256 hash function (FIPS 180-4).
+//!
+//! The reproduction must not pull external cryptography crates, so the
+//! compression function, padding, and streaming interface are implemented
+//! here and validated against the official NIST test vectors in the unit
+//! tests below.
+//!
+//! # Examples
+//!
+//! ```
+//! use ici_crypto::sha256::Sha256;
+//!
+//! let digest = Sha256::digest(b"abc");
+//! assert_eq!(
+//!     digest.to_hex(),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+//! );
+//! ```
+
+use std::fmt;
+
+/// Initial hash values: the first 32 bits of the fractional parts of the
+/// square roots of the first eight primes (FIPS 180-4 §5.3.3).
+const H0: [u32; 8] = [
+    0x6a09_e667,
+    0xbb67_ae85,
+    0x3c6e_f372,
+    0xa54f_f53a,
+    0x510e_527f,
+    0x9b05_688c,
+    0x1f83_d9ab,
+    0x5be0_cd19,
+];
+
+/// Round constants: the first 32 bits of the fractional parts of the cube
+/// roots of the first 64 primes (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a_2f98, 0x7137_4491, 0xb5c0_fbcf, 0xe9b5_dba5, 0x3956_c25b, 0x59f1_11f1, 0x923f_82a4,
+    0xab1c_5ed5, 0xd807_aa98, 0x1283_5b01, 0x2431_85be, 0x550c_7dc3, 0x72be_5d74, 0x80de_b1fe,
+    0x9bdc_06a7, 0xc19b_f174, 0xe49b_69c1, 0xefbe_4786, 0x0fc1_9dc6, 0x240c_a1cc, 0x2de9_2c6f,
+    0x4a74_84aa, 0x5cb0_a9dc, 0x76f9_88da, 0x983e_5152, 0xa831_c66d, 0xb003_27c8, 0xbf59_7fc7,
+    0xc6e0_0bf3, 0xd5a7_9147, 0x06ca_6351, 0x1429_2967, 0x27b7_0a85, 0x2e1b_2138, 0x4d2c_6dfc,
+    0x5338_0d13, 0x650a_7354, 0x766a_0abb, 0x81c2_c92e, 0x9272_2c85, 0xa2bf_e8a1, 0xa81a_664b,
+    0xc24b_8b70, 0xc76c_51a3, 0xd192_e819, 0xd699_0624, 0xf40e_3585, 0x106a_a070, 0x19a4_c116,
+    0x1e37_6c08, 0x2748_774c, 0x34b0_bcb5, 0x391c_0cb3, 0x4ed8_aa4a, 0x5b9c_ca4f, 0x682e_6ff3,
+    0x748f_82ee, 0x78a5_636f, 0x84c8_7814, 0x8cc7_0208, 0x90be_fffa, 0xa450_6ceb, 0xbef9_a3f7,
+    0xc671_78f2,
+];
+
+/// A 32-byte SHA-256 digest.
+///
+/// The inner array is exposed through [`Digest::as_bytes`] and
+/// [`Digest::into_bytes`]; equality and ordering are byte-wise, so digests
+/// can key `BTreeMap`s and be compared as 256-bit big-endian integers (used
+/// by the proof-of-work baseline).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// Length of a digest in bytes.
+    pub const LEN: usize = 32;
+
+    /// The all-zero digest, used as the parent hash of a genesis block.
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Returns the digest as a byte slice.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Consumes the digest and returns the inner byte array.
+    pub fn into_bytes(self) -> [u8; 32] {
+        self.0
+    }
+
+    /// Builds a digest from a byte array.
+    pub fn from_bytes(bytes: [u8; 32]) -> Digest {
+        Digest(bytes)
+    }
+
+    /// Parses a digest from a 64-character lowercase/uppercase hex string.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the string is not exactly 64 hex characters.
+    pub fn from_hex(hex: &str) -> Option<Digest> {
+        if hex.len() != 64 || !hex.is_ascii() {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        let bytes = hex.as_bytes();
+        for (i, chunk) in bytes.chunks_exact(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+
+    /// Renders the digest as a 64-character lowercase hex string.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in &self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+            s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+        }
+        s
+    }
+
+    /// Interprets the first eight bytes as a big-endian `u64`.
+    ///
+    /// Handy for deriving deterministic pseudo-random choices (leader
+    /// lotteries, rendezvous hashing) from a digest.
+    pub fn prefix_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("slice is 8 bytes"))
+    }
+
+    /// Counts the number of leading zero bits, as used by the
+    /// proof-of-work-lite difficulty check.
+    pub fn leading_zero_bits(&self) -> u32 {
+        let mut zeros = 0;
+        for b in &self.0 {
+            if *b == 0 {
+                zeros += 8;
+            } else {
+                zeros += b.leading_zeros();
+                break;
+            }
+        }
+        zeros
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}..)", &self.to_hex()[..12])
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(bytes: [u8; 32]) -> Digest {
+        Digest(bytes)
+    }
+}
+
+/// Streaming SHA-256 hasher.
+///
+/// Feed data incrementally with [`Sha256::update`] and finish with
+/// [`Sha256::finalize`], or hash a single buffer with [`Sha256::digest`].
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Bytes buffered until a full 64-byte block is available.
+    buffer: [u8; 64],
+    buffered: usize,
+    /// Total message length in bytes, for the length padding.
+    length: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Sha256 {
+        Sha256::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Sha256 {
+        Sha256 {
+            state: H0,
+            buffer: [0u8; 64],
+            buffered: 0,
+            length: 0,
+        }
+    }
+
+    /// Hashes `data` in one shot.
+    pub fn digest(data: &[u8]) -> Digest {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Hashes the concatenation of two buffers without allocating.
+    pub fn digest_pair(a: &[u8], b: &[u8]) -> Digest {
+        let mut h = Sha256::new();
+        h.update(a);
+        h.update(b);
+        h.finalize()
+    }
+
+    /// Appends `data` to the message being hashed.
+    pub fn update(&mut self, data: &[u8]) -> &mut Sha256 {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        let mut input = data;
+        if self.buffered > 0 {
+            let want = 64 - self.buffered;
+            let take = want.min(input.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
+            self.buffered += take;
+            input = &input[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+            if input.is_empty() {
+                // Nothing left for whole-block processing; the partial
+                // buffer must survive for the next update/finalize.
+                return self;
+            }
+        }
+        let mut chunks = input.chunks_exact(64);
+        for block in &mut chunks {
+            let block: &[u8; 64] = block.try_into().expect("chunk is 64 bytes");
+            self.compress(block);
+        }
+        let rem = chunks.remainder();
+        self.buffer[..rem.len()].copy_from_slice(rem);
+        self.buffered = rem.len();
+        self
+    }
+
+    /// Completes the hash, consuming the hasher.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.length.wrapping_mul(8);
+        // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+        self.update(&[0x80]);
+        // Don't let the padding itself inflate the recorded length.
+        self.length = self.length.wrapping_sub(1);
+        while self.buffered != 56 {
+            self.update(&[0u8]);
+            self.length = self.length.wrapping_sub(1);
+        }
+        self.update(&bit_len.to_be_bytes());
+
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    /// The SHA-256 compression function over one 64-byte block.
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("chunk is 4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// Bitcoin-style double SHA-256: `SHA256(SHA256(data))`.
+///
+/// Block and transaction identifiers in `ici-chain` use this, matching the
+/// convention of the deployed blockchains the paper targets.
+pub fn double_sha256(data: &[u8]) -> Digest {
+    Sha256::digest(Sha256::digest(data).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// NIST / FIPS 180-4 example vectors plus well-known reference digests.
+    #[test]
+    fn nist_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (
+                b"",
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+            ),
+            (
+                b"abc",
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+            ),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+            ),
+            (
+                b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+                "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+            ),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592",
+            ),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(Sha256::digest(input).to_hex(), *expected, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        // FIPS 180-4: one million repetitions of 'a'.
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot_at_every_split() {
+        let data: Vec<u8> = (0..257u16).map(|i| (i % 251) as u8).collect();
+        let oneshot = Sha256::digest(&data);
+        for split in 0..data.len() {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), oneshot, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_oneshot_many_small_updates() {
+        let data: Vec<u8> = (0..1024u32).map(|i| (i * 7 % 256) as u8).collect();
+        let mut h = Sha256::new();
+        for b in &data {
+            h.update(std::slice::from_ref(b));
+        }
+        assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn digest_pair_equals_concatenation() {
+        let a = b"hello ";
+        let b = b"world";
+        assert_eq!(Sha256::digest_pair(a, b), Sha256::digest(b"hello world"));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let d = Sha256::digest(b"round trip");
+        let hex = d.to_hex();
+        assert_eq!(Digest::from_hex(&hex), Some(d));
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert_eq!(Digest::from_hex("abc"), None);
+        assert_eq!(Digest::from_hex(&"g".repeat(64)), None);
+        // Multi-byte UTF-8 of the right char count must not panic.
+        assert_eq!(Digest::from_hex(&"é".repeat(32)), None);
+    }
+
+    #[test]
+    fn leading_zero_bits() {
+        assert_eq!(Digest::ZERO.leading_zero_bits(), 256);
+        let mut one = [0u8; 32];
+        one[0] = 0x01;
+        assert_eq!(Digest(one).leading_zero_bits(), 7);
+        let mut ff = [0u8; 32];
+        ff[0] = 0xff;
+        assert_eq!(Digest(ff).leading_zero_bits(), 0);
+        let mut mid = [0u8; 32];
+        mid[2] = 0x10;
+        assert_eq!(Digest(mid).leading_zero_bits(), 19);
+    }
+
+    #[test]
+    fn prefix_u64_is_big_endian() {
+        let mut b = [0u8; 32];
+        b[7] = 1;
+        assert_eq!(Digest(b).prefix_u64(), 1);
+        b[0] = 1;
+        assert_eq!(Digest(b).prefix_u64(), (1 << 56) | 1);
+    }
+
+    #[test]
+    fn double_sha256_known_vector() {
+        // double-SHA256("hello") — a widely published reference value.
+        assert_eq!(
+            double_sha256(b"hello").to_hex(),
+            "9595c9df90075148eb06860365df33584b75bff782a510c6cd4883a419833d50"
+        );
+    }
+
+    #[test]
+    fn ordering_is_bytewise_big_endian() {
+        let mut lo = [0u8; 32];
+        let mut hi = [0u8; 32];
+        lo[31] = 1;
+        hi[0] = 1;
+        assert!(Digest(lo) < Digest(hi));
+    }
+}

@@ -1,0 +1,223 @@
+//! `SimSig` — a simulated digital-signature scheme.
+//!
+//! The paper's blockchain substrate signs transactions and block proposals
+//! with ECDSA. External cryptography crates are out of scope for this
+//! reproduction, so `SimSig` substitutes a hash-based construction that is
+//! **size- and cost-faithful** (33-byte compressed-point-sized public keys,
+//! 64-byte signatures, one hash-family operation to sign/verify) and has
+//! correct accept/reject semantics for honest simulation: a signature made
+//! with key `k` over message `m` verifies only for `(pk(k), m)`.
+//!
+//! It is **not** unforgeable against an adversary who knows a public key —
+//! the tag is derived from the public key itself — which is irrelevant here
+//! because the simulator never models signature forgery; Byzantine behaviour
+//! is injected at the protocol layer instead. This substitution is recorded
+//! in `DESIGN.md`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ici_crypto::sig::Keypair;
+//!
+//! let pair = Keypair::from_seed(7);
+//! let sig = pair.sign(b"transfer 10 -> bob");
+//! assert!(pair.public().verify(b"transfer 10 -> bob", &sig));
+//! assert!(!pair.public().verify(b"transfer 99 -> bob", &sig));
+//! ```
+
+use std::fmt;
+
+use crate::hmac::hmac_sha256;
+use crate::sha256::Sha256;
+
+/// Length of an encoded public key (matches a compressed secp256k1 point).
+pub const PUBLIC_KEY_LEN: usize = 33;
+/// Length of an encoded signature (matches a raw ECDSA `(r, s)` pair).
+pub const SIGNATURE_LEN: usize = 64;
+
+/// A public verification key.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PublicKey([u8; PUBLIC_KEY_LEN]);
+
+impl PublicKey {
+    /// Returns the encoded key bytes.
+    pub fn as_bytes(&self) -> &[u8; PUBLIC_KEY_LEN] {
+        &self.0
+    }
+
+    /// Rebuilds a key from its encoding.
+    pub fn from_bytes(bytes: [u8; PUBLIC_KEY_LEN]) -> PublicKey {
+        PublicKey(bytes)
+    }
+
+    /// Verifies `signature` over `message`.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        Signature::compute(self, message).0 == signature.0
+    }
+
+    /// A short printable key fingerprint (first 4 bytes, hex).
+    pub fn fingerprint(&self) -> String {
+        self.0[1..5].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey({})", self.fingerprint())
+    }
+}
+
+impl fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.fingerprint())
+    }
+}
+
+impl AsRef<[u8]> for PublicKey {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// A detached signature.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature([u8; SIGNATURE_LEN]);
+
+impl Signature {
+    /// Returns the raw signature bytes.
+    pub fn as_bytes(&self) -> &[u8; SIGNATURE_LEN] {
+        &self.0
+    }
+
+    /// Rebuilds a signature from its encoding.
+    pub fn from_bytes(bytes: [u8; SIGNATURE_LEN]) -> Signature {
+        Signature(bytes)
+    }
+
+    fn compute(public: &PublicKey, message: &[u8]) -> Signature {
+        let half_a = hmac_sha256(&public.0, message);
+        let half_b = hmac_sha256(half_a.as_bytes(), message);
+        let mut out = [0u8; SIGNATURE_LEN];
+        out[..32].copy_from_slice(half_a.as_bytes());
+        out[32..].copy_from_slice(half_b.as_bytes());
+        Signature(out)
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let head: String = self.0[..4].iter().map(|b| format!("{b:02x}")).collect();
+        write!(f, "Signature({head}..)")
+    }
+}
+
+impl AsRef<[u8]> for Signature {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// A signing keypair.
+///
+/// In simulation every identity derives its keypair deterministically from a
+/// numeric seed (its node or account id), so a scenario is reproducible from
+/// its configuration alone.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Keypair {
+    public: PublicKey,
+}
+
+impl Keypair {
+    /// Derives the keypair for numeric identity `seed`.
+    pub fn from_seed(seed: u64) -> Keypair {
+        let digest = Sha256::digest_pair(b"ici-simsig-key-v1:", &seed.to_be_bytes());
+        let mut encoded = [0u8; PUBLIC_KEY_LEN];
+        encoded[0] = 0x02; // compressed-point tag, for byte-level realism
+        encoded[1..].copy_from_slice(digest.as_bytes());
+        Keypair {
+            public: PublicKey(encoded),
+        }
+    }
+
+    /// The verification half of the pair.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signs `message`.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        Signature::compute(&self.public, message)
+    }
+}
+
+impl fmt::Debug for Keypair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Keypair({})", self.public.fingerprint())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let pair = Keypair::from_seed(1);
+        let sig = pair.sign(b"msg");
+        assert!(pair.public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let pair = Keypair::from_seed(1);
+        let sig = pair.sign(b"msg");
+        assert!(!pair.public().verify(b"other", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let alice = Keypair::from_seed(1);
+        let bob = Keypair::from_seed(2);
+        let sig = alice.sign(b"msg");
+        assert!(!bob.public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_signature() {
+        let pair = Keypair::from_seed(3);
+        let sig = pair.sign(b"msg");
+        for byte in 0..SIGNATURE_LEN {
+            let mut bytes = *sig.as_bytes();
+            bytes[byte] ^= 0x01;
+            assert!(
+                !pair.public().verify(b"msg", &Signature::from_bytes(bytes)),
+                "flip at byte {byte} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn keys_are_deterministic_and_distinct() {
+        assert_eq!(Keypair::from_seed(9), Keypair::from_seed(9));
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..200 {
+            assert!(seen.insert(Keypair::from_seed(seed).public()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn encodings_round_trip() {
+        let pair = Keypair::from_seed(11);
+        let pk = PublicKey::from_bytes(*pair.public().as_bytes());
+        assert_eq!(pk, pair.public());
+        let sig = pair.sign(b"x");
+        assert_eq!(Signature::from_bytes(*sig.as_bytes()), sig);
+    }
+
+    #[test]
+    fn sizes_match_ecdsa_accounting() {
+        let pair = Keypair::from_seed(0);
+        assert_eq!(pair.public().as_bytes().len(), 33);
+        assert_eq!(pair.sign(b"m").as_bytes().len(), 64);
+    }
+}

@@ -1,0 +1,224 @@
+//! Byte- and message-level traffic metering.
+//!
+//! Every simulated send is charged here, classified by [`MessageKind`], so
+//! the communication experiments (E3, E4) can report exactly where the bytes
+//! went — full bodies vs headers vs votes vs repair traffic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// Classification of protocol traffic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MessageKind {
+    /// Full block (header + body).
+    BlockFull,
+    /// Block body only (to responsible nodes).
+    BlockBody,
+    /// Block header only.
+    BlockHeader,
+    /// Erasure-coded shard of a block (IDA-gossip).
+    BlockShard,
+    /// Transaction gossip.
+    Transaction,
+    /// Consensus / verification vote.
+    Vote,
+    /// Query for a block, body, or proof.
+    Query,
+    /// Response carrying a body or Merkle proof.
+    Response,
+    /// Bootstrap download traffic.
+    Bootstrap,
+    /// Repair / re-replication traffic after failures.
+    Repair,
+    /// Membership and other control-plane messages.
+    Control,
+}
+
+impl MessageKind {
+    /// All kinds, for table rendering.
+    pub const ALL: [MessageKind; 11] = [
+        MessageKind::BlockFull,
+        MessageKind::BlockBody,
+        MessageKind::BlockHeader,
+        MessageKind::BlockShard,
+        MessageKind::Transaction,
+        MessageKind::Vote,
+        MessageKind::Query,
+        MessageKind::Response,
+        MessageKind::Bootstrap,
+        MessageKind::Repair,
+        MessageKind::Control,
+    ];
+}
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MessageKind::BlockFull => "block-full",
+            MessageKind::BlockBody => "block-body",
+            MessageKind::BlockHeader => "block-header",
+            MessageKind::BlockShard => "block-shard",
+            MessageKind::Transaction => "transaction",
+            MessageKind::Vote => "vote",
+            MessageKind::Query => "query",
+            MessageKind::Response => "response",
+            MessageKind::Bootstrap => "bootstrap",
+            MessageKind::Repair => "repair",
+            MessageKind::Control => "control",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Message/byte counters for one traffic class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter {
+    /// Messages counted.
+    pub messages: u64,
+    /// Payload bytes counted.
+    pub bytes: u64,
+}
+
+impl Counter {
+    fn add(&mut self, bytes: u64) {
+        self.messages += 1;
+        self.bytes += bytes;
+    }
+}
+
+/// Aggregated traffic statistics for a run.
+#[derive(Clone, Debug, Default)]
+pub struct TrafficMeter {
+    by_kind: BTreeMap<MessageKind, Counter>,
+    sent_by_node: BTreeMap<NodeId, Counter>,
+    received_by_node: BTreeMap<NodeId, Counter>,
+    total: Counter,
+}
+
+impl TrafficMeter {
+    /// A meter with all counters at zero.
+    pub fn new() -> TrafficMeter {
+        TrafficMeter::default()
+    }
+
+    /// Charges one message of `bytes` payload from `from` to `to`.
+    pub fn record(&mut self, from: NodeId, to: NodeId, kind: MessageKind, bytes: u64) {
+        self.by_kind.entry(kind).or_default().add(bytes);
+        self.sent_by_node.entry(from).or_default().add(bytes);
+        self.received_by_node.entry(to).or_default().add(bytes);
+        self.total.add(bytes);
+    }
+
+    /// Total over all classes.
+    pub fn total(&self) -> Counter {
+        self.total
+    }
+
+    /// Counter for one class.
+    pub fn kind(&self, kind: MessageKind) -> Counter {
+        self.by_kind.get(&kind).copied().unwrap_or_default()
+    }
+
+    /// Per-class table, ascending by kind.
+    pub fn by_kind(&self) -> &BTreeMap<MessageKind, Counter> {
+        &self.by_kind
+    }
+
+    /// Bytes sent by `node`.
+    pub fn sent_by(&self, node: NodeId) -> Counter {
+        self.sent_by_node.get(&node).copied().unwrap_or_default()
+    }
+
+    /// Bytes received by `node`.
+    pub fn received_by(&self, node: NodeId) -> Counter {
+        self.received_by_node.get(&node).copied().unwrap_or_default()
+    }
+
+    /// The maximum bytes received by any single node (load hotspot).
+    pub fn max_received_bytes(&self) -> u64 {
+        self.received_by_node
+            .values()
+            .map(|c| c.bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Resets every counter.
+    pub fn reset(&mut self) {
+        *self = TrafficMeter::default();
+    }
+
+    /// Folds another meter's counts into this one.
+    pub fn merge(&mut self, other: &TrafficMeter) {
+        for (kind, c) in &other.by_kind {
+            let e = self.by_kind.entry(*kind).or_default();
+            e.messages += c.messages;
+            e.bytes += c.bytes;
+        }
+        for (node, c) in &other.sent_by_node {
+            let e = self.sent_by_node.entry(*node).or_default();
+            e.messages += c.messages;
+            e.bytes += c.bytes;
+        }
+        for (node, c) in &other.received_by_node {
+            let e = self.received_by_node.entry(*node).or_default();
+            e.messages += c.messages;
+            e.bytes += c.bytes;
+        }
+        self.total.messages += other.total.messages;
+        self.total.bytes += other.total.bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_everywhere() {
+        let mut m = TrafficMeter::new();
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        m.record(a, b, MessageKind::BlockBody, 100);
+        m.record(a, b, MessageKind::BlockBody, 50);
+        m.record(b, a, MessageKind::Vote, 8);
+
+        assert_eq!(m.total(), Counter { messages: 3, bytes: 158 });
+        assert_eq!(m.kind(MessageKind::BlockBody), Counter { messages: 2, bytes: 150 });
+        assert_eq!(m.kind(MessageKind::Vote), Counter { messages: 1, bytes: 8 });
+        assert_eq!(m.kind(MessageKind::Query), Counter::default());
+        assert_eq!(m.sent_by(a).bytes, 150);
+        assert_eq!(m.received_by(a).bytes, 8);
+        assert_eq!(m.max_received_bytes(), 150);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut m = TrafficMeter::new();
+        m.record(NodeId::new(0), NodeId::new(1), MessageKind::Control, 10);
+        m.reset();
+        assert_eq!(m.total(), Counter::default());
+        assert!(m.by_kind().is_empty());
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let mut m1 = TrafficMeter::new();
+        m1.record(a, b, MessageKind::Query, 10);
+        let mut m2 = TrafficMeter::new();
+        m2.record(a, b, MessageKind::Query, 5);
+        m2.record(b, a, MessageKind::Response, 100);
+        m1.merge(&m2);
+        assert_eq!(m1.kind(MessageKind::Query), Counter { messages: 2, bytes: 15 });
+        assert_eq!(m1.total().bytes, 115);
+    }
+
+    #[test]
+    fn kind_display_names_are_distinct() {
+        let names: std::collections::HashSet<String> =
+            MessageKind::ALL.iter().map(|k| k.to_string()).collect();
+        assert_eq!(names.len(), MessageKind::ALL.len());
+    }
+}

@@ -1,0 +1,242 @@
+//! The network facade: topology + link model + liveness + metering.
+//!
+//! Protocols talk to [`Network`] exclusively: every simulated transmission
+//! goes through [`Network::send`], which meters the bytes, checks endpoint
+//! liveness, and returns the transit delay the caller uses to schedule the
+//! delivery event.
+
+use std::collections::HashSet;
+
+use crate::link::LinkModel;
+use crate::metrics::{MessageKind, TrafficMeter};
+use crate::node::NodeId;
+use crate::time::Duration;
+use crate::topology::{Coord, Topology};
+
+/// Outcome of a send attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Message will arrive after the contained delay.
+    Delivered(Duration),
+    /// The sender is crashed; nothing was transmitted or metered.
+    SenderDown,
+    /// The receiver is crashed; the transmission is metered on the sender
+    /// side (the bytes left the machine) but never arrives.
+    ReceiverDown,
+}
+
+impl SendOutcome {
+    /// The delay if the message will be delivered.
+    pub fn delay(self) -> Option<Duration> {
+        match self {
+            SendOutcome::Delivered(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// A simulated network over `n` nodes.
+#[derive(Clone, Debug)]
+pub struct Network {
+    topology: Topology,
+    link: LinkModel,
+    meter: TrafficMeter,
+    down: HashSet<NodeId>,
+    seq: u64,
+}
+
+impl Network {
+    /// Builds a network over `topology` with the given link model.
+    pub fn new(topology: Topology, link: LinkModel) -> Network {
+        Network {
+            topology,
+            link,
+            meter: TrafficMeter::new(),
+            down: HashSet::new(),
+            seq: 0,
+        }
+    }
+
+    /// Number of nodes (including crashed ones).
+    pub fn len(&self) -> usize {
+        self.topology.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.topology.is_empty()
+    }
+
+    /// The node placement.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The link model in force.
+    pub fn link(&self) -> &LinkModel {
+        &self.link
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn meter(&self) -> &TrafficMeter {
+        &self.meter
+    }
+
+    /// Resets traffic counters (topology and liveness are kept).
+    pub fn reset_meter(&mut self) {
+        self.meter.reset();
+    }
+
+    /// Marks `node` crashed. Sends from/to it fail until recovery.
+    pub fn crash(&mut self, node: NodeId) {
+        self.down.insert(node);
+    }
+
+    /// Brings `node` back.
+    pub fn recover(&mut self, node: NodeId) {
+        self.down.remove(&node);
+    }
+
+    /// Whether `node` is currently alive.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        !self.down.contains(&node)
+    }
+
+    /// Ids of all live nodes.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        (0..self.len() as u64)
+            .map(NodeId::new)
+            .filter(|n| self.is_up(*n))
+            .collect()
+    }
+
+    /// Number of crashed nodes.
+    pub fn down_count(&self) -> usize {
+        self.down.len()
+    }
+
+    /// Attempts to transmit `bytes` of `kind` from `from` to `to`.
+    ///
+    /// Returns the transit delay on success; the caller schedules delivery
+    /// at `now + delay`. Metering: delivered and receiver-down sends charge
+    /// the sender; sender-down sends charge nothing.
+    pub fn send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        kind: MessageKind,
+        bytes: u64,
+    ) -> SendOutcome {
+        if !self.is_up(from) {
+            return SendOutcome::SenderDown;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        if !self.is_up(to) {
+            // Bytes still leave the sender's uplink.
+            self.meter.record(from, to, kind, bytes);
+            return SendOutcome::ReceiverDown;
+        }
+        self.meter.record(from, to, kind, bytes);
+        SendOutcome::Delivered(self.link.transit(&self.topology, from, to, bytes, seq))
+    }
+
+    /// Adds a node at `coord` (e.g. a bootstrapping joiner). Returns its id.
+    pub fn join(&mut self, coord: Coord) -> NodeId {
+        self.topology.push(coord)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Placement;
+
+    fn net(n: usize) -> Network {
+        let topo = Topology::generate(n, &Placement::Uniform { side: 50.0 }, 1);
+        let link = LinkModel {
+            max_jitter_ms: 0.0,
+            ..LinkModel::default()
+        };
+        Network::new(topo, link)
+    }
+
+    #[test]
+    fn send_meters_and_returns_delay() {
+        let mut net = net(4);
+        let outcome = net.send(NodeId::new(0), NodeId::new(1), MessageKind::Vote, 100);
+        assert!(outcome.delay().is_some());
+        assert_eq!(net.meter().total().messages, 1);
+        assert_eq!(net.meter().total().bytes, 100);
+    }
+
+    #[test]
+    fn crashed_sender_transmits_nothing() {
+        let mut net = net(4);
+        net.crash(NodeId::new(0));
+        let outcome = net.send(NodeId::new(0), NodeId::new(1), MessageKind::Vote, 100);
+        assert_eq!(outcome, SendOutcome::SenderDown);
+        assert_eq!(net.meter().total().messages, 0);
+    }
+
+    #[test]
+    fn crashed_receiver_charges_sender_only() {
+        let mut net = net(4);
+        net.crash(NodeId::new(1));
+        let outcome = net.send(NodeId::new(0), NodeId::new(1), MessageKind::Vote, 100);
+        assert_eq!(outcome, SendOutcome::ReceiverDown);
+        assert!(outcome.delay().is_none());
+        assert_eq!(net.meter().total().messages, 1);
+    }
+
+    #[test]
+    fn recovery_restores_delivery() {
+        let mut net = net(4);
+        net.crash(NodeId::new(1));
+        net.recover(NodeId::new(1));
+        assert!(net.is_up(NodeId::new(1)));
+        assert!(net
+            .send(NodeId::new(0), NodeId::new(1), MessageKind::Vote, 1)
+            .delay()
+            .is_some());
+    }
+
+    #[test]
+    fn live_nodes_excludes_crashed() {
+        let mut net = net(5);
+        net.crash(NodeId::new(2));
+        net.crash(NodeId::new(4));
+        assert_eq!(
+            net.live_nodes(),
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)]
+        );
+        assert_eq!(net.down_count(), 2);
+    }
+
+    #[test]
+    fn join_grows_the_network() {
+        let mut net = net(3);
+        let id = net.join(Coord::new(1.0, 1.0));
+        assert_eq!(id, NodeId::new(3));
+        assert_eq!(net.len(), 4);
+        assert!(net.is_up(id));
+        assert!(net
+            .send(id, NodeId::new(0), MessageKind::Bootstrap, 10)
+            .delay()
+            .is_some());
+    }
+
+    #[test]
+    fn bigger_payloads_take_longer() {
+        let mut net = net(2);
+        let small = net
+            .send(NodeId::new(0), NodeId::new(1), MessageKind::BlockBody, 1_000)
+            .delay()
+            .expect("delivered");
+        let big = net
+            .send(NodeId::new(0), NodeId::new(1), MessageKind::BlockBody, 1_000_000)
+            .delay()
+            .expect("delivered");
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,79 @@
+//! Node identities.
+
+use std::fmt;
+
+/// Identifier of a participant, dense from 0 so it can index vectors.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates an id.
+    pub const fn new(id: u64) -> NodeId {
+        NodeId(id)
+    }
+
+    /// The raw id.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The id as a vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(id: u64) -> NodeId {
+        NodeId(id)
+    }
+}
+
+impl From<NodeId> for u64 {
+    fn from(id: NodeId) -> u64 {
+        id.0
+    }
+}
+
+/// Iterator over the first `n` node ids, `n0..n(n-1)`.
+pub fn all_nodes(n: usize) -> impl Iterator<Item = NodeId> + Clone {
+    (0..n as u64).map(NodeId::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trips() {
+        let id = NodeId::new(42);
+        assert_eq!(id.get(), 42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(u64::from(id), 42);
+        assert_eq!(NodeId::from(42u64), id);
+    }
+
+    #[test]
+    fn all_nodes_enumerates() {
+        let ids: Vec<NodeId> = all_nodes(3).collect();
+        assert_eq!(ids, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId::new(7).to_string(), "n7");
+        assert_eq!(format!("{:?}", NodeId::new(7)), "n7");
+    }
+}

@@ -1,0 +1,228 @@
+//! Network topology: node placement in latency space.
+//!
+//! The paper clusters participants; for clustering to be meaningful the
+//! underlying network must have structure. Nodes are placed in a 2-D
+//! *latency space* where Euclidean distance approximates one-way delay in
+//! milliseconds — the standard network-coordinates abstraction (Vivaldi-
+//! style). The generator can scatter nodes uniformly or around regional
+//! hotspots (mimicking real peer distributions concentrated in data-center
+//! regions), which is the regime where latency-aware clustering beats a
+//! random partition (experiment E8).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::node::NodeId;
+
+/// A position in 2-D latency space (units ≈ milliseconds).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Coord {
+    /// First coordinate.
+    pub x: f64,
+    /// Second coordinate.
+    pub y: f64,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub fn new(x: f64, y: f64) -> Coord {
+        Coord { x, y }
+    }
+
+    /// Euclidean distance to `other` (≈ one-way propagation delay in ms).
+    pub fn distance(&self, other: &Coord) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// How node positions are generated.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Placement {
+    /// Uniform over a `side × side` square.
+    Uniform {
+        /// Side length of the square (ms).
+        side: f64,
+    },
+    /// Gaussian blobs around `regions` hotspot centres placed uniformly in
+    /// a `side × side` square; models geographically concentrated peers.
+    Regional {
+        /// Number of hotspot regions.
+        regions: usize,
+        /// Side length of the square the centres are drawn from (ms).
+        side: f64,
+        /// Standard deviation of each blob (ms).
+        spread: f64,
+    },
+}
+
+impl Default for Placement {
+    /// Eight regional hotspots in a 160 ms square with 6 ms spread —
+    /// roughly a global WAN.
+    fn default() -> Placement {
+        Placement::Regional {
+            regions: 8,
+            side: 160.0,
+            spread: 6.0,
+        }
+    }
+}
+
+/// Immutable node placement for a simulation run.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    coords: Vec<Coord>,
+}
+
+impl Topology {
+    /// Generates positions for `n` nodes with the given placement and seed.
+    pub fn generate(n: usize, placement: &Placement, seed: u64) -> Topology {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7090_11AC_CE55_0001);
+        let coords = match placement {
+            Placement::Uniform { side } => (0..n)
+                .map(|_| Coord::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+                .collect(),
+            Placement::Regional {
+                regions,
+                side,
+                spread,
+            } => {
+                let centres: Vec<Coord> = (0..(*regions).max(1))
+                    .map(|_| Coord::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+                    .collect();
+                (0..n)
+                    .map(|_| {
+                        let c = centres[rng.gen_range(0..centres.len())];
+                        // Box–Muller for an approximately Gaussian offset.
+                        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                        let u2: f64 = rng.gen();
+                        let mag = spread * (-2.0 * u1.ln()).sqrt();
+                        let (dx, dy) = (
+                            mag * (std::f64::consts::TAU * u2).cos(),
+                            mag * (std::f64::consts::TAU * u2).sin(),
+                        );
+                        Coord::new(c.x + dx, c.y + dy)
+                    })
+                    .collect()
+            }
+        };
+        Topology { coords }
+    }
+
+    /// Builds a topology from explicit coordinates.
+    pub fn from_coords(coords: Vec<Coord>) -> Topology {
+        Topology { coords }
+    }
+
+    /// Number of nodes placed.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether the topology is empty.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Position of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn coord(&self, node: NodeId) -> Coord {
+        self.coords[node.index()]
+    }
+
+    /// All coordinates, indexed by node id.
+    pub fn coords(&self) -> &[Coord] {
+        &self.coords
+    }
+
+    /// Propagation distance between two nodes in milliseconds.
+    pub fn distance_ms(&self, a: NodeId, b: NodeId) -> f64 {
+        self.coord(a).distance(&self.coord(b))
+    }
+
+    /// Appends a new node at `coord`, returning its id. Used when a node
+    /// joins an existing network (bootstrap experiments).
+    pub fn push(&mut self, coord: Coord) -> NodeId {
+        self.coords.push(coord);
+        NodeId::new((self.coords.len() - 1) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Topology::generate(50, &Placement::default(), 7);
+        let b = Topology::generate(50, &Placement::default(), 7);
+        assert_eq!(a.coords(), b.coords());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Topology::generate(50, &Placement::default(), 7);
+        let b = Topology::generate(50, &Placement::default(), 8);
+        assert_ne!(a.coords(), b.coords());
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let side = 100.0;
+        let topo = Topology::generate(200, &Placement::Uniform { side }, 1);
+        for c in topo.coords() {
+            assert!((0.0..=side).contains(&c.x) && (0.0..=side).contains(&c.y));
+        }
+    }
+
+    #[test]
+    fn regional_placement_is_clumpier_than_uniform() {
+        // Mean nearest-neighbour distance should be clearly smaller for
+        // regional placement at the same scale.
+        let n = 150;
+        let uni = Topology::generate(n, &Placement::Uniform { side: 160.0 }, 3);
+        let reg = Topology::generate(n, &Placement::default(), 3);
+        let mean_nn = |t: &Topology| -> f64 {
+            let mut total = 0.0;
+            for i in 0..t.len() {
+                let a = NodeId::new(i as u64);
+                let mut best = f64::INFINITY;
+                for j in 0..t.len() {
+                    if i != j {
+                        best = best.min(t.distance_ms(a, NodeId::new(j as u64)));
+                    }
+                }
+                total += best;
+            }
+            total / t.len() as f64
+        };
+        assert!(
+            mean_nn(&reg) < mean_nn(&uni) * 0.8,
+            "regional {} vs uniform {}",
+            mean_nn(&reg),
+            mean_nn(&uni)
+        );
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let topo = Topology::generate(10, &Placement::Uniform { side: 50.0 }, 2);
+        let a = NodeId::new(3);
+        let b = NodeId::new(7);
+        assert_eq!(topo.distance_ms(a, b), topo.distance_ms(b, a));
+        assert_eq!(topo.distance_ms(a, a), 0.0);
+    }
+
+    #[test]
+    fn push_appends_with_next_id() {
+        let mut topo = Topology::generate(4, &Placement::Uniform { side: 10.0 }, 0);
+        let id = topo.push(Coord::new(1.0, 2.0));
+        assert_eq!(id, NodeId::new(4));
+        assert_eq!(topo.coord(id), Coord::new(1.0, 2.0));
+        assert_eq!(topo.len(), 5);
+    }
+}

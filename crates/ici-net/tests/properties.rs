@@ -1,0 +1,120 @@
+//! Property-based tests over the network simulator.
+
+use ici_net::link::LinkModel;
+use ici_net::metrics::MessageKind;
+use ici_net::network::Network;
+use ici_net::node::NodeId;
+use ici_net::queue::EventQueue;
+use ici_net::time::{Duration, SimTime};
+use ici_net::topology::{Placement, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue pops every scheduled event exactly once, in
+    /// non-decreasing time order, with FIFO tie-breaking.
+    #[test]
+    fn queue_is_a_stable_time_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(*t), i);
+        }
+        let mut popped = Vec::new();
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((at, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(at >= lt);
+                if at == lt {
+                    prop_assert!(idx > lidx, "FIFO violated at equal times");
+                }
+            }
+            prop_assert_eq!(at, SimTime::from_micros(times[idx]));
+            last = Some((at, idx));
+            popped.push(idx);
+        }
+        popped.sort_unstable();
+        prop_assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    /// Transit time is symmetric in distance terms when jitter is off and
+    /// grows monotonically with payload size.
+    #[test]
+    fn transit_monotone_in_bytes(
+        n in 2usize..20,
+        a in any::<prop::sample::Index>(),
+        b in any::<prop::sample::Index>(),
+        small in 0u64..10_000,
+        extra in 1u64..1_000_000,
+    ) {
+        let topo = Topology::generate(n, &Placement::Uniform { side: 50.0 }, 7);
+        let link = LinkModel { max_jitter_ms: 0.0, ..LinkModel::default() };
+        let from = NodeId::new(a.index(n) as u64);
+        let to = NodeId::new(b.index(n) as u64);
+        let t1 = link.transit(&topo, from, to, small, 0);
+        let t2 = link.transit(&topo, from, to, small + extra, 0);
+        prop_assert!(t2 > t1);
+        // Symmetry of the propagation term.
+        prop_assert_eq!(
+            link.transit(&topo, from, to, 0, 0),
+            link.transit(&topo, to, from, 0, 0)
+        );
+    }
+
+    /// The meter's total equals the sum over kinds, and per-node sends sum
+    /// to the same total.
+    #[test]
+    fn meter_totals_are_consistent(
+        sends in proptest::collection::vec((0u64..10, 0u64..10, 0usize..11, 0u64..10_000), 0..100),
+    ) {
+        let topo = Topology::generate(10, &Placement::Uniform { side: 10.0 }, 1);
+        let mut net = Network::new(topo, LinkModel::default());
+        for (from, to, kind_idx, bytes) in sends {
+            let kind = MessageKind::ALL[kind_idx];
+            let _ = net.send(NodeId::new(from), NodeId::new(to), kind, bytes);
+        }
+        let meter = net.meter();
+        let by_kind: u64 = meter.by_kind().values().map(|c| c.bytes).sum();
+        prop_assert_eq!(meter.total().bytes, by_kind);
+        let by_sender: u64 = (0..10u64)
+            .map(|n| meter.sent_by(NodeId::new(n)).bytes)
+            .sum();
+        prop_assert_eq!(meter.total().bytes, by_sender);
+        let msgs_by_kind: u64 = meter.by_kind().values().map(|c| c.messages).sum();
+        prop_assert_eq!(meter.total().messages, msgs_by_kind);
+    }
+
+    /// Crash/recover round-trips restore delivery; crashed nodes never
+    /// receive.
+    #[test]
+    fn liveness_transitions(crash_mask in 0u16..1024, seed in any::<u64>()) {
+        let topo = Topology::generate(10, &Placement::Uniform { side: 10.0 }, seed);
+        let mut net = Network::new(topo, LinkModel::default());
+        for i in 0..10u64 {
+            if crash_mask & (1 << i) != 0 {
+                net.crash(NodeId::new(i));
+            }
+        }
+        let live = net.live_nodes();
+        prop_assert_eq!(live.len(), 10 - net.down_count());
+        for &node in &live {
+            prop_assert!(net.is_up(node));
+        }
+        // Recover everyone; all sends succeed again.
+        for i in 0..10u64 {
+            net.recover(NodeId::new(i));
+        }
+        for i in 0..10u64 {
+            let outcome = net.send(NodeId::new(i), NodeId::new((i + 1) % 10), MessageKind::Control, 1);
+            prop_assert!(outcome.delay().is_some());
+        }
+    }
+
+    /// Durations and times obey basic arithmetic laws.
+    #[test]
+    fn time_arithmetic(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let t = SimTime::from_micros(a);
+        let d = Duration::from_micros(b);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!(t.saturating_since(t + d), Duration::ZERO);
+        prop_assert_eq!((t + d).saturating_since(t), d);
+    }
+}

@@ -1,0 +1,76 @@
+//! Latency statistics over simulated durations.
+
+use ici_net::time::Duration;
+
+/// Summary of a set of latencies, in milliseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub samples: usize,
+    /// Mean latency.
+    pub mean_ms: f64,
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// Maximum.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Computes statistics over durations. Returns the zero value for an
+    /// empty input.
+    pub fn from_durations<I>(durations: I) -> LatencyStats
+    where
+        I: IntoIterator<Item = Duration>,
+    {
+        let mut ms: Vec<f64> = durations
+            .into_iter()
+            .map(|d| d.as_millis_f64())
+            .collect();
+        if ms.is_empty() {
+            return LatencyStats::default();
+        }
+        ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = ms.len();
+        LatencyStats {
+            samples: n,
+            mean_ms: ms.iter().sum::<f64>() / n as f64,
+            p50_ms: ms[n / 2],
+            p95_ms: ms[((n as f64 * 0.95) as usize).min(n - 1)],
+            max_ms: ms[n - 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let stats = LatencyStats::from_durations(
+            [10u64, 20, 30, 40, 100].map(Duration::from_millis),
+        );
+        assert_eq!(stats.samples, 5);
+        assert_eq!(stats.mean_ms, 40.0);
+        assert_eq!(stats.p50_ms, 30.0);
+        assert_eq!(stats.max_ms, 100.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(
+            LatencyStats::from_durations(std::iter::empty()),
+            LatencyStats::default()
+        );
+    }
+
+    #[test]
+    fn single_sample() {
+        let stats = LatencyStats::from_durations([Duration::from_millis(7)]);
+        assert_eq!(stats.p50_ms, 7.0);
+        assert_eq!(stats.p95_ms, 7.0);
+        assert_eq!(stats.max_ms, 7.0);
+    }
+}

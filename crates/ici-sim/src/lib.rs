@@ -1,0 +1,39 @@
+//! Experiment harness: runners, statistics, tables, and result export.
+//!
+//! * [`runner`] — drives ICIStrategy and both baselines over a shared
+//!   workload and reduces each run to a [`runner::RunSummary`];
+//! * [`latency`] — latency percentile summaries;
+//! * [`table`] — paper-style ASCII tables and CSV;
+//! * [`report`] — JSON export of experiment records for `EXPERIMENTS.md`
+//!   bookkeeping.
+//!
+//! # Examples
+//!
+//! ```
+//! use ici_core::config::IciConfig;
+//! use ici_sim::runner::run_ici;
+//! use ici_workload::WorkloadConfig;
+//!
+//! let config = IciConfig::builder()
+//!     .nodes(16)
+//!     .cluster_size(8)
+//!     .replication(2)
+//!     .build()
+//!     .expect("valid configuration");
+//! let (_, summary) = run_ici(config, 2, 4, WorkloadConfig::default());
+//! assert_eq!(summary.committed_blocks, 2);
+//! assert!(summary.storage_fraction() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod report;
+pub mod runner;
+pub mod table;
+
+pub use latency::LatencyStats;
+pub use report::ExperimentRecord;
+pub use runner::{run_full, run_ici, run_rapidchain, RunSummary};
+pub use table::{fmt_f64, Table};

@@ -1,0 +1,106 @@
+//! Experiment result bookkeeping: JSON export for EXPERIMENTS.md.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::Serialize;
+
+use crate::table::Table;
+
+/// A serializable experiment record: id, parameters, and result tables.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExperimentRecord {
+    /// Experiment id, e.g. `"E1"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Free-form parameter description (`"N=4000, c=64, r=1"`).
+    pub params: String,
+    /// Result tables.
+    pub tables: Vec<SerializableTable>,
+}
+
+/// A table in serializable form.
+#[derive(Clone, Debug, Serialize)]
+pub struct SerializableTable {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl From<&Table> for SerializableTable {
+    fn from(table: &Table) -> SerializableTable {
+        SerializableTable {
+            title: table.title().to_string(),
+            headers: table.headers().to_vec(),
+            rows: table.rows().to_vec(),
+        }
+    }
+}
+
+impl ExperimentRecord {
+    /// Builds a record from rendered tables.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        params: impl Into<String>,
+        tables: &[&Table],
+    ) -> ExperimentRecord {
+        ExperimentRecord {
+            id: id.into(),
+            title: title.into(),
+            params: params.into(),
+            tables: tables.iter().map(|t| SerializableTable::from(*t)).collect(),
+        }
+    }
+
+    /// Writes the record as pretty JSON to `path`, creating parent
+    /// directories.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from directory creation or the write.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::Other, e))?;
+        fs::write(path, json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let mut t = Table::new("Storage", ["strategy", "MB/node"]);
+        t.row(["ICI", "25"]).row(["RapidChain", "100"]);
+        let record = ExperimentRecord::new("E1", "Storage comparison", "N=4000", &[&t]);
+        let json = serde_json::to_string(&record).expect("serializes");
+        assert!(json.contains("\"E1\""));
+        assert!(json.contains("RapidChain"));
+
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("parses");
+        assert_eq!(parsed["tables"][0]["rows"][0][1], "25");
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let mut t = Table::new("t", ["a"]);
+        t.row(["1"]);
+        let record = ExperimentRecord::new("EX", "x", "", &[&t]);
+        let dir = std::env::temp_dir().join("ici-sim-test");
+        let path = dir.join("nested").join("ex.json");
+        record.write_json(&path).expect("writes");
+        let content = std::fs::read_to_string(&path).expect("reads");
+        assert!(content.contains("\"EX\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,342 @@
+//! High-level experiment runners.
+//!
+//! Each runner drives one strategy over a deterministic workload and
+//! reduces the run to a [`RunSummary`] with the quantities the paper's
+//! tables report: per-node storage, per-block communication, commit
+//! latency, and throughput. The bench binaries are thin loops over these.
+
+use ici_baselines::full::{FullConfig, FullReplicationNetwork};
+use ici_baselines::rapidchain::{RapidChainConfig, RapidChainNetwork};
+use ici_chain::genesis::GenesisConfig;
+use ici_core::config::IciConfig;
+use ici_core::network::IciNetwork;
+use ici_storage::stats::StorageStats;
+use ici_workload::{WorkloadConfig, WorkloadGenerator};
+
+use crate::latency::LatencyStats;
+
+/// Initial balance granted to each workload account at genesis — large
+/// enough that no run exhausts a sender.
+const GENESIS_BALANCE: u64 = u64::MAX / 1_000_000;
+
+/// One strategy's run, reduced to the reported quantities.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunSummary {
+    /// Strategy label for tables.
+    pub strategy: String,
+    /// Nodes simulated.
+    pub nodes: usize,
+    /// Blocks committed (excluding genesis; RapidChain counts all shards).
+    pub committed_blocks: u64,
+    /// Transactions committed.
+    pub total_txs: u64,
+    /// Per-node storage statistics.
+    pub storage: StorageStats,
+    /// Bytes of one full ledger replica (denominator for ratios).
+    pub ledger_bytes: u64,
+    /// Mean messages per committed block.
+    pub mean_block_messages: f64,
+    /// Mean bytes per committed block.
+    pub mean_block_bytes: f64,
+    /// Commit latency statistics.
+    pub commit_latency: LatencyStats,
+    /// Committed transactions per simulated second.
+    pub throughput_tps: f64,
+    /// Final simulated clock in milliseconds.
+    pub final_clock_ms: f64,
+}
+
+impl RunSummary {
+    /// Per-node mean storage over the full-replica size, in `[0, 1]`.
+    pub fn storage_fraction(&self) -> f64 {
+        if self.ledger_bytes == 0 {
+            0.0
+        } else {
+            self.storage.mean / self.ledger_bytes as f64
+        }
+    }
+}
+
+fn genesis_for(workload: &WorkloadConfig) -> GenesisConfig {
+    GenesisConfig::uniform(workload.accounts, GENESIS_BALANCE)
+}
+
+/// Runs ICIStrategy for `blocks` blocks of `txs_per_block` transactions.
+///
+/// The genesis allocation is derived from the workload so every generated
+/// transaction is funded.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or a block fails to commit (all
+/// nodes are honest and live in this runner; use the failure API directly
+/// for crash experiments).
+pub fn run_ici(
+    mut config: IciConfig,
+    blocks: usize,
+    txs_per_block: usize,
+    workload: WorkloadConfig,
+) -> (IciNetwork, RunSummary) {
+    config.genesis = genesis_for(&workload);
+    let mut network = IciNetwork::new(config).expect("valid configuration");
+    let mut generator = WorkloadGenerator::new(workload);
+    for _ in 0..blocks {
+        let batch = generator.batch(txs_per_block);
+        network.propose_block(batch).expect("block commits");
+    }
+
+    let log = network.commit_log();
+    let total_txs: u64 = log.iter().map(|r| r.tx_count as u64).sum();
+    let latencies = log.iter().map(|r| r.commit_latency());
+    let commit_latency = LatencyStats::from_durations(latencies);
+    let final_clock_ms = network.now().as_micros() as f64 / 1_000.0;
+    let summary = RunSummary {
+        strategy: "ICIStrategy".into(),
+        nodes: network.config().nodes,
+        committed_blocks: log.len() as u64,
+        total_txs,
+        storage: network.storage_stats(),
+        ledger_bytes: network.full_replica_bytes(),
+        mean_block_messages: mean(log.iter().map(|r| r.messages)),
+        mean_block_bytes: mean(log.iter().map(|r| r.bytes)),
+        commit_latency,
+        throughput_tps: tps(total_txs, final_clock_ms),
+        final_clock_ms,
+    };
+    (network, summary)
+}
+
+/// Runs the full-replication baseline.
+///
+/// # Panics
+///
+/// Panics if a block fails to commit.
+pub fn run_full(
+    mut config: FullConfig,
+    blocks: usize,
+    txs_per_block: usize,
+    workload: WorkloadConfig,
+) -> (FullReplicationNetwork, RunSummary) {
+    config.genesis = genesis_for(&workload);
+    let nodes = config.nodes;
+    let mut network = FullReplicationNetwork::new(config);
+    let mut generator = WorkloadGenerator::new(workload);
+    for _ in 0..blocks {
+        let batch = generator.batch(txs_per_block);
+        network.propose_block(batch).expect("block commits");
+    }
+
+    let log = network.commit_log();
+    let total_txs: u64 = log.iter().map(|r| r.tx_count as u64).sum();
+    let commit_latency = LatencyStats::from_durations(log.iter().map(|r| r.commit_latency()));
+    let per_node = network.storage_bytes_per_node();
+    let final_clock_ms = network.now().as_micros() as f64 / 1_000.0;
+    let summary = RunSummary {
+        strategy: "FullReplication".into(),
+        nodes,
+        committed_blocks: log.len() as u64,
+        total_txs,
+        storage: StorageStats::from_bytes(std::iter::repeat(per_node).take(nodes)),
+        ledger_bytes: per_node,
+        mean_block_messages: mean(log.iter().map(|r| r.messages)),
+        mean_block_bytes: mean(log.iter().map(|r| r.bytes)),
+        commit_latency,
+        throughput_tps: tps(total_txs, final_clock_ms),
+        final_clock_ms,
+    };
+    (network, summary)
+}
+
+/// Runs the RapidChain baseline for `rounds` rounds, each committing one
+/// block of `txs_per_block` per shard (shards progress in parallel).
+///
+/// # Panics
+///
+/// Panics if a shard block fails to commit.
+pub fn run_rapidchain(
+    mut config: RapidChainConfig,
+    rounds: usize,
+    txs_per_block: usize,
+    workload: WorkloadConfig,
+) -> (RapidChainNetwork, RunSummary) {
+    config.genesis = genesis_for(&workload);
+    let nodes = config.nodes;
+    let mut network = RapidChainNetwork::new(config);
+    // One independent generator per shard so nonces stay sequential within
+    // each shard's ledger.
+    let mut generators: Vec<WorkloadGenerator> = (0..network.shard_count())
+        .map(|s| {
+            WorkloadGenerator::new(WorkloadConfig {
+                seed: workload.seed ^ (s as u64).wrapping_mul(0x9E37_79B9),
+                ..workload
+            })
+        })
+        .collect();
+    for _ in 0..rounds {
+        for shard in 0..network.shard_count() {
+            let batch = generators[shard].batch(txs_per_block);
+            network.propose_block(shard, batch).expect("shard commits");
+        }
+    }
+
+    let log = network.commit_log();
+    let total_txs: u64 = log.iter().map(|r| r.tx_count as u64).sum();
+    let commit_latency = LatencyStats::from_durations(log.iter().map(|r| r.commit_latency()));
+    let storage_bytes = network.storage_bytes();
+    let ledger_bytes: u64 = {
+        // One replica of the whole (sharded) ledger = sum over shards.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut total = 0u64;
+        for shard in 0..network.shard_count() {
+            if seen.insert(shard) {
+                for h in 0..network.shard_chain_len(shard) {
+                    let b = network.shard_block(shard, h).expect("exists");
+                    total += (ici_chain::block::BlockHeader::ENCODED_LEN
+                        + b.header().body_len as usize) as u64;
+                }
+            }
+        }
+        total
+    };
+    let final_clock_ms = network.now().as_micros() as f64 / 1_000.0;
+    let summary = RunSummary {
+        strategy: "RapidChain".into(),
+        nodes,
+        committed_blocks: log.len() as u64,
+        total_txs,
+        storage: StorageStats::from_bytes(storage_bytes),
+        ledger_bytes,
+        mean_block_messages: mean(log.iter().map(|r| r.messages)),
+        mean_block_bytes: mean(log.iter().map(|r| r.bytes)),
+        commit_latency,
+        throughput_tps: tps(total_txs, final_clock_ms),
+        final_clock_ms,
+    };
+    (network, summary)
+}
+
+fn mean<I: IntoIterator<Item = u64>>(values: I) -> f64 {
+    let v: Vec<u64> = values.into_iter().collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<u64>() as f64 / v.len() as f64
+    }
+}
+
+fn tps(txs: u64, clock_ms: f64) -> f64 {
+    if clock_ms <= 0.0 {
+        0.0
+    } else {
+        txs as f64 / (clock_ms / 1_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ici_net::link::LinkModel;
+
+    fn workload() -> WorkloadConfig {
+        WorkloadConfig {
+            accounts: 32,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    fn quiet_link() -> LinkModel {
+        LinkModel {
+            max_jitter_ms: 0.0,
+            ..LinkModel::default()
+        }
+    }
+
+    #[test]
+    fn ici_run_produces_consistent_summary() {
+        let config = IciConfig::builder()
+            .nodes(24)
+            .cluster_size(8)
+            .replication(2)
+            .link(quiet_link())
+            .build()
+            .expect("valid");
+        let (network, summary) = run_ici(config, 4, 6, workload());
+        assert_eq!(summary.committed_blocks, 4);
+        assert_eq!(summary.total_txs, 24);
+        assert_eq!(summary.storage.nodes, 24);
+        assert!(summary.throughput_tps > 0.0);
+        assert!(summary.storage_fraction() < 1.0);
+        assert_eq!(network.chain_len(), 5);
+    }
+
+    #[test]
+    fn full_run_stores_everything() {
+        let config = FullConfig {
+            nodes: 24,
+            link: quiet_link(),
+            seed: 1,
+            ..FullConfig::default()
+        };
+        let (_, summary) = run_full(config, 4, 6, workload());
+        assert_eq!(summary.committed_blocks, 4);
+        assert!((summary.storage_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rapidchain_run_commits_in_every_shard() {
+        let config = RapidChainConfig {
+            nodes: 40,
+            committee_size: 10,
+            link: quiet_link(),
+            seed: 1,
+            ..RapidChainConfig::default()
+        };
+        let (network, summary) = run_rapidchain(config, 2, 5, workload());
+        assert_eq!(network.shard_count(), 4);
+        assert_eq!(summary.committed_blocks, 8);
+        assert_eq!(summary.total_txs, 40);
+        // Each node stores ~1/k of the ledger.
+        assert!(summary.storage_fraction() < 0.5);
+    }
+
+    #[test]
+    fn ici_storage_fraction_is_far_below_full() {
+        let ici_cfg = IciConfig::builder()
+            .nodes(32)
+            .cluster_size(16)
+            .replication(2)
+            .link(quiet_link())
+            .build()
+            .expect("valid");
+        let (_, ici) = run_ici(ici_cfg, 5, 8, workload());
+        let full_cfg = FullConfig {
+            nodes: 32,
+            link: quiet_link(),
+            seed: 1,
+            ..FullConfig::default()
+        };
+        let (_, full) = run_full(full_cfg, 5, 8, workload());
+        assert!(
+            ici.storage.mean < full.storage.mean / 3.0,
+            "ici {} vs full {}",
+            ici.storage.mean,
+            full.storage.mean
+        );
+    }
+
+    #[test]
+    fn same_seed_same_summary() {
+        let config = || {
+            IciConfig::builder()
+                .nodes(16)
+                .cluster_size(8)
+                .replication(2)
+                .link(quiet_link())
+                .build()
+                .expect("valid")
+        };
+        let (_, a) = run_ici(config(), 3, 4, workload());
+        let (_, b) = run_ici(config(), 3, 4, workload());
+        assert_eq!(a, b);
+    }
+}

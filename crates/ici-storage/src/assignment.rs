@@ -1,0 +1,314 @@
+//! Block-to-node assignment inside a cluster.
+//!
+//! ICIStrategy stores each block on `r` of a cluster's `c` members. The
+//! assignment must be (a) computable by every member locally from the block
+//! id and the membership view — no coordination messages — and (b) stable
+//! under churn, so a join/leave moves few blocks. Three strategies:
+//!
+//! * [`RendezvousAssignment`] — highest-random-weight hashing; optimal
+//!   churn behaviour (only blocks owned by the departed node move), used by
+//!   default.
+//! * [`RingAssignment`] — consistent-hash ring with virtual nodes; the
+//!   classic DHT construction, kept as an ablation point.
+//! * [`RoundRobinAssignment`] — `height mod c` striping; perfectly uniform
+//!   but reshuffles almost everything on membership change. The strawman
+//!   the ablation bench quantifies against.
+
+use ici_crypto::lottery::rendezvous_top;
+use ici_crypto::sha256::{Digest, Sha256};
+use ici_net::node::NodeId;
+
+use ici_chain::block::Height;
+
+/// Chooses which cluster members store a block.
+///
+/// Implementations must be deterministic functions of their arguments.
+pub trait AssignmentStrategy {
+    /// Returns the `r` owners of block `(id, height)` among `members`
+    /// (fewer if `members.len() < r`). `members` is the cluster's active
+    /// member list, ascending by id.
+    fn owners(&self, id: &Digest, height: Height, members: &[NodeId], r: usize) -> Vec<NodeId>;
+
+    /// A short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Highest-random-weight (rendezvous) assignment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RendezvousAssignment;
+
+impl AssignmentStrategy for RendezvousAssignment {
+    fn owners(&self, id: &Digest, _height: Height, members: &[NodeId], r: usize) -> Vec<NodeId> {
+        rendezvous_top(id, members.iter().map(|n| n.get()), r)
+            .into_iter()
+            .map(NodeId::new)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "rendezvous"
+    }
+}
+
+/// Round-robin striping by height.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundRobinAssignment;
+
+impl AssignmentStrategy for RoundRobinAssignment {
+    fn owners(&self, _id: &Digest, height: Height, members: &[NodeId], r: usize) -> Vec<NodeId> {
+        if members.is_empty() {
+            return Vec::new();
+        }
+        let c = members.len();
+        let start = (height as usize) % c;
+        (0..r.min(c)).map(|i| members[(start + i) % c]).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Consistent-hash ring with virtual nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RingAssignment {
+    /// Virtual nodes per member; more gives smoother balance at higher
+    /// assignment cost.
+    pub vnodes: u32,
+}
+
+impl Default for RingAssignment {
+    fn default() -> RingAssignment {
+        RingAssignment { vnodes: 16 }
+    }
+}
+
+impl RingAssignment {
+    fn position(member: NodeId, vnode: u32) -> u64 {
+        let mut h = Sha256::new();
+        h.update(b"ici-ring-v1:");
+        h.update(&member.get().to_be_bytes());
+        h.update(&vnode.to_be_bytes());
+        h.finalize().prefix_u64()
+    }
+}
+
+impl AssignmentStrategy for RingAssignment {
+    fn owners(&self, id: &Digest, _height: Height, members: &[NodeId], r: usize) -> Vec<NodeId> {
+        if members.is_empty() || r == 0 {
+            return Vec::new();
+        }
+        let mut ring: Vec<(u64, NodeId)> = Vec::with_capacity(members.len() * self.vnodes as usize);
+        for &m in members {
+            for v in 0..self.vnodes {
+                ring.push((RingAssignment::position(m, v), m));
+            }
+        }
+        ring.sort_unstable();
+        let key = id.prefix_u64();
+        let start = ring.partition_point(|(pos, _)| *pos < key);
+        let mut owners = Vec::with_capacity(r.min(members.len()));
+        for i in 0..ring.len() {
+            let (_, node) = ring[(start + i) % ring.len()];
+            if !owners.contains(&node) {
+                owners.push(node);
+                if owners.len() == r.min(members.len()) {
+                    break;
+                }
+            }
+        }
+        owners
+    }
+
+    fn name(&self) -> &'static str {
+        "consistent-ring"
+    }
+}
+
+/// Computes, for a whole chain segment, how many blocks each member owns
+/// under `strategy` — the balance diagnostic used by the ablation bench.
+pub fn ownership_histogram<S: AssignmentStrategy + ?Sized>(
+    strategy: &S,
+    block_ids: &[(Digest, Height)],
+    members: &[NodeId],
+    r: usize,
+) -> std::collections::BTreeMap<NodeId, usize> {
+    let mut counts: std::collections::BTreeMap<NodeId, usize> =
+        members.iter().map(|m| (*m, 0)).collect();
+    for (id, height) in block_ids {
+        for owner in strategy.owners(id, *height, members, r) {
+            *counts.entry(owner).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Fraction of blocks whose owner set changes when `removed` leaves
+/// `members` — the churn-stability metric (lower is better; `r/c` is
+/// optimal).
+pub fn churn_disruption<S: AssignmentStrategy + ?Sized>(
+    strategy: &S,
+    block_ids: &[(Digest, Height)],
+    members: &[NodeId],
+    removed: NodeId,
+    r: usize,
+) -> f64 {
+    if block_ids.is_empty() {
+        return 0.0;
+    }
+    let survivors: Vec<NodeId> = members.iter().copied().filter(|m| *m != removed).collect();
+    let mut moved = 0usize;
+    for (id, height) in block_ids {
+        let before: std::collections::BTreeSet<NodeId> = strategy
+            .owners(id, *height, members, r)
+            .into_iter()
+            .filter(|m| *m != removed)
+            .collect();
+        let after: std::collections::BTreeSet<NodeId> = strategy
+            .owners(id, *height, &survivors, r)
+            .into_iter()
+            .collect();
+        // Count blocks that must transfer to some node that did not hold
+        // them before.
+        if after.difference(&before).next().is_some() {
+            moved += 1;
+        }
+    }
+    moved as f64 / block_ids.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    fn block_ids(n: u64) -> Vec<(Digest, Height)> {
+        (0..n)
+            .map(|h| (Sha256::digest(&h.to_be_bytes()), h))
+            .collect()
+    }
+
+    fn strategies() -> Vec<Box<dyn AssignmentStrategy>> {
+        vec![
+            Box::new(RendezvousAssignment),
+            Box::new(RoundRobinAssignment),
+            Box::new(RingAssignment::default()),
+        ]
+    }
+
+    #[test]
+    fn owners_are_distinct_members_of_requested_count() {
+        let m = members(10);
+        for s in strategies() {
+            for (id, h) in block_ids(20) {
+                let owners = s.owners(&id, h, &m, 3);
+                assert_eq!(owners.len(), 3, "{}", s.name());
+                let set: std::collections::HashSet<_> = owners.iter().collect();
+                assert_eq!(set.len(), 3, "{} produced duplicates", s.name());
+                for o in &owners {
+                    assert!(m.contains(o), "{} chose a non-member", s.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let m = members(8);
+        let (id, h) = (Sha256::digest(b"block"), 5);
+        for s in strategies() {
+            assert_eq!(s.owners(&id, h, &m, 2), s.owners(&id, h, &m, 2), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn r_larger_than_membership_returns_all() {
+        let m = members(3);
+        let (id, h) = (Sha256::digest(b"x"), 0);
+        for s in strategies() {
+            let owners = s.owners(&id, h, &m, 10);
+            assert_eq!(owners.len(), 3, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn empty_membership_returns_empty() {
+        let (id, h) = (Sha256::digest(b"x"), 0);
+        for s in strategies() {
+            assert!(s.owners(&id, h, &[], 2).is_empty(), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn round_robin_is_perfectly_uniform_with_r1() {
+        let m = members(8);
+        let ids = block_ids(80);
+        let hist = ownership_histogram(&RoundRobinAssignment, &ids, &m, 1);
+        for (node, count) in hist {
+            assert_eq!(count, 10, "{node}");
+        }
+    }
+
+    #[test]
+    fn hash_strategies_are_roughly_uniform() {
+        let m = members(8);
+        let ids = block_ids(1600);
+        for s in [
+            &RendezvousAssignment as &dyn AssignmentStrategy,
+            &RingAssignment { vnodes: 64 },
+        ] {
+            let hist = ownership_histogram(s, &ids, &m, 1);
+            let expected = 1600 / 8;
+            for (node, count) in hist {
+                assert!(
+                    count > expected / 2 && count < expected * 2,
+                    "{}: {node} owns {count}, expected ≈{expected}",
+                    s.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rendezvous_has_minimal_churn_disruption() {
+        let m = members(10);
+        let ids = block_ids(400);
+        let hrw = churn_disruption(&RendezvousAssignment, &ids, &m, NodeId::new(3), 2);
+        let rr = churn_disruption(&RoundRobinAssignment, &ids, &m, NodeId::new(3), 2);
+        // HRW: only blocks owned by n3 move ≈ r/c = 20%. Round-robin
+        // reshuffles nearly everything.
+        assert!(hrw < 0.35, "hrw disruption {hrw}");
+        assert!(rr > 0.8, "round-robin disruption {rr}");
+        assert!(hrw < rr);
+    }
+
+    #[test]
+    fn ring_with_more_vnodes_is_smoother() {
+        let m = members(8);
+        let ids = block_ids(1600);
+        let spread = |vnodes: u32| -> usize {
+            let hist = ownership_histogram(&RingAssignment { vnodes }, &ids, &m, 1);
+            let max = hist.values().max().copied().unwrap_or(0);
+            let min = hist.values().min().copied().unwrap_or(0);
+            max - min
+        };
+        assert!(spread(64) <= spread(1), "vnodes should smooth the ring");
+    }
+
+    #[test]
+    fn round_robin_height_striping() {
+        let m = members(4);
+        let id = Sha256::digest(b"irrelevant");
+        assert_eq!(
+            RoundRobinAssignment.owners(&id, 6, &m, 2),
+            vec![NodeId::new(2), NodeId::new(3)]
+        );
+        assert_eq!(
+            RoundRobinAssignment.owners(&id, 7, &m, 2),
+            vec![NodeId::new(3), NodeId::new(0)]
+        );
+    }
+}

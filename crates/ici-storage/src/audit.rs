@@ -1,0 +1,202 @@
+//! Intra-cluster integrity auditing.
+//!
+//! The defining invariant of ICIStrategy is **intra-cluster integrity**:
+//! every cluster, as a set, holds every block of the chain. This module
+//! checks that invariant over a snapshot of who-holds-what and reports how
+//! much replication slack each height has — the input to the availability
+//! experiment (E6).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ici_chain::block::Height;
+use ici_net::node::NodeId;
+
+/// Snapshot of body holdings inside one cluster: node → heights held.
+pub type Holdings = BTreeMap<NodeId, BTreeSet<Height>>;
+
+/// Result of an integrity audit over one cluster.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntegrityReport {
+    /// Chain length audited against (heights `0..chain_len`).
+    pub chain_len: Height,
+    /// Heights held by no live member — integrity violations.
+    pub missing: Vec<Height>,
+    /// Heights held by exactly one live member (no failure slack).
+    pub singly_held: Vec<Height>,
+    /// Histogram: live replica count → number of heights.
+    pub replication_histogram: BTreeMap<usize, u64>,
+}
+
+impl IntegrityReport {
+    /// Whether the cluster satisfies intra-cluster integrity.
+    pub fn is_intact(&self) -> bool {
+        self.missing.is_empty()
+    }
+
+    /// Fraction of heights still available, in `[0, 1]`.
+    pub fn availability(&self) -> f64 {
+        if self.chain_len == 0 {
+            return 1.0;
+        }
+        1.0 - self.missing.len() as f64 / self.chain_len as f64
+    }
+
+    /// The minimum live replica count over all heights (0 if any height is
+    /// missing).
+    pub fn min_replication(&self) -> usize {
+        self.replication_histogram
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// Audits one cluster: which of heights `0..chain_len` are held by live
+/// members, and with how many replicas.
+///
+/// `live` filters `holdings`; a crashed member's copies do not count.
+pub fn audit_cluster(
+    holdings: &Holdings,
+    live: &BTreeSet<NodeId>,
+    chain_len: Height,
+) -> IntegrityReport {
+    let mut replicas: BTreeMap<Height, usize> = (0..chain_len).map(|h| (h, 0)).collect();
+    for (node, heights) in holdings {
+        if !live.contains(node) {
+            continue;
+        }
+        for h in heights {
+            if *h < chain_len {
+                if let Some(count) = replicas.get_mut(h) {
+                    *count += 1;
+                }
+            }
+        }
+    }
+    let mut missing = Vec::new();
+    let mut singly_held = Vec::new();
+    let mut histogram: BTreeMap<usize, u64> = BTreeMap::new();
+    for (height, count) in &replicas {
+        *histogram.entry(*count).or_insert(0) += 1;
+        match count {
+            0 => missing.push(*height),
+            1 => singly_held.push(*height),
+            _ => {}
+        }
+    }
+    IntegrityReport {
+        chain_len,
+        missing,
+        singly_held,
+        replication_histogram: histogram,
+    }
+}
+
+/// Audits several clusters at once; the network-wide chain is available iff
+/// **every** cluster is intact (any single intact cluster can serve reads,
+/// but the paper's invariant is per-cluster, and a violated cluster must
+/// repair via cross-cluster traffic).
+///
+/// Returns `(per-cluster reports, fraction of heights available in at least
+/// one cluster)`.
+pub fn audit_network(
+    clusters: &[(Holdings, BTreeSet<NodeId>)],
+    chain_len: Height,
+) -> (Vec<IntegrityReport>, f64) {
+    let reports: Vec<IntegrityReport> = clusters
+        .iter()
+        .map(|(holdings, live)| audit_cluster(holdings, live, chain_len))
+        .collect();
+    if chain_len == 0 {
+        return (reports, 1.0);
+    }
+    let mut lost_everywhere = 0u64;
+    'heights: for h in 0..chain_len {
+        for report in &reports {
+            if report.missing.binary_search(&h).is_err() {
+                continue 'heights; // some cluster still has it
+            }
+        }
+        lost_everywhere += 1;
+    }
+    let availability = 1.0 - lost_everywhere as f64 / chain_len as f64;
+    (reports, availability)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn holdings(entries: &[(u64, &[Height])]) -> Holdings {
+        entries
+            .iter()
+            .map(|(node, heights)| (NodeId::new(*node), heights.iter().copied().collect()))
+            .collect()
+    }
+
+    fn live(ids: &[u64]) -> BTreeSet<NodeId> {
+        ids.iter().map(|i| NodeId::new(*i)).collect()
+    }
+
+    #[test]
+    fn intact_cluster_reports_clean() {
+        let h = holdings(&[(0, &[0, 1]), (1, &[2, 3]), (2, &[0, 2])]);
+        let report = audit_cluster(&h, &live(&[0, 1, 2]), 4);
+        assert!(report.is_intact());
+        assert_eq!(report.availability(), 1.0);
+        assert_eq!(report.singly_held, vec![1, 3]);
+        assert_eq!(report.replication_histogram[&1], 2);
+        assert_eq!(report.replication_histogram[&2], 2);
+        assert_eq!(report.min_replication(), 1);
+    }
+
+    #[test]
+    fn missing_heights_are_found() {
+        let h = holdings(&[(0, &[0]), (1, &[2])]);
+        let report = audit_cluster(&h, &live(&[0, 1]), 4);
+        assert!(!report.is_intact());
+        assert_eq!(report.missing, vec![1, 3]);
+        assert_eq!(report.availability(), 0.5);
+        assert_eq!(report.min_replication(), 0);
+    }
+
+    #[test]
+    fn dead_members_do_not_count() {
+        let h = holdings(&[(0, &[0, 1]), (1, &[0, 1])]);
+        let report = audit_cluster(&h, &live(&[1]), 2);
+        assert!(report.is_intact());
+        assert_eq!(report.singly_held, vec![0, 1]);
+
+        let report = audit_cluster(&h, &live(&[]), 2);
+        assert_eq!(report.missing, vec![0, 1]);
+        assert_eq!(report.availability(), 0.0);
+    }
+
+    #[test]
+    fn heights_beyond_chain_len_ignored() {
+        let h = holdings(&[(0, &[0, 99])]);
+        let report = audit_cluster(&h, &live(&[0]), 1);
+        assert!(report.is_intact());
+        assert_eq!(report.chain_len, 1);
+    }
+
+    #[test]
+    fn empty_chain_is_trivially_available() {
+        let report = audit_cluster(&Holdings::new(), &live(&[]), 0);
+        assert!(report.is_intact());
+        assert_eq!(report.availability(), 1.0);
+    }
+
+    #[test]
+    fn network_availability_is_union_over_clusters() {
+        // Cluster A lost height 1; cluster B lost height 2; height 3 lost
+        // in both.
+        let a = (holdings(&[(0, &[0, 2])]), live(&[0]));
+        let b = (holdings(&[(1, &[0, 1])]), live(&[1]));
+        let (reports, availability) = audit_network(&[a, b], 4);
+        assert_eq!(reports[0].missing, vec![1, 3]);
+        assert_eq!(reports[1].missing, vec![2, 3]);
+        assert!((availability - 0.75).abs() < 1e-9);
+    }
+}

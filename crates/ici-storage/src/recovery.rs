@@ -1,0 +1,247 @@
+//! Failure recovery: re-replication planning.
+//!
+//! When a cluster member crashes, the blocks it held lose one replica; any
+//! block that drops below the target replication `r` must be copied to a
+//! new owner before further failures break intra-cluster integrity. The
+//! planner computes, purely from local knowledge (holdings snapshot +
+//! membership + the deterministic assignment), the minimal set of
+//! `(height, source, destination)` transfers.
+
+use std::collections::BTreeSet;
+
+use ici_crypto::sha256::Digest;
+use ici_net::node::NodeId;
+
+use ici_chain::block::Height;
+
+use crate::assignment::AssignmentStrategy;
+use crate::audit::Holdings;
+
+/// One planned body transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transfer {
+    /// Height of the block to copy.
+    pub height: Height,
+    /// A live member that holds the body.
+    pub source: NodeId,
+    /// The member that must receive it.
+    pub destination: NodeId,
+    /// Body size in bytes (for traffic accounting).
+    pub bytes: u64,
+}
+
+/// The outcome of recovery planning.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryPlan {
+    /// Transfers to execute, ascending by height.
+    pub transfers: Vec<Transfer>,
+    /// Heights no live member of the cluster still holds; these require a
+    /// cross-cluster fetch (handled by the core query protocol).
+    pub unrecoverable: Vec<Height>,
+}
+
+impl RecoveryPlan {
+    /// Total bytes the plan moves.
+    pub fn total_bytes(&self) -> u64 {
+        self.transfers.iter().map(|t| t.bytes).sum()
+    }
+
+    /// Whether nothing needs to move.
+    pub fn is_empty(&self) -> bool {
+        self.transfers.is_empty() && self.unrecoverable.is_empty()
+    }
+}
+
+/// Description of one block for the planner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockRef {
+    /// Block id (drives hash-based assignment).
+    pub id: Digest,
+    /// Height in the chain.
+    pub height: Height,
+    /// Encoded body length.
+    pub body_bytes: u64,
+}
+
+/// Plans the transfers that restore every block of `blocks` to `r` live
+/// replicas within one cluster.
+///
+/// * `holdings` — who currently holds which heights (may include departed
+///   nodes; they are ignored unless in `live`).
+/// * `live` — current live members, the candidate owners.
+/// * `strategy` — the cluster's assignment; new owners are the strategy's
+///   choice among live members, skipping nodes that already hold the block.
+///
+/// Sources are chosen round-robin among live holders to spread repair load.
+pub fn plan_recovery<S: AssignmentStrategy + ?Sized>(
+    blocks: &[BlockRef],
+    holdings: &Holdings,
+    live: &BTreeSet<NodeId>,
+    strategy: &S,
+    r: usize,
+) -> RecoveryPlan {
+    let live_members: Vec<NodeId> = live.iter().copied().collect();
+    let mut plan = RecoveryPlan::default();
+
+    for block in blocks {
+        let holders: Vec<NodeId> = live_members
+            .iter()
+            .copied()
+            .filter(|n| {
+                holdings
+                    .get(n)
+                    .map_or(false, |heights| heights.contains(&block.height))
+            })
+            .collect();
+
+        if holders.is_empty() {
+            plan.unrecoverable.push(block.height);
+            continue;
+        }
+        let deficit = r.min(live_members.len()).saturating_sub(holders.len());
+        if deficit == 0 {
+            continue;
+        }
+
+        // New owners: assignment order over live members, skipping current
+        // holders, taking `deficit`.
+        let preferred = strategy.owners(&block.id, block.height, &live_members, live_members.len());
+        let mut added = 0;
+        let mut source_cursor = 0;
+        for candidate in preferred {
+            if added == deficit {
+                break;
+            }
+            if holders.contains(&candidate) {
+                continue;
+            }
+            let source = holders[source_cursor % holders.len()];
+            source_cursor += 1;
+            plan.transfers.push(Transfer {
+                height: block.height,
+                source,
+                destination: candidate,
+                bytes: block.body_bytes,
+            });
+            added += 1;
+        }
+    }
+    plan.transfers.sort_by_key(|t| (t.height, t.destination));
+    plan.unrecoverable.sort_unstable();
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::RendezvousAssignment;
+    use ici_crypto::sha256::Sha256;
+
+    fn block(h: Height) -> BlockRef {
+        BlockRef {
+            id: Sha256::digest(&h.to_be_bytes()),
+            height: h,
+            body_bytes: 1_000,
+        }
+    }
+
+    fn full_cluster(n: u64, chain: Height, r: usize) -> (Vec<BlockRef>, Holdings) {
+        let members: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        let blocks: Vec<BlockRef> = (0..chain).map(block).collect();
+        let mut holdings = Holdings::new();
+        for b in &blocks {
+            for owner in RendezvousAssignment.owners(&b.id, b.height, &members, r) {
+                holdings.entry(owner).or_default().insert(b.height);
+            }
+        }
+        (blocks, holdings)
+    }
+
+    #[test]
+    fn healthy_cluster_needs_no_plan() {
+        let (blocks, holdings) = full_cluster(8, 40, 2);
+        let live: BTreeSet<NodeId> = (0..8).map(NodeId::new).collect();
+        let plan = plan_recovery(&blocks, &holdings, &live, &RendezvousAssignment, 2);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn single_failure_restores_replication() {
+        let (blocks, holdings) = full_cluster(8, 40, 2);
+        let mut live: BTreeSet<NodeId> = (0..8).map(NodeId::new).collect();
+        live.remove(&NodeId::new(3));
+
+        let plan = plan_recovery(&blocks, &holdings, &live, &RendezvousAssignment, 2);
+        assert!(plan.unrecoverable.is_empty());
+        // Every block n3 owned needs exactly one new replica.
+        let lost: usize = holdings
+            .get(&NodeId::new(3))
+            .map(|h| h.len())
+            .unwrap_or(0);
+        assert_eq!(plan.transfers.len(), lost);
+        for t in &plan.transfers {
+            assert_ne!(t.destination, NodeId::new(3));
+            assert!(live.contains(&t.source));
+            assert!(live.contains(&t.destination));
+            // The destination must not already hold the block.
+            assert!(!holdings
+                .get(&t.destination)
+                .map_or(false, |h| h.contains(&t.height)));
+        }
+        assert_eq!(plan.total_bytes(), lost as u64 * 1_000);
+    }
+
+    #[test]
+    fn applying_the_plan_restores_integrity() {
+        let (blocks, mut holdings) = full_cluster(10, 60, 2);
+        let mut live: BTreeSet<NodeId> = (0..10).map(NodeId::new).collect();
+        live.remove(&NodeId::new(1));
+        live.remove(&NodeId::new(7));
+
+        let plan = plan_recovery(&blocks, &holdings, &live, &RendezvousAssignment, 2);
+        for t in &plan.transfers {
+            holdings.entry(t.destination).or_default().insert(t.height);
+        }
+        // Re-plan: nothing left to do.
+        let again = plan_recovery(&blocks, &holdings, &live, &RendezvousAssignment, 2);
+        assert!(again.transfers.is_empty(), "second plan: {again:?}");
+    }
+
+    #[test]
+    fn unrecoverable_blocks_are_reported() {
+        let (blocks, holdings) = full_cluster(4, 20, 1);
+        // Kill the sole holder of each r=1 block by killing everyone who
+        // holds block 0's body.
+        let holder_of_0 = holdings
+            .iter()
+            .find(|(_, hs)| hs.contains(&0))
+            .map(|(n, _)| *n)
+            .expect("someone holds block 0");
+        let mut live: BTreeSet<NodeId> = (0..4).map(NodeId::new).collect();
+        live.remove(&holder_of_0);
+
+        let plan = plan_recovery(&blocks, &holdings, &live, &RendezvousAssignment, 1);
+        assert!(plan.unrecoverable.contains(&0));
+    }
+
+    #[test]
+    fn deficit_capped_by_live_membership() {
+        // 2 live members, r=3: target replication is effectively 2.
+        let (blocks, holdings) = full_cluster(2, 10, 3);
+        let live: BTreeSet<NodeId> = (0..2).map(NodeId::new).collect();
+        let plan = plan_recovery(&blocks, &holdings, &live, &RendezvousAssignment, 3);
+        assert!(plan.transfers.is_empty());
+    }
+
+    #[test]
+    fn sources_rotate_among_holders() {
+        let (blocks, holdings) = full_cluster(6, 30, 3);
+        let mut live: BTreeSet<NodeId> = (0..6).map(NodeId::new).collect();
+        live.remove(&NodeId::new(0));
+        let plan = plan_recovery(&blocks, &holdings, &live, &RendezvousAssignment, 3);
+        if plan.transfers.len() >= 4 {
+            let sources: BTreeSet<NodeId> = plan.transfers.iter().map(|t| t.source).collect();
+            assert!(sources.len() > 1, "all repairs from one source");
+        }
+    }
+}

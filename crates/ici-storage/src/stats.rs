@@ -1,0 +1,131 @@
+//! Storage-distribution statistics.
+//!
+//! The storage experiments report per-node footprints; this module turns a
+//! set of per-node byte counts into the summary rows the tables print
+//! (mean / median / p95 / max, plus a balance coefficient).
+
+/// Summary statistics over per-node storage footprints.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StorageStats {
+    /// Number of nodes sampled.
+    pub nodes: usize,
+    /// Total bytes across all nodes.
+    pub total: u64,
+    /// Mean bytes per node.
+    pub mean: f64,
+    /// Minimum bytes on any node.
+    pub min: u64,
+    /// Median bytes.
+    pub median: u64,
+    /// 95th percentile bytes.
+    pub p95: u64,
+    /// Maximum bytes on any node.
+    pub max: u64,
+}
+
+impl StorageStats {
+    /// Computes statistics over per-node byte counts. Returns the default
+    /// (all-zero) value for an empty input.
+    pub fn from_bytes<I>(bytes: I) -> StorageStats
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let mut values: Vec<u64> = bytes.into_iter().collect();
+        if values.is_empty() {
+            return StorageStats::default();
+        }
+        values.sort_unstable();
+        let nodes = values.len();
+        let total: u64 = values.iter().sum();
+        StorageStats {
+            nodes,
+            total,
+            mean: total as f64 / nodes as f64,
+            min: values[0],
+            median: values[nodes / 2],
+            p95: values[((nodes as f64 * 0.95) as usize).min(nodes - 1)],
+            max: values[nodes - 1],
+        }
+    }
+
+    /// Max/mean ratio; 1.0 is perfect balance.
+    pub fn balance_ratio(&self) -> f64 {
+        if self.mean == 0.0 {
+            1.0
+        } else {
+            self.max as f64 / self.mean
+        }
+    }
+}
+
+/// Formats a byte count using binary units, for table rendering.
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_known_values() {
+        let stats = StorageStats::from_bytes([10, 20, 30, 40, 100]);
+        assert_eq!(stats.nodes, 5);
+        assert_eq!(stats.total, 200);
+        assert_eq!(stats.mean, 40.0);
+        assert_eq!(stats.min, 10);
+        assert_eq!(stats.median, 30);
+        assert_eq!(stats.max, 100);
+        assert_eq!(stats.balance_ratio(), 2.5);
+    }
+
+    #[test]
+    fn empty_input_is_all_zero() {
+        let stats = StorageStats::from_bytes(std::iter::empty());
+        assert_eq!(stats, StorageStats::default());
+        assert_eq!(stats.balance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let stats = StorageStats::from_bytes([7]);
+        assert_eq!(stats.median, 7);
+        assert_eq!(stats.p95, 7);
+        assert_eq!(stats.balance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn p95_on_hundred_values() {
+        let stats = StorageStats::from_bytes(1..=100u64);
+        assert_eq!(stats.p95, 96);
+        assert_eq!(stats.median, 51);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let stats = StorageStats::from_bytes([50, 10, 40, 20, 30]);
+        assert_eq!(stats.min, 10);
+        assert_eq!(stats.max, 50);
+        assert_eq!(stats.median, 30);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert_eq!(format_bytes(5 * 1024 * 1024), "5.00 MiB");
+        assert_eq!(format_bytes(3 * 1024 * 1024 * 1024), "3.00 GiB");
+        assert_eq!(format_bytes(0), "0 B");
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests over assignment, auditing, and recovery planning.
+
+use std::collections::BTreeSet;
+
+use ici_crypto::sha256::Sha256;
+use ici_net::node::NodeId;
+use ici_storage::assignment::{
+    AssignmentStrategy, RendezvousAssignment, RingAssignment, RoundRobinAssignment,
+};
+use ici_storage::audit::{audit_cluster, Holdings};
+use ici_storage::recovery::{plan_recovery, BlockRef};
+use proptest::prelude::*;
+
+fn all_strategies() -> Vec<Box<dyn AssignmentStrategy>> {
+    vec![
+        Box::new(RendezvousAssignment),
+        Box::new(RingAssignment::default()),
+        Box::new(RoundRobinAssignment),
+    ]
+}
+
+proptest! {
+    /// Owner sets are always: distinct, members, of size min(r, c), and
+    /// deterministic — for every strategy and any shape.
+    #[test]
+    fn owner_sets_are_well_formed(
+        c in 1usize..40,
+        r in 0usize..6,
+        height in any::<u64>(),
+        key in any::<u64>(),
+    ) {
+        let members: Vec<NodeId> = (0..c as u64).map(NodeId::new).collect();
+        let id = Sha256::digest(&key.to_be_bytes());
+        for strategy in all_strategies() {
+            let owners = strategy.owners(&id, height, &members, r);
+            prop_assert_eq!(owners.len(), r.min(c), "{}", strategy.name());
+            let set: BTreeSet<&NodeId> = owners.iter().collect();
+            prop_assert_eq!(set.len(), owners.len(), "{} duplicated", strategy.name());
+            for o in &owners {
+                prop_assert!(members.contains(o), "{} non-member", strategy.name());
+            }
+            prop_assert_eq!(
+                strategy.owners(&id, height, &members, r),
+                owners,
+                "{} non-deterministic",
+                strategy.name()
+            );
+        }
+    }
+
+    /// Rendezvous assignment: removing a non-owner never changes a block's
+    /// owner set (minimal disruption, exact form).
+    #[test]
+    fn rendezvous_ignores_non_owner_departures(
+        c in 3usize..30,
+        key in any::<u64>(),
+        victim in any::<prop::sample::Index>(),
+    ) {
+        let members: Vec<NodeId> = (0..c as u64).map(NodeId::new).collect();
+        let id = Sha256::digest(&key.to_be_bytes());
+        let r = 2.min(c);
+        let owners = RendezvousAssignment.owners(&id, 0, &members, r);
+        let gone = members[victim.index(c)];
+        if owners.contains(&gone) {
+            return Ok(()); // departure of an owner must change the set
+        }
+        let survivors: Vec<NodeId> = members.iter().copied().filter(|m| *m != gone).collect();
+        prop_assert_eq!(RendezvousAssignment.owners(&id, 0, &survivors, r), owners);
+    }
+
+    /// Audit + plan + apply = audit clean: for any random holdings and
+    /// any live subset, executing the recovery plan leaves no block
+    /// under-replicated that had at least one live holder.
+    #[test]
+    fn recovery_plan_restores_replication(
+        c in 4usize..16,
+        chain in 1u64..40,
+        dead in proptest::collection::vec(any::<prop::sample::Index>(), 0..4),
+        seed in any::<u64>(),
+    ) {
+        let members: Vec<NodeId> = (0..c as u64).map(NodeId::new).collect();
+        let r = 2.min(c);
+        let blocks: Vec<BlockRef> = (0..chain)
+            .map(|h| BlockRef {
+                id: Sha256::digest(&(h ^ seed).to_be_bytes()),
+                height: h,
+                body_bytes: 100,
+            })
+            .collect();
+        // Initial holdings per the assignment.
+        let mut holdings = Holdings::new();
+        for b in &blocks {
+            for owner in RendezvousAssignment.owners(&b.id, b.height, &members, r) {
+                holdings.entry(owner).or_default().insert(b.height);
+            }
+        }
+        let mut live: BTreeSet<NodeId> = members.iter().copied().collect();
+        for pick in dead {
+            live.remove(&members[pick.index(c)]);
+        }
+        if live.is_empty() {
+            return Ok(());
+        }
+
+        let plan = plan_recovery(&blocks, &holdings, &live, &RendezvousAssignment, r);
+        for t in &plan.transfers {
+            prop_assert!(live.contains(&t.source));
+            prop_assert!(live.contains(&t.destination));
+            holdings.entry(t.destination).or_default().insert(t.height);
+        }
+
+        // Re-plan: nothing further to move.
+        let again = plan_recovery(&blocks, &holdings, &live, &RendezvousAssignment, r);
+        prop_assert!(again.transfers.is_empty());
+
+        // Every block with a live holder reaches min(r, live) replicas.
+        let target = r.min(live.len());
+        let report = audit_cluster(&holdings, &live, chain);
+        for h in 0..chain {
+            let was_recoverable = !plan.unrecoverable.contains(&h);
+            if was_recoverable {
+                let live_replicas = holdings
+                    .iter()
+                    .filter(|(n, hs)| live.contains(n) && hs.contains(&h))
+                    .count();
+                prop_assert!(
+                    live_replicas >= target,
+                    "height {h}: {live_replicas} < {target}"
+                );
+            }
+        }
+        // The audit agrees with the holder count.
+        prop_assert_eq!(report.chain_len, chain);
+    }
+
+    /// Audit availability is exactly the fraction of heights with a live
+    /// holder.
+    #[test]
+    fn audit_availability_matches_definition(
+        chain in 1u64..60,
+        entries in proptest::collection::vec((0u64..8, 0u64..60), 0..80),
+        live_mask in 0u8..=255,
+    ) {
+        let mut holdings = Holdings::new();
+        for (node, height) in entries {
+            if height < chain {
+                holdings.entry(NodeId::new(node)).or_default().insert(height);
+            }
+        }
+        let live: BTreeSet<NodeId> = (0..8u64)
+            .filter(|i| live_mask & (1 << i) != 0)
+            .map(NodeId::new)
+            .collect();
+        let report = audit_cluster(&holdings, &live, chain);
+        let covered = (0..chain)
+            .filter(|h| {
+                holdings
+                    .iter()
+                    .any(|(n, hs)| live.contains(n) && hs.contains(h))
+            })
+            .count() as f64;
+        prop_assert!((report.availability() - covered / chain as f64).abs() < 1e-12);
+        prop_assert_eq!(report.missing.len() as u64, chain - covered as u64);
+    }
+}

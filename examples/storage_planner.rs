@@ -1,0 +1,95 @@
+//! Storage planner: size an ICIStrategy deployment against a per-node
+//! disk budget.
+//!
+//! A network operator knows the ledger's growth (blocks/day × block size)
+//! and each participant's disk budget; this example sweeps cluster size
+//! and replication with the closed-form models from `ici-baselines` and
+//! prints the configurations that fit, alongside what full replication
+//! and RapidChain would require.
+//!
+//! Run with: `cargo run --example storage_planner`
+
+use icistrategy::baselines::analytic::{
+    full_replication_per_node, ici_per_node, rapidchain_per_node, LedgerShape,
+};
+use icistrategy::sim::table::Table;
+use icistrategy::storage::stats::format_bytes;
+
+fn main() {
+    // A Bitcoin-2020-like ledger after three years of 1 MB blocks every
+    // 10 minutes, in a 4,000-node network.
+    let blocks_per_day = 144u64;
+    let days = 3 * 365;
+    let shape = LedgerShape {
+        blocks: blocks_per_day * days,
+        mean_body_bytes: 1_000_000,
+    };
+    let nodes = 4_000usize;
+    let budget: u64 = 20 << 30; // 20 GiB per node
+
+    println!(
+        "ledger after {days} days: {} blocks, {} total",
+        shape.blocks,
+        format_bytes(shape.total_bytes()),
+    );
+    println!("network: {nodes} nodes, per-node budget {}\n", format_bytes(budget));
+
+    let mut reference = Table::new(
+        "Reference points",
+        ["strategy", "per-node storage", "fits budget?"],
+    );
+    let full = full_replication_per_node(shape);
+    let rapid = rapidchain_per_node(shape, nodes, 250);
+    for (name, bytes) in [
+        ("FullReplication", full),
+        ("RapidChain (committees of 250)", rapid),
+    ] {
+        reference.row([
+            name.to_string(),
+            format_bytes(bytes as u64),
+            if (bytes as u64) <= budget { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("{reference}");
+
+    let mut plan = Table::new(
+        "ICIStrategy configurations",
+        [
+            "cluster size c",
+            "replication r",
+            "per-node storage",
+            "fits budget?",
+            "survives r-1 crashes/cluster",
+        ],
+    );
+    let mut best: Option<(usize, usize, f64)> = None;
+    for c in [16usize, 32, 64, 128, 256] {
+        for r in [1usize, 2, 3] {
+            let bytes = ici_per_node(shape, c, r);
+            let fits = (bytes as u64) <= budget;
+            plan.row([
+                c.to_string(),
+                r.to_string(),
+                format_bytes(bytes as u64),
+                if fits { "yes" } else { "no" }.to_string(),
+                if r >= 2 { "yes" } else { "no (r=1 is fragile)" }.to_string(),
+            ]);
+            // Prefer the smallest cluster (lowest intra-cluster latency)
+            // with r >= 2 that fits.
+            if fits && r >= 2 && best.map_or(true, |(bc, _, _)| c < bc) {
+                best = Some((c, r, bytes));
+            }
+        }
+    }
+    println!("{plan}");
+
+    match best {
+        Some((c, r, bytes)) => println!(
+            "recommendation: clusters of {c} with r = {r} -> {} per node \
+             ({:.1}% of full replication)",
+            format_bytes(bytes as u64),
+            100.0 * bytes / full,
+        ),
+        None => println!("no ICI configuration fits the budget; grow clusters or disks"),
+    }
+}

@@ -1,0 +1,133 @@
+//! Full-pipeline integration: mempool → block builder → ICIStrategy
+//! lifecycle → tiered queries → SPV proofs, end to end.
+
+use icistrategy::chain::mempool::Mempool;
+use icistrategy::chain::transaction::TxId;
+use icistrategy::prelude::*;
+
+fn network() -> IciNetwork {
+    let config = IciConfig::builder()
+        .nodes(36)
+        .cluster_size(12)
+        .replication(2)
+        .seed(55)
+        .build()
+        .expect("valid configuration");
+    IciNetwork::new(config).expect("constructs")
+}
+
+#[test]
+fn mempool_driven_chain_commits_everything_exactly_once() {
+    let mut net = network();
+    let mut pool = Mempool::new(500);
+    let mut generator = WorkloadGenerator::new(WorkloadConfig {
+        accounts: 64,
+        seed: 55,
+        ..WorkloadConfig::default()
+    });
+
+    let mut submitted: Vec<TxId> = Vec::new();
+    for tx in generator.batch(100) {
+        submitted.push(tx.id());
+        pool.insert(tx).expect("workload txs are valid");
+    }
+
+    while !pool.is_empty() {
+        let batch = pool.take_for_block(24);
+        net.propose_block(batch).expect("commits");
+    }
+
+    // Every submitted transaction is on chain exactly once.
+    let mut on_chain: Vec<TxId> = Vec::new();
+    for h in 0..net.chain_len() {
+        for tx in net.block(h).expect("block").transactions() {
+            on_chain.push(tx.id());
+        }
+    }
+    assert_eq!(on_chain.len(), submitted.len());
+    let mut a = on_chain.clone();
+    let mut b = submitted.clone();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "chain content differs from submissions");
+}
+
+#[test]
+fn spv_proof_exists_for_every_committed_transaction() {
+    let mut net = network();
+    let mut generator = WorkloadGenerator::new(WorkloadConfig {
+        accounts: 64,
+        seed: 56,
+        ..WorkloadConfig::default()
+    });
+    let mut ids = Vec::new();
+    for _ in 0..3 {
+        let batch = generator.batch(8);
+        ids.extend(batch.iter().map(|t| t.id()));
+        net.propose_block(batch).expect("commits");
+    }
+    for (i, id) in ids.iter().enumerate() {
+        let requester = NodeId::new((i % 36) as u64);
+        let report = net
+            .query_transaction(requester, id)
+            .unwrap_or_else(|e| panic!("tx {i}: {e}"));
+        assert_eq!(report.transaction.id(), *id);
+        // The proof verifies against the requester-held header.
+        let header = *net.block(report.height).expect("block").header();
+        assert!(report.proof.verify(
+            &icistrategy::chain::codec::Encode::to_bytes(&report.transaction),
+            header.tx_root
+        ));
+    }
+}
+
+#[test]
+fn pool_refills_between_blocks_and_nonces_stay_valid() {
+    let mut net = network();
+    let mut pool = Mempool::new(500);
+    let mut generator = WorkloadGenerator::new(WorkloadConfig {
+        accounts: 16, // few accounts ⇒ deep per-sender nonce chains
+        seed: 57,
+        ..WorkloadConfig::default()
+    });
+    for round in 0..4 {
+        for tx in generator.batch(20) {
+            pool.insert(tx).expect("valid");
+        }
+        let batch = pool.take_for_block(20);
+        let record = net.propose_block(batch).expect("commits").clone();
+        assert_eq!(record.tx_count, 20, "round {round} dropped transactions");
+    }
+    assert!(net.audit_all().iter().all(|r| r.is_intact()));
+}
+
+#[test]
+fn queries_work_after_heavy_churn() {
+    let mut net = network();
+    let mut generator = WorkloadGenerator::new(WorkloadConfig {
+        accounts: 64,
+        seed: 58,
+        ..WorkloadConfig::default()
+    });
+    for _ in 0..5 {
+        net.propose_block(generator.batch(12)).expect("commits");
+    }
+    // Join, crash, repair, reconfigure — then every height must still be
+    // readable from every live node.
+    net.bootstrap_node(Coord::new(25.0, 75.0), JoinPolicy::NearestCentroid)
+        .expect("joins");
+    net.crash_node(NodeId::new(4)).expect("known");
+    net.crash_node(NodeId::new(20)).expect("known");
+    net.repair_all();
+    net.reconfigure_clusters();
+
+    for node in [0u64, 7, 19, 35, 36] {
+        if !net.net().is_up(NodeId::new(node)) {
+            continue;
+        }
+        for height in 0..net.chain_len() {
+            net.query_body(NodeId::new(node), height)
+                .unwrap_or_else(|e| panic!("node {node} height {height}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based integration tests: random configurations and random
+//! operation sequences must never violate the core invariants.
+
+use icistrategy::prelude::*;
+use proptest::prelude::*;
+
+fn build(nodes: usize, c: usize, r: usize, seed: u64) -> IciNetwork {
+    let config = IciConfig::builder()
+        .nodes(nodes)
+        .cluster_size(c)
+        .replication(r)
+        .seed(seed)
+        .build()
+        .expect("valid configuration");
+    IciNetwork::new(config).expect("constructs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Integrity, linkage, and header completeness hold for arbitrary
+    /// (small) shapes.
+    #[test]
+    fn invariants_hold_for_random_shapes(
+        nodes in 12usize..48,
+        cluster in 4usize..16,
+        r in 1usize..4,
+        blocks in 1usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let r = r.min(cluster);
+        let mut net = build(nodes, cluster, r, seed);
+        let mut workload = WorkloadGenerator::new(WorkloadConfig {
+            accounts: 64,
+            seed,
+            ..WorkloadConfig::default()
+        });
+        for _ in 0..blocks {
+            net.propose_block(workload.batch(6)).expect("commits");
+        }
+        prop_assert!(net.audit_all().iter().all(|rep| rep.is_intact()));
+        prop_assert_eq!(net.chain_len(), blocks as u64 + 1);
+        prop_assert_eq!(net.tip().state_root, net.state().root());
+    }
+
+    /// A random crash set within the fault budget never blocks commits,
+    /// and repair restores full integrity whenever each cluster keeps a
+    /// live holder or any other cluster does.
+    #[test]
+    fn random_crashes_then_repair_restores_integrity(
+        seed in 0u64..500,
+        crash_picks in proptest::collection::vec(any::<prop::sample::Index>(), 1..4),
+    ) {
+        let mut net = build(36, 12, 2, seed);
+        let mut workload = WorkloadGenerator::new(WorkloadConfig {
+            accounts: 64,
+            seed,
+            ..WorkloadConfig::default()
+        });
+        for _ in 0..4 {
+            net.propose_block(workload.batch(6)).expect("commits");
+        }
+        // Crash at most 2 distinct nodes per cluster of 12 (f = 3, and we
+        // want bodies to stay findable).
+        let mut crashed = std::collections::HashSet::new();
+        for pick in crash_picks {
+            let node = NodeId::new(pick.index(36) as u64);
+            if crashed.insert(node) {
+                net.crash_node(node).expect("known node");
+            }
+        }
+        // Chain still commits.
+        net.propose_block(workload.batch(6)).expect("commits despite crashes");
+
+        let reports = net.repair_all();
+        for report in &reports {
+            prop_assert!(report.unrecoverable.is_empty(), "lost heights: {:?}", report);
+        }
+        prop_assert!(net.audit_all().iter().all(|rep| rep.is_intact()));
+    }
+
+    /// Queries succeed from any live node for any committed height, and
+    /// local queries cost no traffic.
+    #[test]
+    fn queries_always_succeed_on_live_networks(
+        seed in 0u64..500,
+        node_pick in any::<prop::sample::Index>(),
+        height_pick in any::<prop::sample::Index>(),
+    ) {
+        let mut net = build(24, 8, 2, seed);
+        let mut workload = WorkloadGenerator::new(WorkloadConfig {
+            accounts: 64,
+            seed,
+            ..WorkloadConfig::default()
+        });
+        for _ in 0..3 {
+            net.propose_block(workload.batch(5)).expect("commits");
+        }
+        let node = NodeId::new(node_pick.index(24) as u64);
+        let height = height_pick.index(4) as u64;
+        let before = net.net().meter().total().bytes;
+        let report = net.query_body(node, height).expect("query succeeds");
+        if report.tier == QueryTier::Local {
+            prop_assert_eq!(net.net().meter().total().bytes, before);
+        } else {
+            prop_assert!(report.bytes > 0 || height == 0);
+        }
+    }
+
+    /// Bootstrap keeps integrity and never increases replication beyond r.
+    #[test]
+    fn bootstrap_preserves_replication_bound(
+        seed in 0u64..200,
+        x in 0.0f64..100.0,
+        y in 0.0f64..100.0,
+    ) {
+        let mut net = build(24, 8, 2, seed);
+        let mut workload = WorkloadGenerator::new(WorkloadConfig {
+            accounts: 64,
+            seed,
+            ..WorkloadConfig::default()
+        });
+        for _ in 0..4 {
+            net.propose_block(workload.batch(6)).expect("commits");
+        }
+        net.bootstrap_node(Coord::new(x, y), JoinPolicy::NearestCentroid)
+            .expect("join succeeds");
+        for report in net.audit_all() {
+            prop_assert!(report.is_intact());
+            for (replicas, _) in &report.replication_histogram {
+                prop_assert!(*replicas <= 2, "over-replicated after join");
+            }
+        }
+    }
+}
