@@ -159,8 +159,7 @@ impl FullReplicationNetwork {
             },
         );
         let validation = self.config.cost.solo_block_validation(n_txs, body_bytes);
-        let committed_times: Vec<SimTime> =
-            receipts.values().map(|t| *t + validation).collect();
+        let committed_times: Vec<SimTime> = receipts.values().map(|t| *t + validation).collect();
         let network_commit = committed_times
             .iter()
             .max()
@@ -200,9 +199,11 @@ impl FullReplicationNetwork {
     pub fn bootstrap_cost(&mut self) -> (u64, Duration) {
         let bytes = self.storage_bytes_per_node();
         let server = NodeId::new(0);
-        let joiner = self
-            .net
-            .join(self.net.topology().coord(NodeId::new(self.config.nodes as u64 / 2)));
+        let joiner = self.net.join(
+            self.net
+                .topology()
+                .coord(NodeId::new(self.config.nodes as u64 / 2)),
+        );
         let delay = self
             .net
             .send(server, joiner, MessageKind::Bootstrap, bytes)

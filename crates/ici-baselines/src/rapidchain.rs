@@ -196,8 +196,14 @@ impl RapidChainNetwork {
         let start = self.shard_clocks[shard] + build_cost;
 
         // IDA-gossip dissemination, then full solo validation per member.
-        let reconstruct =
-            run_ida_dissemination(&mut self.net, &committee, leader, start, body_bytes, &self.config.ida);
+        let reconstruct = run_ida_dissemination(
+            &mut self.net,
+            &committee,
+            leader,
+            start,
+            body_bytes,
+            &self.config.ida,
+        );
         let validation = self.config.cost.solo_block_validation(n_txs, body_bytes);
         let ready: std::collections::BTreeMap<NodeId, SimTime> = reconstruct
             .into_iter()

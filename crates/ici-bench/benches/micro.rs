@@ -1,10 +1,13 @@
-//! Criterion micro-benchmarks over the substrates: hashing, MACs, Merkle
-//! trees, erasure coding, assignment, codec, and clustering. These bound
-//! the cost-model constants used by the simulator and expose regressions
-//! in the hot paths.
+//! Micro-benchmarks over the substrates: hashing, MACs, Merkle trees,
+//! erasure coding, assignment, codec, and clustering. These bound the
+//! cost-model constants used by the simulator and expose regressions in
+//! the hot paths.
+//!
+//! Runs on the in-repo std-only harness (`ici_bench::harness`) so
+//! `cargo bench` needs no external dependencies. Tune with
+//! `ICI_BENCH_BUDGET_MS`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use ici_bench::harness::{bench, bench_with_setup};
 use ici_chain::codec::{Decode, Encode};
 use ici_chain::transaction::{Address, Transaction};
 use ici_cluster::kmeans::{balanced_kmeans, KMeansConfig};
@@ -20,113 +23,85 @@ use ici_storage::assignment::{
     AssignmentStrategy, RendezvousAssignment, RingAssignment, RoundRobinAssignment,
 };
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha256");
+fn bench_sha256() {
     for size in [64usize, 1_024, 65_536] {
         let data = vec![0xA5u8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
-            b.iter(|| Sha256::digest(data));
-        });
+        bench(&format!("sha256/{size}B"), || Sha256::digest(&data));
     }
-    group.finish();
 }
 
-fn bench_hmac(c: &mut Criterion) {
+fn bench_hmac() {
     let data = vec![0x3Cu8; 1_024];
-    c.bench_function("hmac_sha256/1KiB", |b| {
-        b.iter(|| hmac_sha256(b"bench key", &data));
-    });
+    bench("hmac_sha256/1KiB", || hmac_sha256(b"bench key", &data));
 }
 
-fn bench_simsig(c: &mut Criterion) {
+fn bench_simsig() {
     let pair = Keypair::from_seed(1);
     let msg = vec![0u8; 200];
     let sig = pair.sign(&msg);
-    c.bench_function("simsig/sign", |b| b.iter(|| pair.sign(&msg)));
-    c.bench_function("simsig/verify", |b| {
-        b.iter(|| pair.public().verify(&msg, &sig))
-    });
+    bench("simsig/sign", || pair.sign(&msg));
+    bench("simsig/verify", || pair.public().verify(&msg, &sig));
 }
 
-fn bench_merkle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("merkle");
+fn bench_merkle() {
     for leaves in [64usize, 1_024] {
         let data: Vec<Vec<u8>> = (0..leaves).map(|i| vec![i as u8; 64]).collect();
-        group.bench_with_input(
-            BenchmarkId::new("build", leaves),
-            &data,
-            |b, data| {
-                b.iter(|| MerkleTree::from_leaves(data.iter().map(|v| v.as_slice())));
-            },
-        );
+        bench(&format!("merkle/build/{leaves}"), || {
+            MerkleTree::from_leaves(data.iter().map(|v| v.as_slice()))
+        });
         let tree = MerkleTree::from_leaves(data.iter().map(|v| v.as_slice()));
-        group.bench_with_input(BenchmarkId::new("prove", leaves), &tree, |b, tree| {
-            b.iter(|| tree.prove(leaves / 2).expect("in range"));
+        bench(&format!("merkle/prove/{leaves}"), || {
+            tree.prove(leaves / 2).expect("in range")
         });
         let proof = tree.prove(leaves / 2).expect("in range");
-        group.bench_with_input(
-            BenchmarkId::new("verify", leaves),
-            &proof,
-            |b, proof| {
-                b.iter(|| proof.verify(&data[leaves / 2], tree.root()));
-            },
-        );
+        bench(&format!("merkle/verify/{leaves}"), || {
+            proof.verify(&data[leaves / 2], tree.root())
+        });
     }
-    group.finish();
 }
 
-fn bench_reed_solomon(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reed_solomon");
+fn bench_reed_solomon() {
     let rs = ReedSolomon::new(16, 8).expect("valid geometry");
     let payload = vec![0x5Au8; 1 << 20]; // 1 MiB block body
-    group.throughput(Throughput::Bytes(payload.len() as u64));
-    group.bench_function("encode/1MiB_16+8", |b| {
-        b.iter(|| rs.encode_payload(&payload));
+    bench("reed_solomon/encode/1MiB_16+8", || {
+        rs.encode_payload(&payload)
     });
     let shards = rs.encode_payload(&payload);
-    group.bench_function("reconstruct/1MiB_8_erasures", |b| {
-        b.iter(|| {
-            let mut damaged: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
-            for i in [0, 3, 5, 7, 9, 16, 20, 23] {
-                damaged[i] = None;
-            }
-            rs.reconstruct(&mut damaged).expect("within budget");
-            damaged
-        });
-    });
-    group.finish();
-}
-
-fn bench_gf256(c: &mut Criterion) {
-    c.bench_function("gf256/mul_1M", |b| {
-        b.iter(|| {
-            let mut acc = Gf256(1);
-            for i in 0..1_000_000u32 {
-                acc = acc.mul(Gf256((i % 255 + 1) as u8));
-            }
-            acc
-        });
+    bench("reed_solomon/reconstruct/1MiB_8_erasures", || {
+        let mut damaged: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+        for i in [0, 3, 5, 7, 9, 16, 20, 23] {
+            damaged[i] = None;
+        }
+        rs.reconstruct(&mut damaged).expect("within budget");
+        damaged
     });
 }
 
-fn bench_assignment(c: &mut Criterion) {
-    let mut group = c.benchmark_group("assignment");
+fn bench_gf256() {
+    bench("gf256/mul_1M", || {
+        let mut acc = Gf256(1);
+        for i in 0..1_000_000u32 {
+            acc = acc.mul(Gf256((i % 255 + 1) as u8));
+        }
+        acc
+    });
+}
+
+fn bench_assignment() {
     let members: Vec<NodeId> = (0..64).map(NodeId::new).collect();
     let id = Sha256::digest(b"block");
-    group.bench_function("rendezvous/c64_r2", |b| {
-        b.iter(|| RendezvousAssignment.owners(&id, 7, &members, 2));
+    bench("assignment/rendezvous/c64_r2", || {
+        RendezvousAssignment.owners(&id, 7, &members, 2)
     });
-    group.bench_function("ring/c64_r2", |b| {
-        b.iter(|| RingAssignment::default().owners(&id, 7, &members, 2));
+    bench("assignment/ring/c64_r2", || {
+        RingAssignment::default().owners(&id, 7, &members, 2)
     });
-    group.bench_function("round_robin/c64_r2", |b| {
-        b.iter(|| RoundRobinAssignment.owners(&id, 7, &members, 2));
+    bench("assignment/round_robin/c64_r2", || {
+        RoundRobinAssignment.owners(&id, 7, &members, 2)
     });
-    group.finish();
 }
 
-fn bench_codec(c: &mut Criterion) {
+fn bench_codec() {
     let tx = Transaction::signed(
         &Keypair::from_seed(1),
         Address::from_seed(2),
@@ -136,29 +111,29 @@ fn bench_codec(c: &mut Criterion) {
         vec![0u8; 200],
     );
     let bytes = tx.to_bytes();
-    c.bench_function("codec/tx_encode", |b| b.iter(|| tx.to_bytes()));
-    c.bench_function("codec/tx_decode", |b| {
-        b.iter(|| Transaction::from_bytes(&bytes).expect("valid"));
+    bench("codec/tx_encode", || tx.to_bytes());
+    bench("codec/tx_decode", || {
+        Transaction::from_bytes(&bytes).expect("valid")
     });
 }
 
-fn bench_clustering(c: &mut Criterion) {
+fn bench_clustering() {
     let topo = Topology::generate(512, &Placement::default(), 3);
-    c.bench_function("clustering/balanced_kmeans_512_k16", |b| {
-        b.iter(|| balanced_kmeans(&topo, &KMeansConfig::with_k(16, 3)));
-    });
+    bench_with_setup(
+        "clustering/balanced_kmeans_512_k16",
+        || (),
+        |()| balanced_kmeans(&topo, &KMeansConfig::with_k(16, 3)),
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_sha256,
-    bench_hmac,
-    bench_simsig,
-    bench_merkle,
-    bench_reed_solomon,
-    bench_gf256,
-    bench_assignment,
-    bench_codec,
-    bench_clustering,
-);
-criterion_main!(benches);
+fn main() {
+    bench_sha256();
+    bench_hmac();
+    bench_simsig();
+    bench_merkle();
+    bench_reed_solomon();
+    bench_gf256();
+    bench_assignment();
+    bench_codec();
+    bench_clustering();
+}

@@ -1,11 +1,13 @@
-//! Criterion benchmarks over protocol rounds: one per experiment family,
-//! so `cargo bench` exercises the code paths that regenerate every table
+//! Benchmarks over protocol rounds: one per experiment family, so
+//! `cargo bench` exercises the code paths that regenerate every table
 //! and figure (the full sweeps live in the `e*` binaries).
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//!
+//! Runs on the in-repo std-only harness (`ici_bench::harness`) so
+//! `cargo bench` needs no external dependencies.
 
 use ici_baselines::full::{FullConfig, FullReplicationNetwork};
 use ici_baselines::rapidchain::{RapidChainConfig, RapidChainNetwork};
+use ici_bench::harness::bench_with_setup;
 use ici_chain::transaction::{Address, Transaction};
 use ici_cluster::membership::JoinPolicy;
 use ici_consensus::gossip::{gossip_flood, GossipConfig};
@@ -58,7 +60,10 @@ fn ici_network(nodes: usize, c: usize) -> IciNetwork {
             .cluster_size(c)
             .replication(2)
             .link(quiet_link())
-            .genesis(ici_chain::genesis::GenesisConfig::uniform(64, u64::MAX / 1_000_000))
+            .genesis(ici_chain::genesis::GenesisConfig::uniform(
+                64,
+                u64::MAX / 1_000_000,
+            ))
             .seed(9)
             .build()
             .expect("valid configuration"),
@@ -67,218 +72,179 @@ fn ici_network(nodes: usize, c: usize) -> IciNetwork {
 }
 
 /// E1/E2/E7 code path: one full ICI block lifecycle.
-fn bench_ici_block(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ici_block_lifecycle");
-    group.sample_size(10);
+fn bench_ici_block() {
     for (nodes, cluster) in [(64usize, 16usize), (128, 16)] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("n{nodes}_c{cluster}")),
-            &(nodes, cluster),
-            |b, &(nodes, cluster)| {
-                b.iter_with_setup(
-                    || (ici_network(nodes, cluster), txs(20, 0)),
-                    |(mut network, batch)| {
-                        network.propose_block(batch).expect("commits");
-                        network
-                    },
-                );
-            },
-        );
-    }
-    group.finish();
-}
-
-/// E3/E5 code path: one intra-cluster PBFT commit.
-fn bench_pbft(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pbft_commit");
-    for size in [16usize, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            let members: Vec<NodeId> = (0..size as u64).map(NodeId::new).collect();
-            b.iter_with_setup(
-                || fresh_network(size),
-                |mut net| {
-                    run_pbft_commit(
-                        &mut net,
-                        PbftInputs {
-                            members: &members,
-                            leader: NodeId::new(0),
-                            start: SimTime::ZERO,
-                            payload: |_| (MessageKind::BlockFull, 100_000),
-                            validation: |_| Duration::from_millis(1),
-                        },
-                    )
-                },
-            );
-        });
-    }
-    group.finish();
-}
-
-/// Full-replication baseline (E1/E3/E7): one flood commit.
-fn bench_full_block(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_replication_block");
-    group.sample_size(10);
-    group.bench_function("n256", |b| {
-        b.iter_with_setup(
-            || {
-                (
-                    FullReplicationNetwork::new(FullConfig {
-                        nodes: 256,
-                        link: quiet_link(),
-                        genesis: ici_chain::genesis::GenesisConfig::uniform(
-                            64,
-                            u64::MAX / 1_000_000,
-                        ),
-                        seed: 9,
-                        ..FullConfig::default()
-                    }),
-                    txs(20, 0),
-                )
-            },
+        bench_with_setup(
+            &format!("ici_block_lifecycle/n{nodes}_c{cluster}"),
+            || (ici_network(nodes, cluster), txs(20, 0)),
             |(mut network, batch)| {
                 network.propose_block(batch).expect("commits");
                 network
             },
         );
-    });
-    group.finish();
+    }
+}
+
+/// E3/E5 code path: one intra-cluster PBFT commit.
+fn bench_pbft() {
+    for size in [16usize, 64] {
+        let members: Vec<NodeId> = (0..size as u64).map(NodeId::new).collect();
+        bench_with_setup(
+            &format!("pbft_commit/{size}"),
+            || fresh_network(size),
+            |mut net| {
+                run_pbft_commit(
+                    &mut net,
+                    PbftInputs {
+                        members: &members,
+                        leader: NodeId::new(0),
+                        start: SimTime::ZERO,
+                        payload: |_| (MessageKind::BlockFull, 100_000),
+                        validation: |_| Duration::from_millis(1),
+                    },
+                )
+            },
+        );
+    }
+}
+
+/// Full-replication baseline (E1/E3/E7): one flood commit.
+fn bench_full_block() {
+    bench_with_setup(
+        "full_replication_block/n256",
+        || {
+            (
+                FullReplicationNetwork::new(FullConfig {
+                    nodes: 256,
+                    link: quiet_link(),
+                    genesis: ici_chain::genesis::GenesisConfig::uniform(64, u64::MAX / 1_000_000),
+                    seed: 9,
+                    ..FullConfig::default()
+                }),
+                txs(20, 0),
+            )
+        },
+        |(mut network, batch)| {
+            network.propose_block(batch).expect("commits");
+            network
+        },
+    );
 }
 
 /// RapidChain baseline (E1/E3/E7): one shard commit with IDA + votes.
-fn bench_rapidchain_block(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rapidchain_block");
-    group.sample_size(10);
-    group.bench_function("n256_committee64", |b| {
-        b.iter_with_setup(
-            || {
-                (
-                    RapidChainNetwork::new(RapidChainConfig {
-                        nodes: 256,
-                        committee_size: 64,
-                        link: quiet_link(),
-                        genesis: ici_chain::genesis::GenesisConfig::uniform(
-                            64,
-                            u64::MAX / 1_000_000,
-                        ),
-                        seed: 9,
-                        ..RapidChainConfig::default()
-                    }),
-                    txs(20, 0),
-                )
-            },
-            |(mut network, batch)| {
-                network.propose_block(0, batch).expect("commits");
-                network
-            },
-        );
-    });
-    group.finish();
+fn bench_rapidchain_block() {
+    bench_with_setup(
+        "rapidchain_block/n256_committee64",
+        || {
+            (
+                RapidChainNetwork::new(RapidChainConfig {
+                    nodes: 256,
+                    committee_size: 64,
+                    link: quiet_link(),
+                    genesis: ici_chain::genesis::GenesisConfig::uniform(64, u64::MAX / 1_000_000),
+                    seed: 9,
+                    ..RapidChainConfig::default()
+                }),
+                txs(20, 0),
+            )
+        },
+        |(mut network, batch)| {
+            network.propose_block(0, batch).expect("commits");
+            network
+        },
+    );
 }
 
 /// E3 transport primitives: flood vs IDA.
-fn bench_dissemination(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dissemination");
+fn bench_dissemination() {
     let peers: Vec<NodeId> = (0..128).map(NodeId::new).collect();
-    group.bench_function("gossip_flood_n128", |b| {
-        b.iter_with_setup(
-            || fresh_network(128),
-            |mut net| {
-                gossip_flood(
-                    &mut net,
-                    &peers,
-                    NodeId::new(0),
-                    SimTime::ZERO,
-                    MessageKind::BlockFull,
-                    100_000,
-                    &GossipConfig::default(),
-                )
-            },
-        );
-    });
+    bench_with_setup(
+        "dissemination/gossip_flood_n128",
+        || fresh_network(128),
+        |mut net| {
+            gossip_flood(
+                &mut net,
+                &peers,
+                NodeId::new(0),
+                SimTime::ZERO,
+                MessageKind::BlockFull,
+                100_000,
+                &GossipConfig::default(),
+            )
+        },
+    );
     let committee: Vec<NodeId> = (0..64).map(NodeId::new).collect();
-    group.bench_function("ida_c64", |b| {
-        b.iter_with_setup(
-            || fresh_network(64),
-            |mut net| {
-                run_ida_dissemination(
-                    &mut net,
-                    &committee,
-                    NodeId::new(0),
-                    SimTime::ZERO,
-                    100_000,
-                    &IdaConfig::default(),
-                )
-            },
-        );
-    });
-    group.finish();
+    bench_with_setup(
+        "dissemination/ida_c64",
+        || fresh_network(64),
+        |mut net| {
+            run_ida_dissemination(
+                &mut net,
+                &committee,
+                NodeId::new(0),
+                SimTime::ZERO,
+                100_000,
+                &IdaConfig::default(),
+            )
+        },
+    );
 }
 
 /// E4 code path: node bootstrap over an existing chain.
-fn bench_bootstrap(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bootstrap");
-    group.sample_size(10);
-    group.bench_function("ici_join_n64_20blocks", |b| {
-        b.iter_with_setup(
-            || {
-                let mut network = ici_network(64, 16);
-                let mut generator = WorkloadGenerator::new(WorkloadConfig {
-                    accounts: 64,
-                    ..WorkloadConfig::default()
-                });
-                for _ in 0..20 {
-                    let batch = generator.batch(10);
-                    network.propose_block(batch).expect("commits");
-                }
-                network
-            },
-            |mut network| {
-                network
-                    .bootstrap_node(Coord::new(30.0, 30.0), JoinPolicy::NearestCentroid)
-                    .expect("joins")
-            },
-        );
-    });
-    group.finish();
+fn bench_bootstrap() {
+    bench_with_setup(
+        "bootstrap/ici_join_n64_20blocks",
+        || {
+            let mut network = ici_network(64, 16);
+            let mut generator = WorkloadGenerator::new(WorkloadConfig {
+                accounts: 64,
+                ..WorkloadConfig::default()
+            });
+            for _ in 0..20 {
+                let batch = generator.batch(10);
+                network.propose_block(batch).expect("commits");
+            }
+            network
+        },
+        |mut network| {
+            network
+                .bootstrap_node(Coord::new(30.0, 30.0), JoinPolicy::NearestCentroid)
+                .expect("joins")
+        },
+    );
 }
 
 /// E6 code path: audit + repair after a crash.
-fn bench_repair(c: &mut Criterion) {
-    let mut group = c.benchmark_group("repair");
-    group.sample_size(10);
-    group.bench_function("crash2_repair_n64", |b| {
-        b.iter_with_setup(
-            || {
-                let mut network = ici_network(64, 16);
-                let mut generator = WorkloadGenerator::new(WorkloadConfig {
-                    accounts: 64,
-                    ..WorkloadConfig::default()
-                });
-                for _ in 0..10 {
-                    let batch = generator.batch(10);
-                    network.propose_block(batch).expect("commits");
-                }
-                network.crash_node(NodeId::new(1)).expect("known");
-                network.crash_node(NodeId::new(2)).expect("known");
-                network
-            },
-            |mut network| {
-                network.repair_all();
-                network
-            },
-        );
-    });
-    group.finish();
+fn bench_repair() {
+    bench_with_setup(
+        "repair/crash2_repair_n64",
+        || {
+            let mut network = ici_network(64, 16);
+            let mut generator = WorkloadGenerator::new(WorkloadConfig {
+                accounts: 64,
+                ..WorkloadConfig::default()
+            });
+            for _ in 0..10 {
+                let batch = generator.batch(10);
+                network.propose_block(batch).expect("commits");
+            }
+            network.crash_node(NodeId::new(1)).expect("known");
+            network.crash_node(NodeId::new(2)).expect("known");
+            network
+        },
+        |mut network| {
+            network.repair_all();
+            network
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_ici_block,
-    bench_pbft,
-    bench_full_block,
-    bench_rapidchain_block,
-    bench_dissemination,
-    bench_bootstrap,
-    bench_repair,
-);
-criterion_main!(benches);
+fn main() {
+    bench_ici_block();
+    bench_pbft();
+    bench_full_block();
+    bench_rapidchain_block();
+    bench_dissemination();
+    bench_bootstrap();
+    bench_repair();
+}

@@ -88,8 +88,7 @@ fn main() {
         let verdict = net.collaborative_verify(cluster, &block);
         let (caught, covers) = match &verdict {
             Verdict::RejectSignature { verifier, tx_index } => {
-                let ranges =
-                    ici_chain::validation::split_ranges(n_txs as usize, members.len());
+                let ranges = ici_chain::validation::split_ranges(n_txs as usize, members.len());
                 let covering = members
                     .iter()
                     .zip(&ranges)
@@ -125,14 +124,17 @@ fn main() {
     let body_bytes = block.body_len() as u64;
     let header_bytes = BlockHeader::ENCODED_LEN as u64;
     let r = 2u64;
-    let wasted =
-        r * (header_bytes + body_bytes) + (c as u64 - 1 - r) * header_bytes
+    let wasted = r * (header_bytes + body_bytes)
+        + (c as u64 - 1 - r) * header_bytes
         + 2 * (c as u64) * (c as u64 - 1) * ici_consensus::pbft::VOTE_BYTES;
     let mut cost = Table::new(
         "E11 (model): bandwidth per rejected proposal (one cluster)",
         ["component", "bytes"],
     );
-    cost.row(["bodies to r owners", &format_bytes(r * (header_bytes + body_bytes))]);
+    cost.row([
+        "bodies to r owners",
+        &format_bytes(r * (header_bytes + body_bytes)),
+    ]);
     cost.row([
         "headers to the rest",
         &format_bytes((c as u64 - 1 - r) * header_bytes),

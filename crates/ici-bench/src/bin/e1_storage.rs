@@ -17,8 +17,8 @@ use ici_baselines::analytic::{
 use ici_baselines::full::FullConfig;
 use ici_baselines::rapidchain::RapidChainConfig;
 use ici_bench::{
-    block_count, cluster_size, committee_size, emit, network_sizes, quiet_link,
-    standard_workload, txs_per_block, Scale,
+    block_count, cluster_size, committee_size, emit, network_sizes, quiet_link, standard_workload,
+    txs_per_block, Scale,
 };
 use ici_core::config::IciConfig;
 use ici_sim::runner::{run_full, run_ici, run_rapidchain};

@@ -67,8 +67,7 @@ fn main() {
             // Analytic prediction with the *actual* measured ledger shape.
             let chain_blocks = network.chain_len();
             let mean_body = if chain_blocks > 0 {
-                (network.full_replica_bytes()
-                    - chain_blocks * BlockHeader::ENCODED_LEN as u64)
+                (network.full_replica_bytes() - chain_blocks * BlockHeader::ENCODED_LEN as u64)
                     / chain_blocks
             } else {
                 0

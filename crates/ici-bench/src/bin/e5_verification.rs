@@ -63,12 +63,7 @@ fn main() {
 
     let mut cpu = Table::new(
         format!("E5 (model): per-member verification CPU, cluster size c={c}"),
-        [
-            "txs/block",
-            "solo (ms)",
-            "collaborative (ms)",
-            "speedup",
-        ],
+        ["txs/block", "solo (ms)", "collaborative (ms)", "speedup"],
     );
     let mut latency = Table::new(
         format!("E5 (measured): intra-cluster commit latency, c={c}"),

@@ -85,8 +85,8 @@ fn main() {
                 .iter()
                 .map(|rep| rep.availability())
                 .fold(f64::INFINITY, f64::min);
-            let mean_avail = reports.iter().map(|rep| rep.availability()).sum::<f64>()
-                / reports.len() as f64;
+            let mean_avail =
+                reports.iter().map(|rep| rep.availability()).sum::<f64>() / reports.len() as f64;
 
             let repair_before = network.net().meter().kind(MessageKind::Repair).bytes;
             let repair_reports = network.repair_all();
@@ -96,7 +96,10 @@ fn main() {
                 .iter()
                 .map(|rep| rep.cross_cluster_fetches.len())
                 .sum();
-            let lost: usize = repair_reports.iter().map(|rep| rep.unrecoverable.len()).sum();
+            let lost: usize = repair_reports
+                .iter()
+                .map(|rep| rep.unrecoverable.len())
+                .sum();
 
             let after = network.audit_all();
             let min_after = after

@@ -28,9 +28,21 @@ use ici_storage::stats::format_bytes;
 
 fn strategies() -> Vec<(&'static str, Box<dyn AssignmentStrategy>, Assignment)> {
     vec![
-        ("rendezvous", Box::new(RendezvousAssignment), Assignment::Rendezvous),
-        ("consistent-ring", Box::new(RingAssignment::default()), Assignment::Ring),
-        ("round-robin", Box::new(RoundRobinAssignment), Assignment::RoundRobin),
+        (
+            "rendezvous",
+            Box::new(RendezvousAssignment),
+            Assignment::Rendezvous,
+        ),
+        (
+            "consistent-ring",
+            Box::new(RingAssignment::default()),
+            Assignment::Ring,
+        ),
+        (
+            "round-robin",
+            Box::new(RoundRobinAssignment),
+            Assignment::RoundRobin,
+        ),
     ]
 }
 

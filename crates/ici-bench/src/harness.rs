@@ -1,0 +1,113 @@
+//! A tiny std-only micro-benchmark harness.
+//!
+//! Replaces the former `criterion` dev-dependency so `cargo bench`
+//! works in fully offline builds. It is intentionally simple: warm up,
+//! run a fixed wall-clock budget of timed iterations, report min /
+//! median / mean. Good enough to bound cost-model constants and to spot
+//! order-of-magnitude regressions; it does not attempt criterion-grade
+//! statistics.
+//!
+//! Environment knobs:
+//!
+//! * `ICI_BENCH_BUDGET_MS` — per-benchmark time budget (default 300 ms).
+//! * `ICI_BENCH_MIN_ITERS` — minimum timed iterations (default 10).
+
+use std::time::{Duration, Instant};
+
+/// Runs one benchmark and prints a result line.
+///
+/// `setup` builds fresh input for every timed iteration (its cost is
+/// excluded); `routine` consumes it and returns a value that is dropped
+/// outside the timed region.
+pub fn bench_with_setup<S, R, I, O>(name: &str, mut setup: S, mut routine: R)
+where
+    S: FnMut() -> I,
+    R: FnMut(I) -> O,
+{
+    let budget = Duration::from_millis(env_u64("ICI_BENCH_BUDGET_MS", 300));
+    let min_iters = env_u64("ICI_BENCH_MIN_ITERS", 10) as usize;
+
+    // Warm-up: one untimed pass.
+    let warm_input = setup();
+    let _ = routine(warm_input);
+
+    let mut samples_ns: Vec<u128> = Vec::new();
+    let started = Instant::now();
+    while samples_ns.len() < min_iters || started.elapsed() < budget {
+        let input = setup();
+        let t0 = Instant::now();
+        let out = routine(input);
+        let elapsed = t0.elapsed();
+        drop(out);
+        samples_ns.push(elapsed.as_nanos());
+        if samples_ns.len() >= 1_000_000 {
+            break; // safety valve for sub-microsecond routines
+        }
+    }
+    report(name, &mut samples_ns);
+}
+
+/// Runs one benchmark with no per-iteration setup.
+pub fn bench<R, O>(name: &str, mut routine: R)
+where
+    R: FnMut() -> O,
+{
+    bench_with_setup(name, || (), |()| routine());
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn report(name: &str, samples_ns: &mut [u128]) {
+    samples_ns.sort_unstable();
+    let n = samples_ns.len();
+    if n == 0 {
+        println!("{name:<44} no samples");
+        return;
+    }
+    let min = samples_ns[0];
+    let median = samples_ns[n / 2];
+    let mean = samples_ns.iter().sum::<u128>() / n as u128;
+    println!(
+        "{name:<44} min {:>12}  median {:>12}  mean {:>12}  ({n} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("ICI_BENCH_BUDGET_MS", "5");
+        bench("harness/self_test", || 1 + 1);
+        std::env::remove_var("ICI_BENCH_BUDGET_MS");
+    }
+
+    #[test]
+    fn formatting_covers_all_magnitudes() {
+        assert!(fmt_ns(12).contains("ns"));
+        assert!(fmt_ns(12_345).contains("µs"));
+        assert!(fmt_ns(12_345_678).contains("ms"));
+        assert!(fmt_ns(12_345_678_901).contains("s"));
+    }
+}

@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use std::path::PathBuf;
 
 use ici_net::link::LinkModel;

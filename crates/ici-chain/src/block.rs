@@ -103,10 +103,14 @@ impl Block {
     pub fn new(template: BlockHeader, transactions: Vec<Transaction>) -> Block {
         let mut header = template;
         header.tx_root = Block::compute_tx_root(&transactions);
+        // lint:allow(cast) -- tx counts are bounded by block building
+        // (mempool batch sizes) far below u32::MAX
         header.tx_count = transactions.len() as u32;
         header.body_len = transactions
             .iter()
             .map(|tx| tx.encoded_len())
+            // lint:allow(cast) -- body bytes are bounded by MAX_FIELD_LEN
+            // per field and per-block batch limits
             .sum::<usize>() as u32;
         Block {
             header,
@@ -125,9 +129,12 @@ impl Block {
         header: BlockHeader,
         transactions: Vec<Transaction>,
     ) -> Result<Block, BlockIntegrityError> {
+        // lint:allow(cast) -- u32 → usize widens on every supported platform
         if header.tx_count as usize != transactions.len() {
             return Err(BlockIntegrityError::TxCount {
                 header: header.tx_count,
+                // lint:allow(cast) -- reporting only; a count that large
+                // already failed the equality check above
                 body: transactions.len() as u32,
             });
         }
@@ -138,6 +145,8 @@ impl Block {
         let body_len = transactions
             .iter()
             .map(|tx| tx.encoded_len())
+            // lint:allow(cast) -- body bytes are bounded by MAX_FIELD_LEN
+            // per field and per-block batch limits
             .sum::<usize>() as u32;
         if header.body_len != body_len {
             return Err(BlockIntegrityError::BodyLen {
@@ -191,6 +200,7 @@ impl Block {
     /// Encoded size of the body alone (what a responsible node stores on
     /// top of the header).
     pub fn body_len(&self) -> usize {
+        // lint:allow(cast) -- u32 → usize widens on every supported platform
         self.header.body_len as usize
     }
 }
@@ -212,6 +222,7 @@ impl Encode for Block {
     }
 
     fn encoded_len(&self) -> usize {
+        // lint:allow(cast) -- u32 → usize widens on every supported platform
         BlockHeader::ENCODED_LEN + 4 + self.header.body_len as usize
     }
 }

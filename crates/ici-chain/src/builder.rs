@@ -258,7 +258,10 @@ mod tests {
         let mut b = BlockBuilder::new(genesis.header(), state, 1, 0);
         // Overspend.
         let err = b.push(transfer(0, 0, 1_000_000)).expect_err("overspend");
-        assert!(matches!(err, BuildError::Invalid(StateError::InsufficientBalance { .. })));
+        assert!(matches!(
+            err,
+            BuildError::Invalid(StateError::InsufficientBalance { .. })
+        ));
         assert!(b.is_empty());
         // A valid one still goes through afterwards.
         b.push(transfer(0, 0, 10)).expect("valid");
@@ -272,7 +275,10 @@ mod tests {
         b.push(transfer(0, 0, 10)).expect("nonce 0");
         b.push(transfer(0, 1, 10)).expect("nonce 1");
         let err = b.push(transfer(0, 1, 10)).expect_err("nonce reuse");
-        assert!(matches!(err, BuildError::Invalid(StateError::BadNonce { .. })));
+        assert!(matches!(
+            err,
+            BuildError::Invalid(StateError::BadNonce { .. })
+        ));
         assert_eq!(b.len(), 2);
     }
 

@@ -57,7 +57,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected end of input: needed {needed}, had {remaining}")
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed}, had {remaining}"
+                )
             }
             CodecError::FieldTooLarge(len) => write!(f, "field length {len} exceeds limit"),
             CodecError::InvalidTag(tag) => write!(f, "invalid enum tag {tag:#04x}"),
@@ -109,6 +112,9 @@ impl Writer {
 
     /// Appends a `u32`-length-prefixed byte string.
     pub fn put_len_prefixed(&mut self, bytes: &[u8]) {
+        debug_assert!(bytes.len() <= MAX_FIELD_LEN, "field exceeds MAX_FIELD_LEN");
+        // lint:allow(cast) -- encoders are in-process and bounded by
+        // MAX_FIELD_LEN (enforced on decode; debug-asserted here)
         self.put_u32(bytes.len() as u32);
         self.put_bytes(bytes);
     }
@@ -178,6 +184,16 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
+    /// Reads exactly `N` bytes into a fixed-size array, without any
+    /// panicking conversion: the length check lives in [`Reader::take`]
+    /// and the copy is infallible once the slice is in hand.
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
     /// Reads one byte.
     pub fn take_u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
@@ -185,12 +201,12 @@ impl<'a> Reader<'a> {
 
     /// Reads a big-endian `u32`.
     pub fn take_u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(self.take_array()?))
     }
 
     /// Reads a big-endian `u64`.
     pub fn take_u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_be_bytes(self.take_array()?))
     }
 
     /// Reads a `u32`-length-prefixed byte string.
@@ -200,6 +216,7 @@ impl<'a> Reader<'a> {
     /// [`CodecError::FieldTooLarge`] if the prefix exceeds
     /// [`MAX_FIELD_LEN`]; [`CodecError::UnexpectedEof`] if truncated.
     pub fn take_len_prefixed(&mut self) -> Result<&'a [u8], CodecError> {
+        // lint:allow(cast) -- u32 → usize widens on every supported platform
         let len = self.take_u32()? as usize;
         if len > MAX_FIELD_LEN {
             return Err(CodecError::FieldTooLarge(len));
@@ -309,8 +326,7 @@ impl Encode for Digest {
 
 impl Decode for Digest {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let bytes: [u8; 32] = r.take(32)?.try_into().expect("32 bytes");
-        Ok(Digest::from_bytes(bytes))
+        Ok(Digest::from_bytes(r.take_array()?))
     }
 }
 
@@ -325,8 +341,7 @@ impl Encode for PublicKey {
 
 impl Decode for PublicKey {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let bytes: [u8; PUBLIC_KEY_LEN] = r.take(PUBLIC_KEY_LEN)?.try_into().expect("33 bytes");
-        Ok(PublicKey::from_bytes(bytes))
+        Ok(PublicKey::from_bytes(r.take_array()?))
     }
 }
 
@@ -341,13 +356,15 @@ impl Encode for Signature {
 
 impl Decode for Signature {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let bytes: [u8; SIGNATURE_LEN] = r.take(SIGNATURE_LEN)?.try_into().expect("64 bytes");
-        Ok(Signature::from_bytes(bytes))
+        Ok(Signature::from_bytes(r.take_array()?))
     }
 }
 
 impl<T: Encode> Encode for Vec<T> {
     fn encode(&self, w: &mut Writer) {
+        debug_assert!(self.len() <= MAX_FIELD_LEN, "vector exceeds MAX_FIELD_LEN");
+        // lint:allow(cast) -- element counts are in-process and bounded
+        // by MAX_FIELD_LEN (enforced on decode; debug-asserted here)
         w.put_u32(self.len() as u32);
         for item in self {
             item.encode(w);
@@ -360,6 +377,7 @@ impl<T: Encode> Encode for Vec<T> {
 
 impl<T: Decode> Decode for Vec<T> {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        // lint:allow(cast) -- u32 → usize widens on every supported platform
         let count = r.take_u32()? as usize;
         if count > MAX_FIELD_LEN {
             return Err(CodecError::FieldTooLarge(count));
@@ -422,9 +440,15 @@ mod tests {
 
         let pair = Keypair::from_seed(5);
         let pk = pair.public();
-        assert_eq!(<PublicKey as Decode>::from_bytes(&pk.to_bytes()).unwrap(), pk);
+        assert_eq!(
+            <PublicKey as Decode>::from_bytes(&pk.to_bytes()).unwrap(),
+            pk
+        );
         let sig = pair.sign(b"m");
-        assert_eq!(<Signature as Decode>::from_bytes(&sig.to_bytes()).unwrap(), sig);
+        assert_eq!(
+            <Signature as Decode>::from_bytes(&sig.to_bytes()).unwrap(),
+            sig
+        );
     }
 
     #[test]
@@ -455,10 +479,7 @@ mod tests {
     fn trailing_bytes_are_rejected_by_from_bytes() {
         let mut bytes = 7u64.to_bytes();
         bytes.push(0);
-        assert_eq!(
-            u64::from_bytes(&bytes),
-            Err(CodecError::TrailingBytes(1))
-        );
+        assert_eq!(u64::from_bytes(&bytes), Err(CodecError::TrailingBytes(1)));
     }
 
     #[test]

@@ -87,6 +87,8 @@ impl Mempool {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Mempool {
+        // lint:allow(panic) -- documented `# Panics` contract; capacity
+        // is a construction-time constant, never attacker-controlled
         assert!(capacity > 0, "capacity must be positive");
         Mempool {
             by_sender: HashMap::new(),
@@ -142,13 +144,14 @@ impl Mempool {
                 });
             }
             // Replace-by-fee: drop the incumbent.
-            let old = self
+            if let Some(old) = self
                 .by_sender
                 .get_mut(&sender)
                 .and_then(|chain| chain.remove(&tx.nonce()))
-                .expect("incumbent present");
-            self.ids.remove(&old.id);
-            self.len -= 1;
+            {
+                self.ids.remove(&old.id);
+                self.len -= 1;
+            }
         }
 
         if self.len >= self.capacity {
@@ -157,14 +160,19 @@ impl Mempool {
             let cheapest = self.cheapest();
             match cheapest {
                 Some((fee, victim_sender, victim_nonce)) if tx.fee() > fee => {
-                    let old = self
+                    if let Some(old) = self
                         .by_sender
                         .get_mut(&victim_sender)
                         .and_then(|chain| chain.remove(&victim_nonce))
-                        .expect("victim present");
-                    self.ids.remove(&old.id);
-                    self.len -= 1;
-                    if self.by_sender[&victim_sender].is_empty() {
+                    {
+                        self.ids.remove(&old.id);
+                        self.len -= 1;
+                    }
+                    if self
+                        .by_sender
+                        .get(&victim_sender)
+                        .is_some_and(|chain| chain.is_empty())
+                    {
                         self.by_sender.remove(&victim_sender);
                     }
                 }
@@ -212,14 +220,20 @@ impl Mempool {
             let Some((_, sender, nonce)) = best else {
                 break;
             };
-            let entry = self
+            let Some(entry) = self
                 .by_sender
                 .get_mut(&sender)
                 .and_then(|chain| chain.remove(&nonce))
-                .expect("head present");
+            else {
+                break;
+            };
             self.ids.remove(&entry.id);
             self.len -= 1;
-            if self.by_sender[&sender].is_empty() {
+            if self
+                .by_sender
+                .get(&sender)
+                .is_some_and(|chain| chain.is_empty())
+            {
                 self.by_sender.remove(&sender);
             }
             picked.push(entry.tx);
@@ -289,10 +303,7 @@ mod tests {
         let mut pool = Mempool::new(10);
         let t = tx(1, 0, 5);
         pool.insert(t.clone()).expect("admits");
-        assert!(matches!(
-            pool.insert(t),
-            Err(MempoolError::Duplicate(_))
-        ));
+        assert!(matches!(pool.insert(t), Err(MempoolError::Duplicate(_))));
         assert_eq!(pool.len(), 1);
     }
 
@@ -346,7 +357,11 @@ mod tests {
         pool.insert(tx(1, 1, 10)).expect("admits");
         let picked = pool.take_for_block(10);
         let nonces: Vec<u64> = picked.iter().map(|t| t.nonce()).collect();
-        assert_eq!(nonces, vec![0, 1, 2], "sender chain must serve in nonce order");
+        assert_eq!(
+            nonces,
+            vec![0, 1, 2],
+            "sender chain must serve in nonce order"
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ impl fmt::Display for StateError {
                 sender,
                 expected,
                 actual,
-            } => write!(f, "bad nonce for {sender}: expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "bad nonce for {sender}: expected {expected}, got {actual}"
+            ),
             StateError::BadSignature => f.write_str("invalid transaction signature"),
             StateError::AmountOverflow => f.write_str("amount + fee overflows"),
         }
@@ -256,9 +259,15 @@ mod tests {
         let (alice, mut state) = funded(1, 10);
         let before = state.clone();
         let err = state
-            .apply(&transfer(&alice, Address::from_seed(2), 30, 5, 0), Address::from_seed(99))
+            .apply(
+                &transfer(&alice, Address::from_seed(2), 30, 5, 0),
+                Address::from_seed(99),
+            )
             .expect_err("should fail");
-        assert!(matches!(err, StateError::InsufficientBalance { required: 35, .. }));
+        assert!(matches!(
+            err,
+            StateError::InsufficientBalance { required: 35, .. }
+        ));
         assert_eq!(state, before);
     }
 
@@ -266,9 +275,19 @@ mod tests {
     fn wrong_nonce_is_rejected() {
         let (alice, mut state) = funded(1, 100);
         let err = state
-            .apply(&transfer(&alice, Address::from_seed(2), 1, 0, 5), Address::from_seed(99))
+            .apply(
+                &transfer(&alice, Address::from_seed(2), 1, 0, 5),
+                Address::from_seed(99),
+            )
             .expect_err("should fail");
-        assert!(matches!(err, StateError::BadNonce { expected: 0, actual: 5, .. }));
+        assert!(matches!(
+            err,
+            StateError::BadNonce {
+                expected: 0,
+                actual: 5,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -312,27 +331,24 @@ mod tests {
         let (alice, mut state) = funded(1, 1000);
         let supply = state.total_supply();
         state
-            .apply(&transfer(&alice, Address::from_seed(2), 100, 7, 0), Address::from_seed(3))
+            .apply(
+                &transfer(&alice, Address::from_seed(2), 100, 7, 0),
+                Address::from_seed(3),
+            )
             .expect("valid");
         assert_eq!(state.total_supply(), supply);
     }
 
     #[test]
     fn root_is_order_independent_but_content_sensitive() {
-        let a = WorldState::with_balances([
-            (Address::from_seed(1), 10),
-            (Address::from_seed(2), 20),
-        ]);
-        let b = WorldState::with_balances([
-            (Address::from_seed(2), 20),
-            (Address::from_seed(1), 10),
-        ]);
+        let a =
+            WorldState::with_balances([(Address::from_seed(1), 10), (Address::from_seed(2), 20)]);
+        let b =
+            WorldState::with_balances([(Address::from_seed(2), 20), (Address::from_seed(1), 10)]);
         assert_eq!(a.root(), b.root());
 
-        let c = WorldState::with_balances([
-            (Address::from_seed(1), 11),
-            (Address::from_seed(2), 20),
-        ]);
+        let c =
+            WorldState::with_balances([(Address::from_seed(1), 11), (Address::from_seed(2), 20)]);
         assert_ne!(a.root(), c.root());
     }
 
@@ -359,7 +375,10 @@ mod tests {
         let (alice, mut state) = funded(1, 100);
         let collector = Address::from_seed(1);
         state
-            .apply(&transfer(&alice, Address::from_seed(2), 10, 5, 0), collector)
+            .apply(
+                &transfer(&alice, Address::from_seed(2), 10, 5, 0),
+                collector,
+            )
             .expect("valid");
         assert_eq!(state.balance(&Address::from_seed(1)), 90);
         assert_eq!(state.total_supply(), 100);

@@ -171,7 +171,8 @@ impl ChainStore {
         body: Vec<Transaction>,
     ) -> Result<(), StoreError> {
         let header = *self.header(height).ok_or(StoreError::NoHeader(height))?;
-        let block = Block::from_parts(header, body).map_err(|_| StoreError::BodyMismatch(height))?;
+        let block =
+            Block::from_parts(header, body).map_err(|_| StoreError::BodyMismatch(height))?;
         let (_, body) = block.into_parts();
         if self.bodies.insert(height, body).is_none() {
             self.body_bytes += header.body_len as u64;
@@ -374,7 +375,10 @@ mod tests {
         // Skipping a height fails.
         assert!(matches!(
             store.append_header(*blocks[2].header()),
-            Err(StoreError::NonSequentialHeight { expected: 1, actual: 2 })
+            Err(StoreError::NonSequentialHeight {
+                expected: 1,
+                actual: 2
+            })
         ));
         // Right height, wrong parent fails.
         let mut forged = *blocks[1].header();
@@ -401,13 +405,13 @@ mod tests {
             store.append_block(b).expect("append");
         }
         let full = store.total_bytes();
-        assert_eq!(
-            store.header_bytes(),
-            (4 * BlockHeader::ENCODED_LEN) as u64
-        );
+        assert_eq!(store.header_bytes(), (4 * BlockHeader::ENCODED_LEN) as u64);
         assert_eq!(
             store.body_bytes(),
-            blocks.iter().map(|b| b.header().body_len as u64).sum::<u64>()
+            blocks
+                .iter()
+                .map(|b| b.header().body_len as u64)
+                .sum::<u64>()
         );
 
         assert!(store.prune_body(2));

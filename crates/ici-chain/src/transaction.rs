@@ -68,8 +68,7 @@ impl Encode for Address {
 
 impl Decode for Address {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let bytes: [u8; 20] = r.take(20)?.try_into().expect("20 bytes");
-        Ok(Address(bytes))
+        Ok(Address(r.take_array()?))
     }
 }
 
@@ -275,7 +274,10 @@ mod tests {
         assert_eq!(Address::from_seed(5), Address::from_seed(5));
         assert_ne!(Address::from_seed(5), Address::from_seed(6));
         let pair = Keypair::from_seed(5);
-        assert_eq!(Address::from_seed(5), Address::from_public_key(&pair.public()));
+        assert_eq!(
+            Address::from_seed(5),
+            Address::from_public_key(&pair.public())
+        );
     }
 
     #[test]

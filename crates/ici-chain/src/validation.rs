@@ -46,9 +46,7 @@ impl fmt::Display for ValidationError {
                 write!(f, "expected height {expected}, got {actual}")
             }
             ValidationError::WrongParent => f.write_str("parent id mismatch"),
-            ValidationError::NonMonotonicTimestamp => {
-                f.write_str("timestamp not after parent's")
-            }
+            ValidationError::NonMonotonicTimestamp => f.write_str("timestamp not after parent's"),
             ValidationError::BadTransaction { index, error } => {
                 write!(f, "transaction {index} invalid: {error}")
             }
@@ -226,7 +224,10 @@ mod tests {
         let forged = Block::new(header, body);
         assert!(matches!(
             validate_block(&forged, genesis.header(), &state),
-            Err(ValidationError::WrongHeight { expected: 1, actual: 5 })
+            Err(ValidationError::WrongHeight {
+                expected: 1,
+                actual: 5
+            })
         ));
     }
 
@@ -276,7 +277,8 @@ mod tests {
         // sealing against a richer scratch state.
         let rich = WorldState::with_balances([(Address::from_seed(0), 1_000_000)]);
         let mut b = BlockBuilder::new(genesis.header(), rich, 2, 1_000);
-        b.push(transfer(0, 0, 500_000)).expect("valid against rich state");
+        b.push(transfer(0, 0, 500_000))
+            .expect("valid against rich state");
         let block = b.seal();
         assert!(matches!(
             validate_block(&block, genesis.header(), &state),
@@ -355,7 +357,10 @@ mod tests {
         assert_eq!(block_fees(&block), 4);
         assert_eq!(fee_collector(block.header()), Address::from_seed(2));
         let post = validate_block(&block, genesis.header(), &state).expect("valid");
-        assert_eq!(post.balance(&Address::from_seed(2)), 10_000 - 10 - 1 + 4 + 10);
+        assert_eq!(
+            post.balance(&Address::from_seed(2)),
+            10_000 - 10 - 1 + 4 + 10
+        );
         // seed 2 started with 10_000, sent 10+1 as a sender (tx i=2), earned
         // 4 in fees, and received 10 from tx i=1 (seed 1 -> seed 2).
     }

@@ -13,8 +13,7 @@
 //!
 //! Plus [`random_partition`], the baseline for experiment E8.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ici_rng::Xoshiro256;
 
 use ici_net::node::NodeId;
 use ici_net::topology::{Coord, Topology};
@@ -48,7 +47,7 @@ impl KMeansConfig {
     }
 }
 
-fn kmeans_pp_init(coords: &[Coord], k: usize, rng: &mut StdRng) -> Vec<Coord> {
+fn kmeans_pp_init(coords: &[Coord], k: usize, rng: &mut Xoshiro256) -> Vec<Coord> {
     let mut centroids = Vec::with_capacity(k);
     centroids.push(coords[rng.gen_range(0..coords.len())]);
     let mut dist2: Vec<f64> = coords
@@ -64,7 +63,7 @@ fn kmeans_pp_init(coords: &[Coord], k: usize, rng: &mut StdRng) -> Vec<Coord> {
             // All points coincide with existing centroids; pick uniformly.
             coords[rng.gen_range(0..coords.len())]
         } else {
-            let mut target = rng.gen::<f64>() * total;
+            let mut target = rng.gen_f64() * total;
             let mut chosen = coords.len() - 1;
             for (i, d) in dist2.iter().enumerate() {
                 if target < *d {
@@ -127,11 +126,15 @@ fn recompute_centroids(
 ///
 /// Panics if `config.k == 0` or the topology is empty.
 pub fn kmeans(topology: &Topology, config: &KMeansConfig) -> Partition {
+    // lint:allow(panic) -- documented `# Panics` contract on experiment
+    // parameters fixed at configuration time
     assert!(config.k > 0, "k must be positive");
+    // lint:allow(panic) -- documented `# Panics` contract on experiment
+    // parameters fixed at configuration time
     assert!(!topology.is_empty(), "topology must be non-empty");
     let coords = topology.coords();
     let k = config.k.min(coords.len());
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x6B6D_6561_6E73);
+    let mut rng = Xoshiro256::seed_from_u64(config.seed ^ 0x6B6D_6561_6E73);
     let mut centroids = kmeans_pp_init(coords, k, &mut rng);
     let mut assignment = vec![0usize; coords.len()];
 
@@ -242,13 +245,12 @@ pub fn balanced_kmeans(topology: &Topology, config: &KMeansConfig) -> Partition 
 ///
 /// Panics if `k == 0`.
 pub fn random_partition(n: usize, k: usize, seed: u64) -> Partition {
+    // lint:allow(panic) -- documented `# Panics` contract on experiment
+    // parameters fixed at configuration time
     assert!(k > 0, "k must be positive");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7261_6E64_7061_7274);
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x7261_6E64_7061_7274);
     let mut order: Vec<usize> = (0..n).collect();
-    for i in (1..order.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        order.swap(i, j);
-    }
+    rng.shuffle(&mut order);
     let mut assignment = vec![ClusterId::new(0); n];
     for (pos, node) in order.into_iter().enumerate() {
         assignment[node] = ClusterId::new((pos % k) as u32);

@@ -128,6 +128,8 @@ impl Membership {
         (0..self.cluster_count() as u32)
             .map(ClusterId::new)
             .min_by_key(|c| (self.active_count(*c), c.get()))
+            // lint:allow(panic) -- partitions are built with ≥ 1 cluster
+            // (constructor invariant), so the range is never empty
             .expect("at least one cluster")
     }
 
@@ -202,7 +204,12 @@ mod tests {
         let victim = m.active_members(ClusterId::new(1))[0];
         m.leave(victim);
         let topo = Topology::generate(7, &Placement::Uniform { side: 10.0 }, 0);
-        let chosen = m.join(NodeId::new(6), topo.coord(NodeId::new(6)), &topo, JoinPolicy::SmallestCluster);
+        let chosen = m.join(
+            NodeId::new(6),
+            topo.coord(NodeId::new(6)),
+            &topo,
+            JoinPolicy::SmallestCluster,
+        );
         assert_eq!(chosen, ClusterId::new(1));
         assert_eq!(m.active_count(ClusterId::new(1)), 3);
         assert!(m.is_active(NodeId::new(6)));

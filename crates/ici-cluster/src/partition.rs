@@ -59,11 +59,7 @@ impl Partition {
     /// Cluster ids must be dense (`0..k`); empty clusters are allowed but
     /// every id below the max must exist as an index.
     pub fn from_assignment(assignment: Vec<ClusterId>) -> Partition {
-        let k = assignment
-            .iter()
-            .map(|c| c.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let k = assignment.iter().map(|c| c.index() + 1).max().unwrap_or(0);
         let mut members = vec![Vec::new(); k];
         for (i, cluster) in assignment.iter().enumerate() {
             members[cluster.index()].push(NodeId::new(i as u64));
@@ -186,6 +182,8 @@ impl Partition {
     /// Panics if `node` is not the next dense id or `target` is out of
     /// range.
     pub fn push_node(&mut self, node: NodeId, target: ClusterId) {
+        // lint:allow(panic) -- documented `# Panics` contract: node ids
+        // must stay dense, a structural invariant of the partition
         assert_eq!(
             node.index(),
             self.assignment.len(),
@@ -227,7 +225,10 @@ mod tests {
         let p = partition_of(&[2, 3]);
         assert_eq!(p.cluster_count(), 2);
         assert_eq!(p.node_count(), 5);
-        assert_eq!(p.members(ClusterId::new(0)), &[NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(
+            p.members(ClusterId::new(0)),
+            &[NodeId::new(0), NodeId::new(1)]
+        );
         assert_eq!(p.sizes(), vec![2, 3]);
         assert_eq!(p.imbalance(), 1);
         assert_eq!(p.cluster_of(NodeId::new(4)), ClusterId::new(1));
@@ -241,8 +242,14 @@ mod tests {
             ClusterId::new(1),
             ClusterId::new(0),
         ]);
-        assert_eq!(p.members(ClusterId::new(0)), &[NodeId::new(1), NodeId::new(3)]);
-        assert_eq!(p.members(ClusterId::new(1)), &[NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(
+            p.members(ClusterId::new(0)),
+            &[NodeId::new(1), NodeId::new(3)]
+        );
+        assert_eq!(
+            p.members(ClusterId::new(1)),
+            &[NodeId::new(0), NodeId::new(2)]
+        );
     }
 
     #[test]
@@ -250,8 +257,14 @@ mod tests {
         let mut p = partition_of(&[3, 1]);
         p.reassign(NodeId::new(0), ClusterId::new(1));
         assert_eq!(p.cluster_of(NodeId::new(0)), ClusterId::new(1));
-        assert_eq!(p.members(ClusterId::new(0)), &[NodeId::new(1), NodeId::new(2)]);
-        assert_eq!(p.members(ClusterId::new(1)), &[NodeId::new(0), NodeId::new(3)]);
+        assert_eq!(
+            p.members(ClusterId::new(0)),
+            &[NodeId::new(1), NodeId::new(2)]
+        );
+        assert_eq!(
+            p.members(ClusterId::new(1)),
+            &[NodeId::new(0), NodeId::new(3)]
+        );
         // Re-reassign to the same cluster is a no-op.
         p.reassign(NodeId::new(0), ClusterId::new(1));
         assert_eq!(p.members(ClusterId::new(1)).len(), 2);

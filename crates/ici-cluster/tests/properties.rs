@@ -1,21 +1,30 @@
-//! Property-based tests over clustering and membership.
+//! Randomized property tests over clustering and membership.
+//!
+//! Ported from `proptest` to seeded, deterministic case loops over
+//! [`ici_rng`]. Enable the `heavy-tests` feature for a deeper sweep.
 
 use ici_cluster::kmeans::{balanced_kmeans, kmeans, random_partition, KMeansConfig};
 use ici_cluster::membership::{JoinPolicy, Membership};
 use ici_cluster::partition::ClusterId;
 use ici_net::node::NodeId;
 use ici_net::topology::{Placement, Topology};
-use proptest::prelude::*;
+use ici_rng::Xoshiro256;
 
-proptest! {
-    /// Every clustering algorithm assigns every node to exactly one
-    /// cluster with dense ids.
-    #[test]
-    fn partitions_are_total_and_dense(
-        n in 2usize..120,
-        k in 1usize..12,
-        seed in any::<u64>(),
-    ) {
+const CASES: usize = if cfg!(feature = "heavy-tests") {
+    192
+} else {
+    32
+};
+
+/// Every clustering algorithm assigns every node to exactly one
+/// cluster with dense ids.
+#[test]
+fn partitions_are_total_and_dense() {
+    let mut rng = Xoshiro256::seed_from_u64(0xA1);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..120);
+        let k = rng.gen_range(1usize..12);
+        let seed = rng.next_u64();
         let topo = Topology::generate(n, &Placement::default(), seed);
         let cfg = KMeansConfig::with_k(k, seed);
         for partition in [
@@ -23,43 +32,47 @@ proptest! {
             kmeans(&topo, &cfg),
             balanced_kmeans(&topo, &cfg),
         ] {
-            prop_assert_eq!(partition.node_count(), n);
-            prop_assert_eq!(partition.sizes().iter().sum::<usize>(), n);
+            assert_eq!(partition.node_count(), n);
+            assert_eq!(partition.sizes().iter().sum::<usize>(), n);
             for i in 0..n as u64 {
                 let c = partition.cluster_of(NodeId::new(i));
-                prop_assert!(c.index() < partition.cluster_count());
-                prop_assert!(partition.members(c).contains(&NodeId::new(i)));
+                assert!(c.index() < partition.cluster_count());
+                assert!(partition.members(c).contains(&NodeId::new(i)));
             }
         }
     }
+}
 
-    /// Balanced k-means and random partitions are always within one of
-    /// perfectly even.
-    #[test]
-    fn balanced_partitions_are_balanced(
-        n in 2usize..120,
-        k in 1usize..12,
-        seed in any::<u64>(),
-    ) {
+/// Balanced k-means and random partitions are always within one of
+/// perfectly even.
+#[test]
+fn balanced_partitions_are_balanced() {
+    let mut rng = Xoshiro256::seed_from_u64(0xA2);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..120);
+        let k = rng.gen_range(1usize..12);
+        let seed = rng.next_u64();
         let topo = Topology::generate(n, &Placement::default(), seed);
         let balanced = balanced_kmeans(&topo, &KMeansConfig::with_k(k, seed));
-        prop_assert!(balanced.imbalance() <= 1, "sizes {:?}", balanced.sizes());
+        assert!(balanced.imbalance() <= 1, "sizes {:?}", balanced.sizes());
         let random = random_partition(n, k, seed);
-        prop_assert!(random.imbalance() <= 1, "sizes {:?}", random.sizes());
+        assert!(random.imbalance() <= 1, "sizes {:?}", random.sizes());
     }
+}
 
-    /// Membership join/leave bookkeeping is exact.
-    #[test]
-    fn membership_counts_are_exact(
-        n in 4usize..40,
-        k in 1usize..6,
-        ops in proptest::collection::vec((any::<bool>(), any::<prop::sample::Index>()), 0..40),
-        seed in any::<u64>(),
-    ) {
+/// Membership join/leave bookkeeping is exact.
+#[test]
+fn membership_counts_are_exact() {
+    let mut rng = Xoshiro256::seed_from_u64(0xA3);
+    for _ in 0..CASES * 2 {
+        let n = rng.gen_range(4usize..40);
+        let k = rng.gen_range(1usize..6);
+        let seed = rng.next_u64();
         let mut membership = Membership::new(random_partition(n, k, seed));
         let mut expect_active: Vec<bool> = vec![true; n];
-        for (rejoin, pick) in ops {
-            let node = NodeId::new(pick.index(n) as u64);
+        for _ in 0..rng.gen_range(0usize..40) {
+            let rejoin = rng.gen_bool(0.5);
+            let node = NodeId::new(rng.gen_range(0usize..n) as u64);
             if rejoin {
                 membership.rejoin(node);
                 expect_active[node.index()] = true;
@@ -68,36 +81,42 @@ proptest! {
                 expect_active[node.index()] = false;
             }
         }
-        prop_assert_eq!(
+        assert_eq!(
             membership.total_active(),
             expect_active.iter().filter(|a| **a).count()
         );
         let per_cluster: usize = (0..membership.cluster_count() as u32)
             .map(|c| membership.active_count(ClusterId::new(c)))
             .sum();
-        prop_assert_eq!(per_cluster, membership.total_active());
+        assert_eq!(per_cluster, membership.total_active());
     }
+}
 
-    /// Joins always land in a valid cluster and activate the node.
-    #[test]
-    fn joins_are_placed_validly(
-        n in 4usize..30,
-        k in 2usize..5,
-        joins in 1usize..6,
-        nearest in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
+/// Joins always land in a valid cluster and activate the node.
+#[test]
+fn joins_are_placed_validly() {
+    let mut rng = Xoshiro256::seed_from_u64(0xA4);
+    for _ in 0..CASES * 2 {
+        let n = rng.gen_range(4usize..30);
+        let k = rng.gen_range(2usize..5);
+        let joins = rng.gen_range(1usize..6);
+        let nearest = rng.gen_bool(0.5);
+        let seed = rng.next_u64();
         let mut topo = Topology::generate(n, &Placement::default(), seed);
         let mut membership = Membership::new(random_partition(n, k, seed));
-        let policy = if nearest { JoinPolicy::NearestCentroid } else { JoinPolicy::SmallestCluster };
+        let policy = if nearest {
+            JoinPolicy::NearestCentroid
+        } else {
+            JoinPolicy::SmallestCluster
+        };
         for j in 0..joins {
             let coord = ici_net::topology::Coord::new(j as f64 * 7.0, 3.0);
             let node = topo.push(coord);
             let cluster = membership.join(node, coord, &topo, policy);
-            prop_assert!(cluster.index() < membership.cluster_count());
-            prop_assert!(membership.is_active(node));
-            prop_assert_eq!(membership.cluster_of(node), cluster);
+            assert!(cluster.index() < membership.cluster_count());
+            assert!(membership.is_active(node));
+            assert_eq!(membership.cluster_of(node), cluster);
         }
-        prop_assert_eq!(membership.total_active(), n + joins);
+        assert_eq!(membership.total_active(), n + joins);
     }
 }

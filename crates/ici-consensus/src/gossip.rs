@@ -7,8 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ici_rng::Xoshiro256;
 
 use ici_net::metrics::MessageKind;
 use ici_net::network::Network;
@@ -61,14 +60,13 @@ pub fn gossip_flood(
 
         // Forward to `fanout` peers sampled without replacement,
         // deterministically from (seed, node).
-        let mut rng = StdRng::seed_from_u64(
+        let mut rng = Xoshiro256::seed_from_u64(
             config
                 .seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(node.get()),
         );
-        let mut candidates: Vec<NodeId> =
-            peers.iter().copied().filter(|p| *p != node).collect();
+        let mut candidates: Vec<NodeId> = peers.iter().copied().filter(|p| *p != node).collect();
         let picks = config.fanout.min(candidates.len());
         for _ in 0..picks {
             let idx = rng.gen_range(0..candidates.len());

@@ -64,9 +64,8 @@ mod tests {
     fn leadership_rotates_with_height() {
         let seed = Sha256::digest(b"parent");
         let m = members(8);
-        let distinct: std::collections::HashSet<NodeId> = (0..50)
-            .filter_map(|h| elect_leader(&seed, h, &m))
-            .collect();
+        let distinct: std::collections::HashSet<NodeId> =
+            (0..50).filter_map(|h| elect_leader(&seed, h, &m)).collect();
         assert!(distinct.len() > 3);
     }
 
@@ -80,14 +79,10 @@ mod tests {
         let seed = Sha256::digest(b"x");
         let m = members(6);
         let primary = elect_leader(&seed, 3, &m).expect("non-empty");
-        let fallback =
-            elect_live_leader(&seed, 3, &m, |n| n != primary).expect("someone is live");
+        let fallback = elect_live_leader(&seed, 3, &m, |n| n != primary).expect("someone is live");
         assert_ne!(fallback, primary);
         // With everyone live, both elections agree.
-        assert_eq!(
-            elect_live_leader(&seed, 3, &m, |_| true),
-            Some(primary)
-        );
+        assert_eq!(elect_live_leader(&seed, 3, &m, |_| true), Some(primary));
     }
 
     #[test]

@@ -210,10 +210,7 @@ mod tests {
             .bootstrap_node(Coord::new(10.0, 10.0), JoinPolicy::SmallestCluster)
             .expect("joins");
         assert_eq!(report.node, NodeId::new(24));
-        assert_eq!(
-            report.header_bytes,
-            11 * BlockHeader::ENCODED_LEN as u64
-        );
+        assert_eq!(report.header_bytes, 11 * BlockHeader::ENCODED_LEN as u64);
         // Share is roughly r/c of the chain's bodies; must be well below
         // the full body volume.
         let full_bodies: u64 = (0..11)

@@ -5,6 +5,44 @@ use ici_net::cost::CostModel;
 use ici_net::link::LinkModel;
 use ici_net::topology::Placement;
 
+/// A violated configuration constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `nodes` was zero.
+    ZeroNodes,
+    /// `cluster_size` was zero.
+    ZeroClusterSize,
+    /// `replication` was zero.
+    ZeroReplication,
+    /// `replication` exceeded `cluster_size`, so bodies could not be
+    /// placed on distinct members.
+    ReplicationExceedsClusterSize {
+        /// Requested replication factor.
+        replication: usize,
+        /// Configured cluster size.
+        cluster_size: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroNodes => f.write_str("nodes must be positive"),
+            ConfigError::ZeroClusterSize => f.write_str("cluster_size must be positive"),
+            ConfigError::ZeroReplication => f.write_str("replication must be positive"),
+            ConfigError::ReplicationExceedsClusterSize {
+                replication,
+                cluster_size,
+            } => write!(
+                f,
+                "replication {replication} exceeds cluster size {cluster_size}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Which clustering algorithm forms the clusters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Clustering {
@@ -90,22 +128,22 @@ impl IciConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.nodes == 0 {
-            return Err("nodes must be positive".into());
+            return Err(ConfigError::ZeroNodes);
         }
         if self.cluster_size == 0 {
-            return Err("cluster_size must be positive".into());
+            return Err(ConfigError::ZeroClusterSize);
         }
         if self.replication == 0 {
-            return Err("replication must be positive".into());
+            return Err(ConfigError::ZeroReplication);
         }
         if self.replication > self.cluster_size {
-            return Err(format!(
-                "replication {} exceeds cluster size {}",
-                self.replication, self.cluster_size
-            ));
+            return Err(ConfigError::ReplicationExceedsClusterSize {
+                replication: self.replication,
+                cluster_size: self.cluster_size,
+            });
         }
         Ok(())
     }
@@ -182,8 +220,8 @@ impl IciConfigBuilder {
     ///
     /// # Errors
     ///
-    /// Returns the first constraint violation as a string.
-    pub fn build(self) -> Result<IciConfig, String> {
+    /// Returns the first violated constraint.
+    pub fn build(self) -> Result<IciConfig, ConfigError> {
         self.config.validate()?;
         Ok(self.config)
     }

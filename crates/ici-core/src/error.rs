@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::config::ConfigError;
 use ici_chain::block::Height;
 use ici_chain::validation::ValidationError;
 use ici_net::node::NodeId;
@@ -11,7 +12,7 @@ use ici_net::node::NodeId;
 #[derive(Clone, Debug, PartialEq)]
 pub enum IciError {
     /// Configuration failed validation.
-    Config(String),
+    Config(ConfigError),
     /// Proposed block failed validation at the proposer cluster.
     InvalidBlock(ValidationError),
     /// No live leader could be elected in the proposer cluster.
@@ -38,7 +39,7 @@ pub enum IciError {
 impl fmt::Display for IciError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            IciError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            IciError::Config(e) => write!(f, "invalid configuration: {e}"),
             IciError::InvalidBlock(e) => write!(f, "invalid block: {e}"),
             IciError::NoLeader => f.write_str("no live leader available"),
             IciError::NoQuorum {
@@ -63,6 +64,7 @@ impl Error for IciError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             IciError::InvalidBlock(e) => Some(e),
+            IciError::Config(e) => Some(e),
             _ => None,
         }
     }
@@ -74,13 +76,21 @@ impl From<ValidationError> for IciError {
     }
 }
 
+impl From<ConfigError> for IciError {
+    fn from(e: ConfigError) -> IciError {
+        IciError::Config(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn display_is_informative() {
-        assert!(IciError::Config("bad".into()).to_string().contains("bad"));
+        assert!(IciError::Config(ConfigError::ZeroNodes)
+            .to_string()
+            .contains("nodes"));
         assert!(IciError::UnknownHeight(9).to_string().contains('9'));
         assert!(IciError::NoQuorum {
             cluster: 2,

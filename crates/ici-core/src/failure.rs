@@ -146,18 +146,17 @@ impl IciNetwork {
             let block = &self.chain[height as usize];
             let body_bytes = block.header().body_len as u64;
             let id = block.id();
-            let remote_holder = (0..self.holdings.len() as u64)
-                .map(NodeId::new)
-                .find(|n| {
-                    self.net.is_up(*n)
-                        && self.membership.cluster_of(*n) != cluster
-                        && self.holdings[n.index()].has_body(height)
-                });
+            let remote_holder = (0..self.holdings.len() as u64).map(NodeId::new).find(|n| {
+                self.net.is_up(*n)
+                    && self.membership.cluster_of(*n) != cluster
+                    && self.holdings[n.index()].has_body(height)
+            });
             let Some(remote) = remote_holder else {
                 lost.push(height);
                 continue;
             };
-            let owners = self.dispatch_owners_with_r(&id, height, &live_vec, self.config.replication);
+            let owners =
+                self.dispatch_owners_with_r(&id, height, &live_vec, self.config.replication);
             let Some(&first) = owners.first() else {
                 lost.push(height);
                 continue;

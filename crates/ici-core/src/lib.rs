@@ -53,10 +53,10 @@ pub mod error;
 pub mod failure;
 pub mod holdings;
 pub mod lifecycle;
+pub mod network;
 pub mod query;
 pub mod reconfig;
 pub mod spv;
-pub mod network;
 pub mod verify;
 
 pub use bootstrap::BootstrapReport;

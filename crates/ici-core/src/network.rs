@@ -133,7 +133,12 @@ impl IciNetwork {
 
     /// The tip header.
     pub fn tip(&self) -> &BlockHeader {
-        self.chain.last().expect("chain holds at least genesis").header()
+        self.chain
+            .last()
+            // lint:allow(panic) -- the constructor seeds genesis and
+            // blocks are only appended; the chain is never empty
+            .expect("chain holds at least genesis")
+            .header()
     }
 
     /// The post-state of the tip.
@@ -208,7 +213,10 @@ impl IciNetwork {
 
     /// Per-node total storage bytes, indexed by node id.
     pub fn storage_bytes(&self) -> Vec<u64> {
-        self.holdings.iter().map(NodeHoldings::total_bytes).collect()
+        self.holdings
+            .iter()
+            .map(NodeHoldings::total_bytes)
+            .collect()
     }
 
     /// Summary statistics over per-node storage.
@@ -231,10 +239,7 @@ impl IciNetwork {
         let mut snapshot = Holdings::new();
         let mut live = BTreeSet::new();
         for member in self.membership.active_members(cluster) {
-            snapshot.insert(
-                member,
-                self.holdings[member.index()].body_heights().clone(),
-            );
+            snapshot.insert(member, self.holdings[member.index()].body_heights().clone());
             if self.net.is_up(member) {
                 live.insert(member);
             }
@@ -311,10 +316,7 @@ mod tests {
     fn invalid_config_is_rejected() {
         let mut config = IciConfig::default();
         config.replication = 0;
-        assert!(matches!(
-            IciNetwork::new(config),
-            Err(IciError::Config(_))
-        ));
+        assert!(matches!(IciNetwork::new(config), Err(IciError::Config(_))));
     }
 
     #[test]

@@ -96,9 +96,13 @@ impl IciNetwork {
         let local_members = self.membership.active_members(my_cluster);
         let local_owners = self.dispatch_owners(&block_id, height, &local_members);
         for owner in local_owners {
-            if let Some(report) =
-                self.round_trip(requester, owner, height, body_bytes, QueryTier::IntraCluster)
-            {
+            if let Some(report) = self.round_trip(
+                requester,
+                owner,
+                height,
+                body_bytes,
+                QueryTier::IntraCluster,
+            ) {
                 return Ok(report);
             }
         }
@@ -110,9 +114,13 @@ impl IciNetwork {
             }
             let members = self.membership.active_members(cluster);
             for owner in self.dispatch_owners(&block_id, height, &members) {
-                if let Some(report) =
-                    self.round_trip(requester, owner, height, body_bytes, QueryTier::CrossCluster)
-                {
+                if let Some(report) = self.round_trip(
+                    requester,
+                    owner,
+                    height,
+                    body_bytes,
+                    QueryTier::CrossCluster,
+                ) {
                     return Ok(report);
                 }
             }
@@ -198,7 +206,10 @@ mod tests {
                 non_owner.get_or_insert(n);
             }
         }
-        (owner.expect("some owner"), non_owner.expect("some non-owner"))
+        (
+            owner.expect("some owner"),
+            non_owner.expect("some non-owner"),
+        )
     }
 
     #[test]
@@ -223,7 +234,10 @@ mod tests {
             net.membership().cluster_of(non_owner)
         );
         assert!(report.latency > Duration::ZERO);
-        assert_eq!(report.bytes, net.block(1).expect("exists").body_len() as u64);
+        assert_eq!(
+            report.bytes,
+            net.block(1).expect("exists").body_len() as u64
+        );
     }
 
     #[test]

@@ -55,9 +55,7 @@ impl IciNetwork {
             .map(|i| self.membership.is_active(NodeId::new(i)))
             .collect();
         let active_count = active.iter().filter(|a| **a).count();
-        let k = active_count
-            .div_ceil(self.config.cluster_size)
-            .max(1);
+        let k = active_count.div_ceil(self.config.cluster_size).max(1);
         let clusters_before = self.membership.cluster_count();
 
         // Repartition over the full topology (inactive nodes are assigned
@@ -65,7 +63,9 @@ impl IciNetwork {
         let topology = self.net.topology().clone();
         let seed = self.config.seed ^ self.chain_len();
         let partition = match self.config.clustering {
-            Clustering::BalancedKMeans => balanced_kmeans(&topology, &KMeansConfig::with_k(k, seed)),
+            Clustering::BalancedKMeans => {
+                balanced_kmeans(&topology, &KMeansConfig::with_k(k, seed))
+            }
             Clustering::KMeans => kmeans(&topology, &KMeansConfig::with_k(k, seed)),
             Clustering::Random => random_partition(n, k, seed),
         };
@@ -90,9 +90,9 @@ impl IciNetwork {
             .map(|h| h.body_heights().iter().copied().collect())
             .collect();
         let live_holder = |height: u64, net: &ici_net::network::Network| -> Option<NodeId> {
-            (0..n as u64).map(NodeId::new).find(|node| {
-                net.is_up(*node) && holders_snapshot[node.index()].contains(&height)
-            })
+            (0..n as u64)
+                .map(NodeId::new)
+                .find(|node| net.is_up(*node) && holders_snapshot[node.index()].contains(&height))
         };
 
         let start = self.clock;
@@ -137,7 +137,11 @@ impl IciNetwork {
             let node = NodeId::new(node_idx as u64);
             let cluster = self.membership.cluster_of(node);
             let members = self.membership.active_members(cluster);
-            let held: Vec<u64> = self.holdings[node_idx].body_heights().iter().copied().collect();
+            let held: Vec<u64> = self.holdings[node_idx]
+                .body_heights()
+                .iter()
+                .copied()
+                .collect();
             for height in held {
                 let block = &self.chain[height as usize];
                 let owners = self.dispatch_owners(&block.id(), height, &members);
@@ -224,8 +228,11 @@ mod tests {
     fn reconfiguration_after_joins_rebalances() {
         let mut net = network_with_blocks(6, Clustering::BalancedKMeans);
         for i in 0..6 {
-            net.bootstrap_node(Coord::new(5.0 * i as f64, 80.0), JoinPolicy::SmallestCluster)
-                .expect("joins");
+            net.bootstrap_node(
+                Coord::new(5.0 * i as f64, 80.0),
+                JoinPolicy::SmallestCluster,
+            )
+            .expect("joins");
         }
         let report = net.reconfigure_clusters();
         // 38 active nodes, c = 8 ⇒ 5 clusters now.
@@ -269,7 +276,10 @@ mod tests {
         let second = net.reconfigure_clusters();
         // Same population, same seed inputs ⇒ the second epoch moves
         // nothing new (partition identical, owners already in place).
-        assert_eq!(second.bodies_fetched, 0, "first: {first:?}, second: {second:?}");
+        assert_eq!(
+            second.bodies_fetched, 0,
+            "first: {first:?}, second: {second:?}"
+        );
         assert_eq!(second.bodies_pruned, 0);
     }
 

@@ -99,8 +99,16 @@ impl IciNetwork {
 
         // The server builds the proof from its stored body.
         let tree = block.tx_tree();
-        let proof = tree.prove(index as usize).expect("index in range");
-        let transaction = block.transactions()[index as usize].clone();
+        // `locate_transaction` returned this (height, index), so both are
+        // on-chain; surface a typed error anyway instead of panicking.
+        let proof = tree
+            .prove(index as usize)
+            .ok_or(IciError::UnknownHeight(height))?;
+        let transaction = block
+            .transactions()
+            .get(index as usize)
+            .ok_or(IciError::UnknownHeight(height))?
+            .clone();
         let response_bytes = transaction.encoded_len() as u64 + proof.encoded_len() as u64;
 
         let there = self
@@ -120,8 +128,7 @@ impl IciNetwork {
         if !verified {
             return Err(IciError::BodyUnavailable(height));
         }
-        let latency =
-            there + back + self.config.cost.hash(response_bytes) ;
+        let latency = there + back + self.config.cost.hash(response_bytes);
 
         Ok(TxProofReport {
             height,
@@ -182,9 +189,10 @@ mod tests {
         assert_eq!(report.transaction.id(), ids[7]);
         // The proof verifies against the header the requester holds.
         let header = *net.block(report.height).expect("exists").header();
-        assert!(report
-            .proof
-            .verify(&ici_chain::codec::Encode::to_bytes(&report.transaction), header.tx_root));
+        assert!(report.proof.verify(
+            &ici_chain::codec::Encode::to_bytes(&report.transaction),
+            header.tx_root
+        ));
         assert!(report.latency > Duration::ZERO);
     }
 

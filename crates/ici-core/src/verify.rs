@@ -201,10 +201,8 @@ mod tests {
         let (net, _) = setup();
         // Build against an inflated scratch state so the tx is signed and
         // sealed but unaffordable in the real state.
-        let rich = ici_chain::state::WorldState::with_balances([(
-            Address::from_seed(0),
-            u64::MAX / 2,
-        )]);
+        let rich =
+            ici_chain::state::WorldState::with_balances([(Address::from_seed(0), u64::MAX / 2)]);
         let mut builder = BlockBuilder::new(net.tip(), rich, 1, 1_000);
         builder
             .push(Transaction::signed(
@@ -219,7 +217,10 @@ mod tests {
         let forged = builder.seal();
         assert!(matches!(
             net.network_verify(&forged),
-            Err((_, Verdict::RejectBlock(ValidationError::BadTransaction { index: 0, .. })))
+            Err((
+                _,
+                Verdict::RejectBlock(ValidationError::BadTransaction { index: 0, .. })
+            ))
         ));
     }
 

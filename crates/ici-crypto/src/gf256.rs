@@ -83,6 +83,8 @@ impl Gf256 {
     ///
     /// Panics if `rhs` is zero.
     pub fn div(self, rhs: Gf256) -> Gf256 {
+        // lint:allow(panic) -- documented `# Panics` contract, mirrors
+        // integer division by zero
         assert!(rhs.0 != 0, "division by zero in GF(256)");
         if self.0 == 0 {
             return Gf256::ZERO;
@@ -138,6 +140,8 @@ impl From<Gf256> for u8 {
 ///
 /// Panics if the slices differ in length.
 pub fn mul_acc(acc: &mut [u8], src: &[u8], scalar: Gf256) {
+    // lint:allow(panic) -- documented `# Panics` contract; callers pass
+    // equal-length shards by construction
     assert_eq!(acc.len(), src.len(), "mul_acc length mismatch");
     if scalar.0 == 0 {
         return;
@@ -181,11 +185,7 @@ mod tests {
     fn table_mul_matches_reference_exhaustively() {
         for a in 0..=255u8 {
             for b in 0..=255u8 {
-                assert_eq!(
-                    Gf256(a).mul(Gf256(b)).0,
-                    slow_mul(a, b),
-                    "{a} * {b}"
-                );
+                assert_eq!(Gf256(a).mul(Gf256(b)).0, slow_mul(a, b), "{a} * {b}");
             }
         }
     }

@@ -66,17 +66,23 @@ impl MerkleTree {
             return MerkleTree { levels: Vec::new() };
         }
         let mut levels = vec![leaves];
-        while levels.last().expect("non-empty").len() > 1 {
-            let prev = levels.last().expect("non-empty");
-            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            let mut pairs = prev.chunks_exact(2);
-            for pair in &mut pairs {
-                next.push(hash_node(&pair[0], &pair[1]));
-            }
-            if let [odd] = pairs.remainder() {
-                // Promote the unpaired node to the next level.
-                next.push(*odd);
-            }
+        loop {
+            let next = {
+                let prev = match levels.last() {
+                    Some(prev) if prev.len() > 1 => prev,
+                    _ => break,
+                };
+                let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+                let mut pairs = prev.chunks_exact(2);
+                for pair in &mut pairs {
+                    next.push(hash_node(&pair[0], &pair[1]));
+                }
+                if let [odd] = pairs.remainder() {
+                    // Promote the unpaired node to the next level.
+                    next.push(*odd);
+                }
+                next
+            };
             levels.push(next);
         }
         MerkleTree { levels }
@@ -248,10 +254,7 @@ mod tests {
     #[test]
     fn two_leaf_root_structure() {
         let tree = MerkleTree::from_leaves([b"a".as_slice(), b"b".as_slice()]);
-        assert_eq!(
-            tree.root(),
-            hash_node(&hash_leaf(b"a"), &hash_leaf(b"b"))
-        );
+        assert_eq!(tree.root(), hash_node(&hash_leaf(b"a"), &hash_leaf(b"b")));
     }
 
     #[test]

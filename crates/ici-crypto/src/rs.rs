@@ -77,7 +77,10 @@ impl fmt::Display for RsError {
                 f.write_str("present shards are empty or differ in length")
             }
             RsError::TooFewShards { needed, present } => {
-                write!(f, "need {needed} shards to reconstruct, only {present} present")
+                write!(
+                    f,
+                    "need {needed} shards to reconstruct, only {present} present"
+                )
             }
             RsError::PayloadLength => f.write_str("payload length inconsistent with shards"),
         }

@@ -201,7 +201,10 @@ mod tests {
         assert_eq!(Keypair::from_seed(9), Keypair::from_seed(9));
         let mut seen = std::collections::HashSet::new();
         for seed in 0..200 {
-            assert!(seen.insert(Keypair::from_seed(seed).public()), "seed {seed}");
+            assert!(
+                seen.insert(Keypair::from_seed(seed).public()),
+                "seed {seed}"
+            );
         }
     }
 

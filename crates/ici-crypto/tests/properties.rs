@@ -1,79 +1,111 @@
-//! Property-based tests over the cryptographic substrate.
+//! Randomized property tests over the cryptographic substrate.
+//!
+//! Ported from `proptest` to seeded, deterministic case loops over
+//! [`ici_rng`] so the suite runs with zero external dependencies. Every
+//! test draws `CASES` random inputs from a fixed seed; enable the
+//! `heavy-tests` feature for a deeper sweep.
 
 use ici_crypto::gf256::Gf256;
-use ici_crypto::lottery::{rendezvous_top, lottery_winner};
+use ici_crypto::lottery::{lottery_winner, rendezvous_top};
 use ici_crypto::merkle::MerkleTree;
 use ici_crypto::rs::ReedSolomon;
 use ici_crypto::sha256::{Digest, Sha256};
 use ici_crypto::sig::Keypair;
-use proptest::prelude::*;
+use ici_rng::Xoshiro256;
 
-proptest! {
-    /// Streaming and one-shot hashing agree for arbitrary data and splits.
-    #[test]
-    fn sha256_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048), split in any::<prop::sample::Index>()) {
-        let cut = if data.is_empty() { 0 } else { split.index(data.len()) };
+const CASES: usize = if cfg!(feature = "heavy-tests") {
+    768
+} else {
+    96
+};
+
+/// Streaming and one-shot hashing agree for arbitrary data and splits.
+#[test]
+fn sha256_streaming_equals_oneshot() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC1);
+    for _ in 0..CASES {
+        let data = rng.gen_bytes_in(0usize..2048);
+        let cut = if data.is_empty() {
+            0
+        } else {
+            rng.gen_range(0usize..=data.len())
+        };
         let mut h = Sha256::new();
         h.update(&data[..cut]);
         h.update(&data[cut..]);
-        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+        assert_eq!(h.finalize(), Sha256::digest(&data));
     }
+}
 
-    /// Hex encoding of a digest always round-trips.
-    #[test]
-    fn digest_hex_round_trip(bytes in any::<[u8; 32]>()) {
+/// Hex encoding of a digest always round-trips.
+#[test]
+fn digest_hex_round_trip() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC2);
+    for _ in 0..CASES {
+        let mut bytes = [0u8; 32];
+        rng.fill_bytes(&mut bytes);
         let d = Digest::from_bytes(bytes);
-        prop_assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
     }
+}
 
-    /// GF(256): field axioms on random triples.
-    #[test]
-    fn gf256_field_axioms(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
-        let (a, b, c) = (Gf256(a), Gf256(b), Gf256(c));
-        prop_assert_eq!(a.mul(b), b.mul(a));
-        prop_assert_eq!(a.mul(b.mul(c)), a.mul(b).mul(c));
-        prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+/// GF(256): field axioms on random triples.
+#[test]
+fn gf256_field_axioms() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC3);
+    for _ in 0..CASES.max(512) {
+        let (a, b, c) = (
+            Gf256(rng.gen_range(0u32..256) as u8),
+            Gf256(rng.gen_range(0u32..256) as u8),
+            Gf256(rng.gen_range(0u32..256) as u8),
+        );
+        assert_eq!(a.mul(b), b.mul(a));
+        assert_eq!(a.mul(b.mul(c)), a.mul(b).mul(c));
+        assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
         if b != Gf256::ZERO {
-            prop_assert_eq!(a.div(b).mul(b), a);
+            assert_eq!(a.div(b).mul(b), a);
         }
     }
+}
 
-    /// Merkle proofs verify for every leaf of a random tree, and a proof for
-    /// one leaf never verifies a different payload.
-    #[test]
-    fn merkle_proofs_sound_and_complete(
-        leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..40),
-        pick in any::<prop::sample::Index>(),
-    ) {
+/// Merkle proofs verify for every leaf of a random tree, and a proof for
+/// one leaf never verifies a different payload.
+#[test]
+fn merkle_proofs_sound_and_complete() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC4);
+    for _ in 0..CASES {
+        let leaf_count = rng.gen_range(1usize..40);
+        let leaves: Vec<Vec<u8>> = (0..leaf_count)
+            .map(|_| rng.gen_bytes_in(0usize..64))
+            .collect();
         let tree = MerkleTree::from_leaves(leaves.iter().map(|v| v.as_slice()));
-        let idx = pick.index(leaves.len());
+        let idx = rng.gen_range(0usize..leaves.len());
         let proof = tree.prove(idx).expect("index in range");
-        prop_assert!(proof.verify(&leaves[idx], tree.root()));
+        assert!(proof.verify(&leaves[idx], tree.root()));
 
         let mut other = leaves[idx].clone();
         other.push(0xAB);
-        prop_assert!(!proof.verify(&other, tree.root()));
+        assert!(!proof.verify(&other, tree.root()));
     }
+}
 
-    /// Reed–Solomon: data survives any random erasure pattern of at most
-    /// `parity` shards.
-    #[test]
-    fn rs_recovers_from_random_erasures(
-        payload in proptest::collection::vec(any::<u8>(), 1..512),
-        k in 1usize..10,
-        m in 1usize..6,
-        erase_seed in any::<u64>(),
-    ) {
+/// Reed–Solomon: data survives any random erasure pattern of at most
+/// `parity` shards.
+#[test]
+fn rs_recovers_from_random_erasures() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC5);
+    for _ in 0..CASES {
+        let payload = rng.gen_bytes_in(1usize..512);
+        let k = rng.gen_range(1usize..10);
+        let m = rng.gen_range(1usize..6);
         let rs = ReedSolomon::new(k, m).expect("valid geometry");
         let mut shards: Vec<Option<Vec<u8>>> =
             rs.encode_payload(&payload).into_iter().map(Some).collect();
 
-        // Deterministically pick up to `m` distinct shards to erase.
-        let mut state = erase_seed | 1;
+        // Erase up to `m` distinct shards.
         let mut erased = 0;
         while erased < m {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let idx = (state >> 33) as usize % shards.len();
+            let idx = rng.gen_range(0usize..shards.len());
             if shards[idx].is_some() {
                 shards[idx] = None;
                 erased += 1;
@@ -81,40 +113,57 @@ proptest! {
         }
 
         rs.reconstruct(&mut shards).expect("within erasure budget");
-        prop_assert_eq!(rs.join_payload(&shards, payload.len()).expect("join"), payload);
+        assert_eq!(
+            rs.join_payload(&shards, payload.len()).expect("join"),
+            payload
+        );
     }
+}
 
-    /// SimSig: honest verification succeeds; any bit flip in the message is
-    /// rejected.
-    #[test]
-    fn simsig_rejects_flipped_bits(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 1..128), flip in any::<prop::sample::Index>()) {
-        let pair = Keypair::from_seed(seed);
+/// SimSig: honest verification succeeds; any bit flip in the message is
+/// rejected.
+#[test]
+fn simsig_rejects_flipped_bits() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC6);
+    for _ in 0..CASES {
+        let pair = Keypair::from_seed(rng.next_u64());
+        let msg = rng.gen_bytes_in(1usize..128);
         let sig = pair.sign(&msg);
-        prop_assert!(pair.public().verify(&msg, &sig));
+        assert!(pair.public().verify(&msg, &sig));
 
         let mut bad = msg.clone();
-        let i = flip.index(bad.len());
+        let i = rng.gen_range(0usize..bad.len());
         bad[i] ^= 0x01;
-        prop_assert!(!pair.public().verify(&bad, &sig));
+        assert!(!pair.public().verify(&bad, &sig));
     }
+}
 
-    /// Rendezvous hashing: removing a non-owner never changes the owner set.
-    #[test]
-    fn hrw_minimal_disruption(key_seed in any::<u64>(), n in 4u64..40, r in 1usize..4) {
-        let key = Sha256::digest(&key_seed.to_be_bytes());
+/// Rendezvous hashing: removing a non-owner never changes the owner set.
+#[test]
+fn hrw_minimal_disruption() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC7);
+    for _ in 0..CASES {
+        let key = Sha256::digest(&rng.next_u64().to_be_bytes());
+        let n = rng.gen_range(4u64..40);
+        let r = rng.gen_range(1usize..4);
         let owners = rendezvous_top(&key, 0..n, r);
         let non_owner = (0..n).find(|id| !owners.contains(id));
         if let Some(gone) = non_owner {
             let after = rendezvous_top(&key, (0..n).filter(|id| *id != gone), r);
-            prop_assert_eq!(owners, after);
+            assert_eq!(owners, after);
         }
     }
+}
 
-    /// Lottery: the winner is always a member of the candidate set.
-    #[test]
-    fn lottery_winner_is_member(seed_byte in any::<u8>(), round in any::<u64>(), n in 1u64..100) {
-        let seed = Sha256::digest(&[seed_byte]);
+/// Lottery: the winner is always a member of the candidate set.
+#[test]
+fn lottery_winner_is_member() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC8);
+    for _ in 0..CASES {
+        let seed = Sha256::digest(&[rng.gen_range(0u32..256) as u8]);
+        let round = rng.next_u64();
+        let n = rng.gen_range(1u64..100);
         let winner = lottery_winner(&seed, round, 0..n).expect("non-empty");
-        prop_assert!(winner < n);
+        assert!(winner < n);
     }
 }

@@ -1,0 +1,101 @@
+//! Lint configuration, read from `lint.toml` at the workspace root.
+//!
+//! Every knob has an in-code default mirroring the committed file, so
+//! the gate still runs (with the standard policy) if the file is
+//! missing — e.g. in fixture trees that only exercise one rule.
+
+use crate::toml;
+use std::path::Path;
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates whose non-test code must be panic-free or waived.
+    pub protocol_crates: Vec<String>,
+    /// Path substrings (forward slashes) where lossy `as` casts are
+    /// flagged.
+    pub cast_paths: Vec<String>,
+    /// External dependency names permitted in any Cargo.toml. Path
+    /// dependencies are always allowed; this list covers registry
+    /// dependencies and is empty under the hermetic-build policy.
+    pub deps_allow: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            protocol_crates: [
+                "ici-core",
+                "ici-consensus",
+                "ici-chain",
+                "ici-cluster",
+                "ici-storage",
+                "ici-crypto",
+                "ici-net",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            cast_paths: [
+                "ici-chain/src/codec.rs",
+                "ici-chain/src/block.rs",
+                "ici-chain/src/transaction.rs",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            deps_allow: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Load `<root>/lint.toml`, falling back to defaults when absent.
+    /// A present-but-malformed file is a hard error.
+    pub fn load(root: &Path) -> Result<Config, String> {
+        let path = root.join("lint.toml");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Config::default()),
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        let doc = toml::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut config = Config::default();
+        if let Some(v) = doc.get("lint", "protocol_crates") {
+            config.protocol_crates = str_list(v, "lint.protocol_crates")?;
+        }
+        if let Some(v) = doc.get("lint", "cast_paths") {
+            config.cast_paths = str_list(v, "lint.cast_paths")?;
+        }
+        if let Some(v) = doc.get("deps", "allow") {
+            config.deps_allow = str_list(v, "deps.allow")?;
+        }
+        Ok(config)
+    }
+}
+
+fn str_list(value: &toml::Value, what: &str) -> Result<Vec<String>, String> {
+    value
+        .as_str_array()
+        .map(<[String]>::to_vec)
+        .ok_or_else(|| format!("lint.toml: `{what}` must be an array of strings"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_the_protocol_crates() {
+        let c = Config::default();
+        assert!(c.protocol_crates.iter().any(|s| s == "ici-core"));
+        assert!(c.protocol_crates.iter().any(|s| s == "ici-crypto"));
+        assert!(c.deps_allow.is_empty());
+    }
+
+    #[test]
+    fn missing_file_falls_back_to_defaults() {
+        let c = Config::load(Path::new("/nonexistent-lint-root")).expect("defaults");
+        assert_eq!(c.protocol_crates, Config::default().protocol_crates);
+    }
+}

@@ -1,0 +1,245 @@
+//! `ici-lint` — the workspace's zero-dependency static-analysis gate.
+//!
+//! Run as `cargo run -p ici-lint` (CI does this via `scripts/ci.sh`).
+//! The engine walks every workspace crate's sources and manifests,
+//! applies the rule set in [`rules`], subtracts the committed ratchet
+//! (`lint-baseline.toml`, see [`baseline`]), and reports any *new*
+//! violations with `file:line` spans. Exit status: `0` clean, `1` new
+//! violations, `2` usage or I/O failure.
+//!
+//! Policy lives in `lint.toml` at the repo root ([`config`]); per-site
+//! exemptions use inline `// lint:allow(rule) -- reason` waivers
+//! ([`scanner`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod config;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+pub mod toml;
+
+use baseline::{Baseline, RatchetOutcome, BASELINE_FILE};
+use config::Config;
+use rules::SourceFile;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Everything one lint run produced.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Ratchet verdict: new violations, suppressed debt, improvements.
+    pub ratchet: RatchetOutcome,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+    /// Number of manifests checked by the `deps` rule.
+    pub manifests_checked: usize,
+    /// Stats recomputed this run (merged into the baseline on update).
+    pub stats: BTreeMap<String, i64>,
+}
+
+impl Outcome {
+    /// True when the gate passes.
+    pub fn clean(&self) -> bool {
+        self.ratchet.new_violations.is_empty()
+    }
+}
+
+/// Run the lint over the workspace rooted at `root`.
+///
+/// With `update_baseline` the ratchet file is rewritten from the
+/// current findings (and the run always passes).
+pub fn run(root: &Path, update_baseline: bool) -> Result<Outcome, String> {
+    let config = Config::load(root)?;
+    let files = collect_sources(root)?;
+    let manifests = collect_manifests(root)?;
+    if files.is_empty() && manifests.is_empty() {
+        // A gate that scans nothing passes vacuously — a misspelled
+        // `--root` in CI must be loud, not green.
+        return Err(format!("nothing to lint under {}", root.display()));
+    }
+
+    let (panic_findings, panic_sites) = rules::check_panic(&files, &config);
+    let mut findings = panic_findings;
+    findings.extend(rules::check_unsafe(&files));
+    findings.extend(rules::check_casts(&files, &config));
+    findings.extend(rules::check_error_discipline(&files, &config));
+    findings.extend(rules::check_deps(&manifests, &config));
+    findings.extend(rules::check_waivers(&files));
+
+    let mut stats = BTreeMap::new();
+    stats.insert("protocol_panic_sites".to_string(), panic_sites as i64);
+
+    let previous = Baseline::load(root)?;
+    if update_baseline {
+        let text = Baseline::render(&findings, &stats, &previous);
+        let path = root.join(BASELINE_FILE);
+        std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    let effective = if update_baseline {
+        Baseline::load(root)?
+    } else {
+        previous
+    };
+    let ratchet = effective.apply(findings);
+
+    Ok(Outcome {
+        ratchet,
+        files_scanned: files.len(),
+        manifests_checked: manifests.len(),
+        stats,
+    })
+}
+
+/// Render the human report for an outcome. Returns the text rather
+/// than printing so tests can assert on it.
+pub fn render_report(outcome: &Outcome) -> String {
+    let mut out = String::new();
+    for finding in &outcome.ratchet.new_violations {
+        out.push_str(&finding.to_string());
+        out.push('\n');
+    }
+    if !outcome.ratchet.improvements.is_empty() {
+        out.push_str("\nratchet can be tightened (run with --update-baseline):\n");
+        for improvement in &outcome.ratchet.improvements {
+            out.push_str("  ");
+            out.push_str(improvement);
+            out.push('\n');
+        }
+    }
+    out.push_str(&format!(
+        "\nici-lint: {} file(s), {} manifest(s); {} new violation(s), {} baselined\n",
+        outcome.files_scanned,
+        outcome.manifests_checked,
+        outcome.ratchet.new_violations.len(),
+        outcome.ratchet.baselined,
+    ));
+    out
+}
+
+/// Collect `SourceFile`s: `crates/<name>/src/**/*.rs` for every crate
+/// directory, plus the root package's `src/**/*.rs`.
+fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for crate_dir in sorted_dirs(&crates_dir)? {
+        let crate_name = dir_name(&crate_dir);
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            for path in rust_files_under(&src)? {
+                files.push(load_source(root, &path, &crate_name)?);
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        for path in rust_files_under(&root_src)? {
+            files.push(load_source(root, &path, "")?);
+        }
+    }
+    Ok(files)
+}
+
+fn load_source(root: &Path, path: &Path, crate_name: &str) -> Result<SourceFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(SourceFile {
+        rel_path: rel_path(root, path),
+        crate_name: crate_name.to_string(),
+        scanned: scanner::scan(&text),
+    })
+}
+
+/// Collect `(rel_path, text)` for the root manifest and every
+/// depth-one crate manifest. Fixture trees nested deeper (e.g. under
+/// `crates/ici-lint/tests/fixtures/`) are deliberately invisible.
+fn collect_manifests(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut manifests = Vec::new();
+    let mut candidates = vec![root.join("Cargo.toml")];
+    for crate_dir in sorted_dirs(&root.join("crates"))? {
+        candidates.push(crate_dir.join("Cargo.toml"));
+    }
+    for path in candidates {
+        if !path.is_file() {
+            continue;
+        }
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        manifests.push((rel_path(root, &path), text));
+    }
+    Ok(manifests)
+}
+
+/// Immediate subdirectories, sorted by name; empty when the directory
+/// does not exist.
+fn sorted_dirs(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(format!("{}: {e}", dir.display())),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Every `.rs` file under `dir`, recursively, sorted.
+fn rust_files_under(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&current).map_err(|e| format!("{}: {e}", current.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("{}: {e}", current.display()))?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn dir_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_paths_use_forward_slashes() {
+        let root = Path::new("/a/b");
+        assert_eq!(
+            rel_path(root, Path::new("/a/b/crates/x/src/lib.rs")),
+            "crates/x/src/lib.rs"
+        );
+    }
+
+    #[test]
+    fn missing_crates_dir_is_empty_not_error() {
+        assert!(sorted_dirs(Path::new("/nonexistent-xyz"))
+            .expect("ok")
+            .is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! CLI for the static-analysis gate.
+//!
+//! ```text
+//! cargo run -p ici-lint                        # gate the workspace
+//! cargo run -p ici-lint -- --update-baseline   # rewrite the ratchet
+//! cargo run -p ici-lint -- --root path/to/tree # lint another tree
+//! ```
+//!
+//! Exit status: `0` clean, `1` new violations, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut update_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(value) => root = PathBuf::from(value),
+                None => {
+                    eprintln!("ici-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--update-baseline" => update_baseline = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ici-lint [--root <path>] [--update-baseline]\n\
+                     \n\
+                     Static-analysis gate for the icistrategy workspace.\n\
+                     Policy: lint.toml; ratchet: lint-baseline.toml;\n\
+                     per-site waivers: `// lint:allow(rule) -- reason`."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ici-lint: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match ici_lint::run(&root, update_baseline) {
+        Ok(outcome) => {
+            print!("{}", ici_lint::render_report(&outcome));
+            if outcome.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(message) => {
+            eprintln!("ici-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Findings and the text report.
+
+use std::fmt;
+
+/// One rule violation, anchored to a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name: `panic`, `unsafe`, `cast`, `error`, `deps`, `waiver`.
+    pub rule: String,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number (0 when the finding is file-level).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// Build a finding.
+    pub fn new(
+        rule: impl Into<String>,
+        file: impl Into<String>,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The baseline key this finding counts against.
+    pub fn baseline_key(&self) -> String {
+        format!("{}:{}", self.rule, self.file)
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_span_and_rule() {
+        let f = Finding::new(
+            "panic",
+            "crates/ici-core/src/spv.rs",
+            102,
+            "call to `unwrap()`",
+        );
+        assert_eq!(
+            f.to_string(),
+            "crates/ici-core/src/spv.rs:102: [panic] call to `unwrap()`"
+        );
+        let g = Finding::new("deps", "Cargo.toml", 0, "dependency `rand` not allowed");
+        assert_eq!(
+            g.to_string(),
+            "Cargo.toml: [deps] dependency `rand` not allowed"
+        );
+    }
+
+    #[test]
+    fn baseline_key_is_rule_and_file() {
+        let f = Finding::new("cast", "crates/ici-chain/src/codec.rs", 5, "m");
+        assert_eq!(f.baseline_key(), "cast:crates/ici-chain/src/codec.rs");
+    }
+}

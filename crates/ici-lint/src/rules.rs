@@ -1,0 +1,556 @@
+//! The rule set.
+//!
+//! Five rules over the scanned workspace:
+//!
+//! * `panic` — protocol crates must not contain panic paths outside
+//!   `#[cfg(test)]` code (waivable per-site).
+//! * `unsafe` — every crate root carries `#![forbid(unsafe_code)]` and
+//!   no source uses the `unsafe` keyword (never waivable).
+//! * `cast` — lossy `as` narrowing in codec/wire paths (waivable).
+//! * `error` — public fallible APIs must return typed errors, not
+//!   stringly `Result<_, String>` or `Option` dressed as failure
+//!   (waivable).
+//! * `deps` — every Cargo.toml dependency is either a `path`
+//!   dependency or on the allowlist (never waivable).
+
+use crate::config::Config;
+use crate::report::Finding;
+use crate::scanner::{token_positions, ScannedFile};
+use crate::toml::{self, Value};
+
+/// A scanned source file plus its workspace location.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes.
+    pub rel_path: String,
+    /// Owning crate directory name (`ici-core`, ...); empty for the
+    /// root package.
+    pub crate_name: String,
+    /// Scanner output.
+    pub scanned: ScannedFile,
+}
+
+/// Rule names that a `lint:allow(..)` waiver may reference.
+pub const WAIVABLE_RULES: &[&str] = &["panic", "cast", "error"];
+
+/// Tokens that open a panic path. `debug_assert*` is deliberately
+/// absent: it compiles out of release builds and is the sanctioned way
+/// to state internal invariants.
+const PANIC_TOKENS: &[&str] = &[
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+    ".unwrap()",
+    ".expect(",
+    "assert!",
+    "assert_eq!",
+    "assert_ne!",
+];
+
+/// Lossy narrowing targets flagged in codec/wire paths.
+const NARROWING_CASTS: &[&str] = &["as u8", "as u16", "as u32", "as usize"];
+
+/// `panic` rule. Returns the findings (unwaived sites) and the total
+/// number of panic sites found (including waived ones) — the latter
+/// feeds the `protocol_panic_sites` stat in the baseline.
+pub fn check_panic(files: &[SourceFile], config: &Config) -> (Vec<Finding>, usize) {
+    let mut findings = Vec::new();
+    let mut sites = 0usize;
+    for file in files {
+        if !config.protocol_crates.contains(&file.crate_name) {
+            continue;
+        }
+        for line in &file.scanned.lines {
+            if line.in_test {
+                continue;
+            }
+            for token in PANIC_TOKENS {
+                let hits = token_positions(&line.code, token).len();
+                if hits == 0 {
+                    continue;
+                }
+                sites += hits;
+                if file.scanned.is_waived(line.number, "panic") {
+                    continue;
+                }
+                for _ in 0..hits {
+                    findings.push(Finding::new(
+                        "panic",
+                        &file.rel_path,
+                        line.number,
+                        format!(
+                            "panic path `{token}` in protocol crate `{}`",
+                            file.crate_name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    (findings, sites)
+}
+
+/// `unsafe` rule: crate roots must forbid unsafe code, and the keyword
+/// must not appear anywhere (including tests — `forbid` covers them).
+pub fn check_unsafe(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        let is_crate_root = file.rel_path.ends_with("/src/lib.rs") || file.rel_path == "src/lib.rs";
+        if is_crate_root {
+            let has_forbid = file
+                .scanned
+                .lines
+                .iter()
+                .any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+            if !has_forbid {
+                findings.push(Finding::new(
+                    "unsafe",
+                    &file.rel_path,
+                    1,
+                    "crate root is missing `#![forbid(unsafe_code)]`",
+                ));
+            }
+        }
+        for line in &file.scanned.lines {
+            if line.code.contains("#![forbid(unsafe_code)]")
+                || line.code.contains("#![deny(unsafe_code)]")
+            {
+                continue;
+            }
+            for _ in token_positions(&line.code, "unsafe") {
+                findings.push(Finding::new(
+                    "unsafe",
+                    &file.rel_path,
+                    line.number,
+                    "`unsafe` keyword (this workspace is 100% safe Rust)",
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// `cast` rule: lossy `as` narrowing in configured codec/wire paths.
+pub fn check_casts(files: &[SourceFile], config: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if !config
+            .cast_paths
+            .iter()
+            .any(|p| file.rel_path.contains(p.as_str()))
+        {
+            continue;
+        }
+        for line in &file.scanned.lines {
+            if line.in_test || file.scanned.is_waived(line.number, "cast") {
+                continue;
+            }
+            for token in NARROWING_CASTS {
+                for _ in token_positions(&line.code, token) {
+                    findings.push(Finding::new(
+                        "cast",
+                        &file.rel_path,
+                        line.number,
+                        format!(
+                            "lossy `{token}` in a codec path — use `try_from` or mask explicitly"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// `error` rule: public fallible APIs in protocol crates must surface
+/// typed errors.
+pub fn check_error_discipline(files: &[SourceFile], config: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if !config.protocol_crates.contains(&file.crate_name) {
+            continue;
+        }
+        let lines = &file.scanned.lines;
+        for (idx, line) in lines.iter().enumerate() {
+            if line.in_test || !line.code.contains("pub fn ") {
+                continue;
+            }
+            if file.scanned.is_waived(line.number, "error") {
+                continue;
+            }
+            let signature = collect_signature(lines, idx);
+            if let Some(problem) = signature_problem(&signature) {
+                findings.push(Finding::new("error", &file.rel_path, line.number, problem));
+            }
+        }
+    }
+    findings
+}
+
+/// Join the signature starting at `lines[start]` up to its body brace
+/// or terminating semicolon.
+fn collect_signature(lines: &[crate::scanner::SourceLine], start: usize) -> String {
+    let mut joined = String::new();
+    for line in lines.iter().skip(start).take(25) {
+        joined.push_str(line.code.trim());
+        joined.push(' ');
+        if line.code.contains('{') || line.code.contains(';') {
+            break;
+        }
+    }
+    match joined.find('{') {
+        Some(pos) => joined[..pos].to_string(),
+        None => joined,
+    }
+}
+
+/// Why a public signature violates error discipline, if it does.
+fn signature_problem(signature: &str) -> Option<String> {
+    let name = fn_name(signature)?;
+    let ret = signature.split("->").nth(1)?.trim();
+    if let Some(err_type) = result_error_type(ret) {
+        let stringly = err_type == "String"
+            || err_type == "&str"
+            || err_type == "&'static str"
+            || err_type.starts_with("Box<dyn");
+        if stringly {
+            return Some(format!(
+                "`pub fn {name}` returns `Result<_, {err_type}>` — use a typed error \
+                 (e.g. `ici_core::IciError` or a crate-local error enum)"
+            ));
+        }
+    }
+    if ret.starts_with("Option<") {
+        let fallible_prefix = ["try_", "parse_", "decode_"]
+            .iter()
+            .any(|p| name.starts_with(p));
+        if fallible_prefix {
+            return Some(format!(
+                "`pub fn {name}` signals failure with `Option` — return a typed `Result` \
+                 so callers can distinguish error causes"
+            ));
+        }
+    }
+    None
+}
+
+/// The identifier after `pub fn `.
+fn fn_name(signature: &str) -> Option<&str> {
+    let at = token_positions(signature, "pub fn ").first().copied()?;
+    let rest = &signature[at + "pub fn ".len()..];
+    let end = rest.find(|c: char| !c.is_alphanumeric() && c != '_')?;
+    if end == 0 {
+        None
+    } else {
+        Some(&rest[..end])
+    }
+}
+
+/// The error type of a `Result<T, E>` return, if the return text
+/// starts with `Result<`.
+fn result_error_type(ret: &str) -> Option<String> {
+    let inner = ret.strip_prefix("Result<")?;
+    let args = split_generic_args(inner)?;
+    if args.len() == 2 {
+        Some(args[1].trim().to_string())
+    } else {
+        None // `Result<T>` alias: the error type is fixed elsewhere.
+    }
+}
+
+/// Split `T, E>` (the inside of a generic list, ending at the matching
+/// `>`) into top-level arguments.
+fn split_generic_args(inner: &str) -> Option<Vec<String>> {
+    let mut args = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for ch in inner.chars() {
+        match ch {
+            '<' | '(' | '[' => {
+                depth += 1;
+                current.push(ch);
+            }
+            ')' | ']' => {
+                depth -= 1;
+                current.push(ch);
+            }
+            '>' if depth == 0 => {
+                args.push(current);
+                return Some(args);
+            }
+            '>' => {
+                depth -= 1;
+                current.push(ch);
+            }
+            ',' if depth == 0 => {
+                args.push(std::mem::take(&mut current));
+            }
+            _ => current.push(ch),
+        }
+    }
+    None
+}
+
+/// `deps` rule over raw manifest text: every dependency is either an
+/// in-repo `path` dependency or explicitly allowlisted.
+pub fn check_deps(manifests: &[(String, String)], config: &Config) -> Vec<Finding> {
+    const DEP_TABLES: &[&str] = &[
+        "dependencies",
+        "dev-dependencies",
+        "build-dependencies",
+        "workspace.dependencies",
+    ];
+    let mut findings = Vec::new();
+    for (rel_path, text) in manifests {
+        let doc = match toml::parse(text) {
+            Ok(d) => d,
+            Err(e) => {
+                findings.push(Finding::new(
+                    "deps",
+                    rel_path,
+                    e.line,
+                    format!("manifest does not parse: {}", e.message),
+                ));
+                continue;
+            }
+        };
+        for table_name in doc.table_names() {
+            let is_dep_table = DEP_TABLES.contains(&table_name.as_str())
+                || DEP_TABLES
+                    .iter()
+                    .any(|t| table_name.ends_with(&format!(".{t}")));
+            if !is_dep_table {
+                continue;
+            }
+            let Some(table) = doc.table(table_name) else {
+                continue;
+            };
+            for (dep, spec) in table {
+                let is_path_dep = matches!(spec, Value::Inline(map) if map.contains_key("path"));
+                if is_path_dep || config.deps_allow.contains(dep) {
+                    continue;
+                }
+                findings.push(Finding::new(
+                    "deps",
+                    rel_path,
+                    key_line(text, dep),
+                    format!(
+                        "dependency `{dep}` is neither a path dependency nor on the \
+                         allowlist (hermetic offline build policy)"
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Best-effort line number of `key = ...` in raw manifest text.
+fn key_line(text: &str, key: &str) -> usize {
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with(key) && trimmed[key.len()..].trim_start().starts_with('=') {
+            return idx + 1;
+        }
+        if trimmed.starts_with(&format!("\"{key}\"")) {
+            return idx + 1;
+        }
+    }
+    0
+}
+
+/// Waiver hygiene: malformed waivers and waivers naming unknown or
+/// non-waivable rules are violations themselves.
+pub fn check_waivers(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        for (line, problem) in &file.scanned.malformed_waivers {
+            findings.push(Finding::new(
+                "waiver",
+                &file.rel_path,
+                *line,
+                format!("malformed waiver: {problem}"),
+            ));
+        }
+        for (line, waiver) in file.scanned.all_waivers() {
+            if !WAIVABLE_RULES.contains(&waiver.rule.as_str()) {
+                findings.push(Finding::new(
+                    "waiver",
+                    &file.rel_path,
+                    line,
+                    format!(
+                        "`lint:allow({})` names a rule that is unknown or cannot be waived",
+                        waiver.rule
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn file(crate_name: &str, rel_path: &str, source: &str) -> SourceFile {
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            scanned: scan(source),
+        }
+    }
+
+    fn proto_config() -> Config {
+        Config::default()
+    }
+
+    #[test]
+    fn panic_rule_flags_protocol_code_only() {
+        let files = vec![
+            file(
+                "ici-core",
+                "crates/ici-core/src/a.rs",
+                "fn f() { x.unwrap(); }\n",
+            ),
+            file(
+                "ici-sim",
+                "crates/ici-sim/src/b.rs",
+                "fn g() { y.unwrap(); }\n",
+            ),
+        ];
+        let (findings, sites) = check_panic(&files, &proto_config());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].file, "crates/ici-core/src/a.rs");
+        assert_eq!(sites, 1);
+    }
+
+    #[test]
+    fn panic_rule_skips_tests_and_counts_waived_sites() {
+        let src = "\
+fn f() { a.expect(\"x\"); } // lint:allow(panic) -- bounded above
+#[cfg(test)]
+mod tests {
+    fn t() { b.unwrap(); panic!(); }
+}
+";
+        let files = vec![file("ici-core", "crates/ici-core/src/a.rs", src)];
+        let (findings, sites) = check_panic(&files, &proto_config());
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(sites, 1, "waived site still counted for stats");
+    }
+
+    #[test]
+    fn unsafe_rule_requires_forbid_and_bans_keyword() {
+        let files = vec![
+            file("ici-sim", "crates/ici-sim/src/lib.rs", "//! docs\npub fn f() {}\n"),
+            file(
+                "ici-core",
+                "crates/ici-core/src/lib.rs",
+                "#![forbid(unsafe_code)]\npub fn g() { unsafe { std::hint::unreachable_unchecked() } }\n",
+            ),
+        ];
+        let findings = check_unsafe(&files);
+        assert_eq!(findings.len(), 2);
+        assert!(findings[0].message.contains("missing"));
+        assert!(findings[1].message.contains("`unsafe` keyword"));
+    }
+
+    #[test]
+    fn cast_rule_only_looks_at_configured_paths() {
+        let files = vec![
+            file(
+                "ici-chain",
+                "crates/ici-chain/src/codec.rs",
+                "fn f(x: u64) -> u8 { x as u8 }\nfn g(y: u64) -> u32 { y as u32 } // lint:allow(cast) -- masked to 20 bits above\n",
+            ),
+            file("ici-chain", "crates/ici-chain/src/state.rs", "fn h(x: u64) { let _ = x as u8; }\n"),
+        ];
+        let findings = check_casts(&files, &proto_config());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn error_rule_flags_stringly_results_and_fallible_options() {
+        let src = "\
+pub fn parse_frame(b: &[u8]) -> Option<Frame> { body() }
+pub fn verify(x: &T) -> Result<(), String> {
+    body()
+}
+pub fn good(x: &T) -> Result<(), CodecError> { body() }
+pub fn get_cached(k: u64) -> Option<&'static V> { body() }
+fn private_is_fine() -> Result<(), String> { body() }
+";
+        let files = vec![file("ici-chain", "crates/ici-chain/src/x.rs", src)];
+        let findings = check_error_discipline(&files, &proto_config());
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("parse_frame"));
+        assert!(findings[1].message.contains("Result<_, String>"));
+    }
+
+    #[test]
+    fn error_rule_handles_multi_line_signatures() {
+        let src = "\
+pub fn verify_chain(
+    blocks: &[Block],
+    genesis: &Digest,
+) -> Result<Summary, &'static str> {
+    body()
+}
+";
+        let files = vec![file("ici-core", "crates/ici-core/src/v.rs", src)];
+        let findings = check_error_discipline(&files, &proto_config());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("verify_chain"));
+    }
+
+    #[test]
+    fn deps_rule_allows_path_deps_and_allowlist_only() {
+        let manifest = "\
+[package]
+name = \"x\"
+
+[dependencies]
+ici-core = { path = \"../ici-core\" }
+rand = \"0.8\"
+
+[dev-dependencies]
+proptest = { version = \"1\" }
+";
+        let mut config = proto_config();
+        let findings = check_deps(
+            &[("crates/x/Cargo.toml".to_string(), manifest.to_string())],
+            &config,
+        );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().any(|f| f.message.contains("`rand`")));
+        assert!(findings.iter().any(|f| f.message.contains("`proptest`")));
+        assert_eq!(findings[0].line, 6, "rand points at its manifest line");
+
+        config.deps_allow = vec!["rand".to_string(), "proptest".to_string()];
+        let findings = check_deps(
+            &[("crates/x/Cargo.toml".to_string(), manifest.to_string())],
+            &config,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn waiver_rule_rejects_unknown_rules_and_malformed_syntax() {
+        let src = "\
+x.unwrap(); // lint:allow(panic) -- fine
+y as u8; // lint:allow(deps) -- cannot waive deps
+z.unwrap(); // lint:allow(panic)
+";
+        let files = vec![file("ici-core", "crates/ici-core/src/a.rs", src)];
+        let findings = check_waivers(&files);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("cannot be waived")));
+        assert!(findings.iter().any(|f| f.message.contains("malformed")));
+    }
+}

@@ -1,0 +1,572 @@
+//! Lexical scanner for Rust sources.
+//!
+//! Turns a `.rs` file into per-line records with comments stripped and
+//! string contents blanked, so rules can match tokens without being
+//! fooled by `"panic!"` inside a string literal or a commented-out
+//! `unwrap()`. The scanner also tracks `#[cfg(test)]` regions by brace
+//! depth (rules may exempt test-only code) and parses inline waivers of
+//! the form:
+//!
+//! ```text
+//! // lint:allow(panic) -- reason the site is acceptable
+//! ```
+//!
+//! A waiver on its own line applies to the next code line; a trailing
+//! waiver applies to the line it sits on. The ` -- reason` clause is
+//! mandatory — a waiver without a written justification is itself
+//! reported as a violation.
+
+use std::collections::HashMap;
+
+/// One source line after lexical cleanup.
+#[derive(Debug, Clone)]
+pub struct SourceLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// Line content with comments removed and string/char literal
+    /// contents blanked (delimiters preserved).
+    pub code: String,
+    /// True when the line sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A parsed `lint:allow(..)` waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// The waived rule name, e.g. `panic`.
+    pub rule: String,
+    /// The justification after ` -- `.
+    pub reason: String,
+}
+
+/// A fully scanned file.
+#[derive(Debug, Default)]
+pub struct ScannedFile {
+    /// All lines, in order.
+    pub lines: Vec<SourceLine>,
+    /// Waivers keyed by the line number they apply to.
+    pub waivers: HashMap<usize, Vec<Waiver>>,
+    /// Waiver comments that failed to parse: (line, problem).
+    pub malformed_waivers: Vec<(usize, String)>,
+}
+
+impl ScannedFile {
+    /// True when `rule` is waived on `line`.
+    pub fn is_waived(&self, line: usize, rule: &str) -> bool {
+        self.waivers
+            .get(&line)
+            .is_some_and(|ws| ws.iter().any(|w| w.rule == rule))
+    }
+
+    /// All waivers in the file, with the line each applies to.
+    pub fn all_waivers(&self) -> impl Iterator<Item = (usize, &Waiver)> {
+        self.waivers
+            .iter()
+            .flat_map(|(line, ws)| ws.iter().map(move |w| (*line, w)))
+    }
+}
+
+/// Cross-line lexer state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    /// Nested block comment at the given depth.
+    BlockComment(u32),
+    /// Basic (escaped) string literal.
+    Str,
+    /// Raw string awaiting `"` followed by this many `#`.
+    RawStr(u32),
+}
+
+/// Scan a Rust source file.
+pub fn scan(source: &str) -> ScannedFile {
+    let mut out = ScannedFile::default();
+    let mut state = State::Code;
+    let mut brace_depth: i64 = 0;
+    // Depths at which `#[cfg(test)]` blocks were opened.
+    let mut test_entry_depths: Vec<i64> = Vec::new();
+    // A `#[cfg(test)]` attribute was seen; its `{` has not opened yet.
+    let mut pending_cfg_test = false;
+    // Open `(`/`[` nesting, used to tell item-level `;` apart from
+    // `[u8; 32]`-style separators inside a signature.
+    let mut paren_depth: i64 = 0;
+    // Waivers from standalone comment lines, awaiting their code line.
+    let mut pending_waivers: Vec<Waiver> = Vec::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let chars: Vec<char> = raw.chars().collect();
+        let in_test_at_start = !test_entry_depths.is_empty();
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let mut i = 0usize;
+
+        while i < chars.len() {
+            let ch = chars[i];
+            match state {
+                State::BlockComment(depth) => {
+                    if ch == '*' && chars.get(i + 1) == Some(&'/') {
+                        i += 2;
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                    } else if ch == '/' && chars.get(i + 1) == Some(&'*') {
+                        i += 2;
+                        state = State::BlockComment(depth + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if ch == '\\' {
+                        i += 2;
+                    } else if ch == '"' {
+                        code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if ch == '"' {
+                        let mut seen = 0u32;
+                        while seen < hashes && chars.get(i + 1 + seen as usize) == Some(&'#') {
+                            seen += 1;
+                        }
+                        if seen == hashes {
+                            code.push('"');
+                            state = State::Code;
+                            i += 1 + hashes as usize;
+                        } else {
+                            i += 1;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Code => {
+                    if ch == '/' && chars.get(i + 1) == Some(&'/') {
+                        comment = chars[i..].iter().collect();
+                        break;
+                    }
+                    if ch == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    if ch == '"' {
+                        code.push('"');
+                        state = State::Str;
+                        i += 1;
+                        continue;
+                    }
+                    if let Some((hashes, consumed)) = raw_string_start(&code, &chars, i) {
+                        code.push('"');
+                        state = if hashes == u32::MAX {
+                            State::Str // plain byte string b"..."
+                        } else {
+                            State::RawStr(hashes)
+                        };
+                        i += consumed;
+                        continue;
+                    }
+                    if ch == '\'' {
+                        if let Some(consumed) = char_literal_len(&chars, i) {
+                            code.push_str("''");
+                            i += consumed;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    match ch {
+                        '{' => {
+                            if pending_cfg_test {
+                                test_entry_depths.push(brace_depth);
+                                pending_cfg_test = false;
+                            }
+                            brace_depth += 1;
+                            code.push('{');
+                        }
+                        '}' => {
+                            brace_depth -= 1;
+                            if test_entry_depths.last().is_some_and(|d| brace_depth <= *d) {
+                                test_entry_depths.pop();
+                            }
+                            code.push('}');
+                        }
+                        '(' | '[' => {
+                            paren_depth += 1;
+                            code.push(ch);
+                        }
+                        ')' => {
+                            paren_depth -= 1;
+                            code.push(ch);
+                        }
+                        ']' => {
+                            paren_depth -= 1;
+                            code.push(ch);
+                            if code.ends_with("#[cfg(test)]") {
+                                pending_cfg_test = true;
+                            }
+                        }
+                        ';' => {
+                            // `#[cfg(test)] use ...;` — attribute on a
+                            // braceless item; nothing to track.
+                            if pending_cfg_test && paren_depth == 0 {
+                                pending_cfg_test = false;
+                            }
+                            code.push(';');
+                        }
+                        _ => code.push(ch),
+                    }
+                    i += 1;
+                }
+            }
+        }
+
+        let in_test = in_test_at_start || !test_entry_depths.is_empty() || pending_cfg_test;
+
+        // Waiver extraction from the line comment. Doc comments are
+        // prose, not directives — a waiver spelled out in documentation
+        // (e.g. this crate's own docs) must not take effect.
+        let is_doc = comment.starts_with("///") || comment.starts_with("//!");
+        let code_is_blank = code.trim().is_empty();
+        for parsed in if is_doc {
+            Vec::new()
+        } else {
+            extract_waivers(&comment)
+        } {
+            match parsed {
+                Ok(waiver) => {
+                    if code_is_blank {
+                        pending_waivers.push(waiver);
+                    } else {
+                        out.waivers.entry(number).or_default().push(waiver);
+                    }
+                }
+                Err(problem) => out.malformed_waivers.push((number, problem)),
+            }
+        }
+        if !code_is_blank && !pending_waivers.is_empty() {
+            out.waivers
+                .entry(number)
+                .or_default()
+                .append(&mut pending_waivers);
+        }
+
+        out.lines.push(SourceLine {
+            number,
+            code,
+            in_test,
+        });
+    }
+    out
+}
+
+/// Detect a raw/byte string literal starting at `chars[at]`.
+///
+/// Returns `(hash_count, chars_consumed_through_opening_quote)`;
+/// `hash_count == u32::MAX` flags a plain byte string (`b"`) which uses
+/// normal escape rules. Returns `None` when `chars[at]` does not open a
+/// string literal prefix.
+fn raw_string_start(code: &str, chars: &[char], at: usize) -> Option<(u32, usize)> {
+    let ch = chars[at];
+    if ch != 'r' && ch != 'b' {
+        return None;
+    }
+    // Not a prefix when glued to an identifier (`for`, `sub`, ...).
+    if code
+        .chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+    {
+        return None;
+    }
+    let mut j = at + 1;
+    if ch == 'b' {
+        match chars.get(j) {
+            Some('"') => return Some((u32::MAX, j - at + 1)),
+            Some('r') => j += 1,
+            _ => return None,
+        }
+    }
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((hashes, j - at + 1))
+    } else {
+        None
+    }
+}
+
+/// Length in chars of a char literal starting at `chars[at] == '\''`,
+/// or `None` when it is a lifetime.
+fn char_literal_len(chars: &[char], at: usize) -> Option<usize> {
+    match chars.get(at + 1) {
+        Some('\\') => {
+            // Escape: bounded search for the closing quote.
+            for j in (at + 3)..(at + 14).min(chars.len()) {
+                if chars[j] == '\'' {
+                    return Some(j - at + 1);
+                }
+            }
+            None
+        }
+        Some(c) if *c != '\'' => {
+            if chars.get(at + 2) == Some(&'\'') {
+                Some(3)
+            } else {
+                None // lifetime
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Pull every `lint:allow(rule) -- reason` out of a comment string.
+fn extract_waivers(comment: &str) -> Vec<Result<Waiver, String>> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:allow") {
+        let tail = &rest[pos + "lint:allow".len()..];
+        out.push(parse_one_waiver(tail));
+        rest = tail;
+    }
+    out
+}
+
+fn parse_one_waiver(tail: &str) -> Result<Waiver, String> {
+    let tail = tail.trim_start();
+    let inner = tail
+        .strip_prefix('(')
+        .ok_or("expected `(` after lint:allow")?;
+    let close = inner.find(')').ok_or("unterminated lint:allow(..)")?;
+    let rule = inner[..close].trim().to_string();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(format!("invalid rule name in lint:allow: {rule:?}"));
+    }
+    let after = inner[close + 1..].trim_start();
+    let reason = after
+        .strip_prefix("--")
+        .map(str::trim)
+        .filter(|r| !r.is_empty())
+        .ok_or("lint:allow requires a justification: `-- reason`")?;
+    Ok(Waiver {
+        rule,
+        reason: reason.to_string(),
+    })
+}
+
+/// Occurrences of `token` in `code` at identifier boundaries: the
+/// character before a match must not be alphanumeric or `_`, so
+/// `debug_assert!` never matches `assert!` and `my_panic!` never
+/// matches `panic!`. Tokens starting with a symbol (`.unwrap(`) match
+/// positionally.
+pub fn token_positions(code: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(rel) = code[start..].find(token) {
+        let at = start + rel;
+        let before_ok = if token.starts_with(|c: char| c.is_ascii_alphanumeric()) {
+            at == 0
+                || !code[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        } else {
+            true
+        };
+        let after_ok = if token.ends_with(|c: char| c.is_ascii_alphanumeric()) {
+            !code[at + token.len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        } else {
+            true
+        };
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        start = at + token.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(scanned: &ScannedFile, line: usize) -> &str {
+        &scanned.lines[line - 1].code
+    }
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = scan(
+            "let x = 1; // unwrap()\nlet y = /* panic!() */ 2;\n/* multi\nline panic!() */ let z = 3;\n",
+        );
+        assert!(!code_of(&s, 1).contains("unwrap"));
+        assert!(code_of(&s, 1).contains("let x = 1;"));
+        assert!(!code_of(&s, 2).contains("panic"));
+        assert!(code_of(&s, 2).contains("let y ="));
+        assert!(!code_of(&s, 3).contains("panic"));
+        assert!(code_of(&s, 4).contains("let z = 3;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("/* a /* b */ panic!() */ let ok = 1;\n");
+        assert!(!code_of(&s, 1).contains("panic"));
+        assert!(code_of(&s, 1).contains("let ok = 1;"));
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let s = scan(
+            "let m = \"call panic!() now\";\nlet r = r#\"unwrap() \"# ;\nlet b = b\"expect(\";\nlet rr = r\"assert!(x)\";\n",
+        );
+        assert!(!code_of(&s, 1).contains("panic"));
+        assert!(!code_of(&s, 2).contains("unwrap"));
+        assert!(!code_of(&s, 3).contains("expect"));
+        assert!(!code_of(&s, 4).contains("assert"));
+        // Code around the literals survives.
+        assert!(code_of(&s, 1).contains("let m ="));
+        assert!(code_of(&s, 2).ends_with(';'));
+    }
+
+    #[test]
+    fn raw_string_hash_mismatch_spans_lines() {
+        let s = scan("let x = r##\"one \"# two\nstill panic!() inside\"## ;\nafter();\n");
+        assert!(!code_of(&s, 1).contains("one"));
+        assert!(!code_of(&s, 2).contains("panic"));
+        assert!(code_of(&s, 3).contains("after()"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close_string() {
+        let s = scan("let x = \"a\\\"panic!()\"; call();\n");
+        assert!(!code_of(&s, 1).contains("panic"));
+        assert!(code_of(&s, 1).contains("call();"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { 'x' }\nlet q = '\\n';\nlet brace = '{';\n");
+        assert!(code_of(&s, 1).contains("str"));
+        assert!(code_of(&s, 2).contains("let q"));
+        // A `{` inside a char literal must not affect brace depth.
+        assert!(!s.lines[2].in_test);
+        let s2 = scan("let prefix: &'static str = x;\n");
+        assert!(code_of(&s2, 1).contains("static"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_raw_string() {
+        let s = scan("for x in xs { var\"\" ; }\nlet b = sub\"\";\n");
+        // Parses without swallowing the rest of the file.
+        assert_eq!(s.lines.len(), 2);
+    }
+
+    #[test]
+    fn tracks_cfg_test_regions() {
+        let src = "\
+fn real() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+fn real2() {}
+";
+        let s = scan(src);
+        assert!(!s.lines[0].in_test);
+        assert!(s.lines[1].in_test, "attribute line itself is test-only");
+        assert!(s.lines[2].in_test);
+        assert!(s.lines[3].in_test);
+        assert!(s.lines[4].in_test);
+        assert!(!s.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_leak() {
+        let s = scan("#[cfg(test)]\nuse foo::bar;\nfn later() {}\n");
+        assert!(!s.lines[2].in_test);
+    }
+
+    #[test]
+    fn cfg_test_fn_inside_module() {
+        let src = "\
+mod m {
+    #[cfg(test)]
+    fn helper() {
+        x.unwrap();
+    }
+    fn real() {}
+}
+";
+        let s = scan(src);
+        assert!(s.lines[3].in_test);
+        assert!(!s.lines[5].in_test);
+    }
+
+    #[test]
+    fn trailing_waiver_applies_to_its_line() {
+        let s = scan("x.unwrap(); // lint:allow(panic) -- checked above\n");
+        assert!(s.is_waived(1, "panic"));
+        assert!(!s.is_waived(1, "cast"));
+    }
+
+    #[test]
+    fn standalone_waiver_applies_to_next_code_line() {
+        let s = scan(
+            "// lint:allow(panic) -- invariant: non-empty\n\n// another comment\nx.unwrap();\n",
+        );
+        assert!(s.is_waived(4, "panic"));
+        assert!(!s.is_waived(1, "panic"));
+    }
+
+    #[test]
+    fn doc_comments_never_carry_waivers() {
+        let s = scan("/// Use `lint:allow(panic) -- reason` to waive.\nx.unwrap();\n//! lint:allow(cast) -- also prose\ny as u8;\n");
+        assert!(!s.is_waived(2, "panic"));
+        assert!(!s.is_waived(4, "cast"));
+        assert!(s.malformed_waivers.is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_is_malformed() {
+        let s = scan("x.unwrap(); // lint:allow(panic)\ny.unwrap(); // lint:allow(panic) --   \n");
+        assert_eq!(s.malformed_waivers.len(), 2);
+        assert!(!s.is_waived(1, "panic"));
+        assert!(!s.is_waived(2, "panic"));
+    }
+
+    #[test]
+    fn multiple_waivers_on_one_line() {
+        let s = scan("x as u8; // lint:allow(cast) -- masked. lint:allow(panic) -- n/a\n");
+        assert!(s.is_waived(1, "cast"));
+        assert!(s.is_waived(1, "panic"));
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert_eq!(token_positions("debug_assert!(x)", "assert!").len(), 0);
+        assert_eq!(token_positions("assert!(x)", "assert!").len(), 1);
+        assert_eq!(token_positions("a.unwrap().unwrap()", ".unwrap(").len(), 2);
+        assert_eq!(token_positions("my_panic!(x)", "panic!").len(), 0);
+        assert_eq!(token_positions("panic!(\"\")", "panic!").len(), 1);
+        assert_eq!(
+            token_positions("#![forbid(unsafe_code)]", "unsafe").len(),
+            0
+        );
+        assert_eq!(token_positions("unsafe { x }", "unsafe").len(), 1);
+        assert_eq!(token_positions("x as u32x4", "as u32").len(), 0);
+    }
+}

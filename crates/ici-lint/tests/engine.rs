@@ -1,0 +1,192 @@
+//! End-to-end tests over the fixture trees in `tests/fixtures/`.
+//!
+//! The ratchet tests copy a fixture into a throwaway directory under
+//! the system temp dir so they can rewrite sources and baselines
+//! without touching the committed fixtures.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// A unique scratch copy of a fixture; removed on drop.
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn of(fixture_name: &str, case: &str) -> Scratch {
+        let root = std::env::temp_dir().join(format!(
+            "ici-lint-{}-{}-{}",
+            std::process::id(),
+            fixture_name,
+            case
+        ));
+        let _ = fs::remove_dir_all(&root);
+        copy_tree(&fixture(fixture_name), &root).expect("copy fixture");
+        Scratch { root }
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn copy_tree(from: &Path, to: &Path) -> std::io::Result<()> {
+    fs::create_dir_all(to)?;
+    for entry in fs::read_dir(from)? {
+        let entry = entry?;
+        let src = entry.path();
+        let dst = to.join(entry.file_name());
+        if src.is_dir() {
+            copy_tree(&src, &dst)?;
+        } else {
+            fs::copy(&src, &dst)?;
+        }
+    }
+    Ok(())
+}
+
+fn rule_set(outcome: &ici_lint::Outcome) -> BTreeSet<String> {
+    outcome
+        .ratchet
+        .new_violations
+        .iter()
+        .map(|f| f.rule.clone())
+        .collect()
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let outcome = ici_lint::run(&fixture("clean"), false).expect("runs");
+    assert!(
+        outcome.clean(),
+        "unexpected findings: {:?}",
+        outcome.ratchet.new_violations
+    );
+    assert_eq!(outcome.files_scanned, 2);
+    assert_eq!(outcome.manifests_checked, 2);
+    assert_eq!(outcome.ratchet.baselined, 0);
+}
+
+#[test]
+fn violations_fixture_trips_every_rule() {
+    let outcome = ici_lint::run(&fixture("violations"), false).expect("runs");
+    assert!(!outcome.clean());
+    let rules = rule_set(&outcome);
+    let expected: BTreeSet<String> = ["panic", "unsafe", "cast", "error", "deps", "waiver"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(rules, expected, "{:?}", outcome.ratchet.new_violations);
+
+    // Findings carry file:line spans.
+    let cast = outcome
+        .ratchet
+        .new_violations
+        .iter()
+        .find(|f| f.rule == "cast")
+        .expect("cast finding");
+    assert_eq!(cast.file, "crates/demo/src/codec.rs");
+    assert_eq!(cast.line, 5);
+    let deps = outcome
+        .ratchet
+        .new_violations
+        .iter()
+        .find(|f| f.rule == "deps")
+        .expect("deps finding");
+    assert!(deps.message.contains("`rand`"));
+}
+
+#[test]
+fn report_renders_spans_and_summary() {
+    let outcome = ici_lint::run(&fixture("violations"), false).expect("runs");
+    let report = ici_lint::render_report(&outcome);
+    assert!(report.contains("crates/demo/src/codec.rs:5: [cast]"));
+    assert!(report.contains("new violation(s)"));
+}
+
+#[test]
+fn update_baseline_suppresses_existing_debt() {
+    let scratch = Scratch::of("violations", "update");
+    let updated = ici_lint::run(&scratch.root, true).expect("runs");
+    assert!(
+        updated.clean(),
+        "--update-baseline run must pass: {:?}",
+        updated.ratchet.new_violations
+    );
+    assert!(scratch.root.join("lint-baseline.toml").is_file());
+
+    let second = ici_lint::run(&scratch.root, false).expect("runs");
+    assert!(second.clean());
+    assert!(second.ratchet.baselined > 0, "debt is counted, not hidden");
+}
+
+#[test]
+fn ratchet_fails_when_a_count_grows() {
+    let scratch = Scratch::of("violations", "grow");
+    ici_lint::run(&scratch.root, true).expect("baseline");
+
+    let lib = scratch.root.join("crates/demo/src/lib.rs");
+    let mut text = fs::read_to_string(&lib).expect("read");
+    text.push_str("\n/// One more panic site than the baseline allows.\n");
+    text.push_str("pub fn fourth(input: &[u8]) -> u8 {\n    *input.last().unwrap()\n}\n");
+    fs::write(&lib, text).expect("write");
+
+    let outcome = ici_lint::run(&scratch.root, false).expect("runs");
+    assert!(!outcome.clean(), "growth past the baseline must fail");
+    assert!(outcome
+        .ratchet
+        .new_violations
+        .iter()
+        .all(|f| f.rule == "panic" && f.file == "crates/demo/src/lib.rs"));
+}
+
+#[test]
+fn ratchet_reports_improvements_when_a_count_shrinks() {
+    let scratch = Scratch::of("violations", "shrink");
+    ici_lint::run(&scratch.root, true).expect("baseline");
+
+    // Fix the cast violation: the codec file's count drops 1 -> 0.
+    let codec = scratch.root.join("crates/demo/src/codec.rs");
+    let text = fs::read_to_string(&codec).expect("read");
+    let fixed = text.replace(
+        "len as u32",
+        "u32::try_from(len & 0xFFFF_FFFF).unwrap_or(0)",
+    );
+    assert_ne!(text, fixed);
+    fs::write(&codec, fixed).expect("write");
+
+    let outcome = ici_lint::run(&scratch.root, false).expect("runs");
+    assert!(outcome.clean(), "{:?}", outcome.ratchet.new_violations);
+    assert!(
+        outcome
+            .ratchet
+            .improvements
+            .iter()
+            .any(|i| i.contains("cast") && i.contains("codec.rs")),
+        "improvements: {:?}",
+        outcome.ratchet.improvements
+    );
+}
+
+#[test]
+fn empty_root_is_an_error_not_a_vacuous_pass() {
+    let err =
+        ici_lint::run(Path::new("/nonexistent-lint-root-xyz"), false).expect_err("must not pass");
+    assert!(err.contains("nothing to lint"), "{err}");
+}
+
+#[test]
+fn stats_track_panic_sites_including_waived() {
+    // The clean fixture has exactly one (waived) panic site.
+    let outcome = ici_lint::run(&fixture("clean"), false).expect("runs");
+    assert_eq!(outcome.stats.get("protocol_panic_sites"), Some(&1));
+}

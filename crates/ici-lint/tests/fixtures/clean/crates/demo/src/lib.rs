@@ -1,0 +1,37 @@
+//! A protocol crate that satisfies every rule.
+
+#![forbid(unsafe_code)]
+
+mod codec;
+
+/// A typed error, as the `error` rule demands.
+#[derive(Debug)]
+pub enum DemoError {
+    /// Input was empty.
+    Empty,
+}
+
+/// Fallible API returning a typed error.
+pub fn first_byte(input: &[u8]) -> Result<u8, DemoError> {
+    match input.first() {
+        Some(b) => Ok(*b),
+        None => Err(DemoError::Empty),
+    }
+}
+
+/// A waived panic site: reason present, rule waivable.
+pub fn checked_len(input: &[u8]) -> usize {
+    // lint:allow(panic) -- fixture demonstrates a well-formed waiver
+    assert!(input.len() < 1 << 20, "bounded by construction");
+    input.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panics_are_fine_in_tests() {
+        assert_eq!(first_byte(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,11 @@
+//! Codec path with an unwaived narrowing cast and an `unsafe` block.
+
+/// Truncates silently: the `cast` rule flags this.
+pub fn encode_len(len: u64) -> u32 {
+    len as u32
+}
+
+/// The `unsafe` rule bans the keyword outright.
+pub fn transmuted(x: u32) -> i32 {
+    unsafe { std::mem::transmute(x) }
+}

@@ -1,0 +1,34 @@
+//! A protocol crate seeded with one violation per rule.
+//! Note: no `#![forbid(unsafe_code)]` — that is itself a violation.
+
+mod codec;
+
+/// Stringly error: the `error` rule wants a typed enum here.
+pub fn verify(input: &[u8]) -> Result<(), String> {
+    if input.is_empty() {
+        return Err("empty".to_string());
+    }
+    Ok(())
+}
+
+/// Option dressed as failure on a fallible-prefixed name.
+pub fn parse_header(input: &[u8]) -> Option<u32> {
+    input.first().map(|b| u32::from(*b))
+}
+
+/// Unwaived panic path in non-test code.
+pub fn first(input: &[u8]) -> u8 {
+    *input.first().unwrap()
+}
+
+/// Waiver with no reason: malformed.
+pub fn second(input: &[u8]) -> u8 {
+    // lint:allow(panic)
+    input[1]
+}
+
+/// Waiver naming a rule that cannot be waived.
+pub fn third(input: &[u8]) -> u8 {
+    // lint:allow(deps) -- deps waivers are not a thing
+    input[2]
+}

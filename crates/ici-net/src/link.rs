@@ -137,9 +137,17 @@ mod tests {
             ..LinkModel::default()
         };
         let distinct: std::collections::HashSet<u64> = (0..50)
-            .map(|seq| model.jitter(NodeId::new(0), NodeId::new(1), seq).as_micros())
+            .map(|seq| {
+                model
+                    .jitter(NodeId::new(0), NodeId::new(1), seq)
+                    .as_micros()
+            })
             .collect();
-        assert!(distinct.len() > 20, "only {} distinct jitters", distinct.len());
+        assert!(
+            distinct.len() > 20,
+            "only {} distinct jitters",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -148,7 +156,10 @@ mod tests {
             max_jitter_ms: 0.0,
             ..LinkModel::default()
         };
-        assert_eq!(model.jitter(NodeId::new(0), NodeId::new(1), 9), Duration::ZERO);
+        assert_eq!(
+            model.jitter(NodeId::new(0), NodeId::new(1), 9),
+            Duration::ZERO
+        );
     }
 
     #[test]

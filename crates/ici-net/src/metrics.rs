@@ -133,7 +133,10 @@ impl TrafficMeter {
 
     /// Bytes received by `node`.
     pub fn received_by(&self, node: NodeId) -> Counter {
-        self.received_by_node.get(&node).copied().unwrap_or_default()
+        self.received_by_node
+            .get(&node)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// The maximum bytes received by any single node (load hotspot).
@@ -184,9 +187,27 @@ mod tests {
         m.record(a, b, MessageKind::BlockBody, 50);
         m.record(b, a, MessageKind::Vote, 8);
 
-        assert_eq!(m.total(), Counter { messages: 3, bytes: 158 });
-        assert_eq!(m.kind(MessageKind::BlockBody), Counter { messages: 2, bytes: 150 });
-        assert_eq!(m.kind(MessageKind::Vote), Counter { messages: 1, bytes: 8 });
+        assert_eq!(
+            m.total(),
+            Counter {
+                messages: 3,
+                bytes: 158
+            }
+        );
+        assert_eq!(
+            m.kind(MessageKind::BlockBody),
+            Counter {
+                messages: 2,
+                bytes: 150
+            }
+        );
+        assert_eq!(
+            m.kind(MessageKind::Vote),
+            Counter {
+                messages: 1,
+                bytes: 8
+            }
+        );
         assert_eq!(m.kind(MessageKind::Query), Counter::default());
         assert_eq!(m.sent_by(a).bytes, 150);
         assert_eq!(m.received_by(a).bytes, 8);
@@ -211,7 +232,13 @@ mod tests {
         m2.record(a, b, MessageKind::Query, 5);
         m2.record(b, a, MessageKind::Response, 100);
         m1.merge(&m2);
-        assert_eq!(m1.kind(MessageKind::Query), Counter { messages: 2, bytes: 15 });
+        assert_eq!(
+            m1.kind(MessageKind::Query),
+            Counter {
+                messages: 2,
+                bytes: 15
+            }
+        );
         assert_eq!(m1.total().bytes, 115);
     }
 

@@ -120,13 +120,7 @@ impl Network {
     /// Returns the transit delay on success; the caller schedules delivery
     /// at `now + delay`. Metering: delivered and receiver-down sends charge
     /// the sender; sender-down sends charge nothing.
-    pub fn send(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        kind: MessageKind,
-        bytes: u64,
-    ) -> SendOutcome {
+    pub fn send(&mut self, from: NodeId, to: NodeId, kind: MessageKind, bytes: u64) -> SendOutcome {
         if !self.is_up(from) {
             return SendOutcome::SenderDown;
         }
@@ -230,11 +224,21 @@ mod tests {
     fn bigger_payloads_take_longer() {
         let mut net = net(2);
         let small = net
-            .send(NodeId::new(0), NodeId::new(1), MessageKind::BlockBody, 1_000)
+            .send(
+                NodeId::new(0),
+                NodeId::new(1),
+                MessageKind::BlockBody,
+                1_000,
+            )
             .delay()
             .expect("delivered");
         let big = net
-            .send(NodeId::new(0), NodeId::new(1), MessageKind::BlockBody, 1_000_000)
+            .send(
+                NodeId::new(0),
+                NodeId::new(1),
+                MessageKind::BlockBody,
+                1_000_000,
+            )
             .delay()
             .expect("delivered");
         assert!(big > small);

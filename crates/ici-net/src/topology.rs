@@ -9,8 +9,7 @@
 //! regions), which is the regime where latency-aware clustering beats a
 //! random partition (experiment E8).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ici_rng::Xoshiro256;
 
 use crate::node::NodeId;
 
@@ -78,10 +77,10 @@ pub struct Topology {
 impl Topology {
     /// Generates positions for `n` nodes with the given placement and seed.
     pub fn generate(n: usize, placement: &Placement, seed: u64) -> Topology {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x7090_11AC_CE55_0001);
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x7090_11AC_CE55_0001);
         let coords = match placement {
             Placement::Uniform { side } => (0..n)
-                .map(|_| Coord::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+                .map(|_| Coord::new(rng.gen_f64() * side, rng.gen_f64() * side))
                 .collect(),
             Placement::Regional {
                 regions,
@@ -89,14 +88,14 @@ impl Topology {
                 spread,
             } => {
                 let centres: Vec<Coord> = (0..(*regions).max(1))
-                    .map(|_| Coord::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+                    .map(|_| Coord::new(rng.gen_f64() * side, rng.gen_f64() * side))
                     .collect();
                 (0..n)
                     .map(|_| {
                         let c = centres[rng.gen_range(0..centres.len())];
                         // Box–Muller for an approximately Gaussian offset.
-                        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                        let u2: f64 = rng.gen();
+                        let u1: f64 = rng.gen_f64().max(f64::MIN_POSITIVE);
+                        let u2: f64 = rng.gen_f64();
                         let mag = spread * (-2.0 * u1.ln()).sqrt();
                         let (dx, dy) = (
                             mag * (std::f64::consts::TAU * u2).cos(),

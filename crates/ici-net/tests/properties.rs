@@ -1,4 +1,7 @@
-//! Property-based tests over the network simulator.
+//! Randomized property tests over the network simulator.
+//!
+//! Ported from `proptest` to seeded, deterministic case loops over
+//! [`ici_rng`]. Enable the `heavy-tests` feature for a deeper sweep.
 
 use ici_net::link::LinkModel;
 use ici_net::metrics::MessageKind;
@@ -7,13 +10,23 @@ use ici_net::node::NodeId;
 use ici_net::queue::EventQueue;
 use ici_net::time::{Duration, SimTime};
 use ici_net::topology::{Placement, Topology};
-use proptest::prelude::*;
+use ici_rng::Xoshiro256;
 
-proptest! {
-    /// The event queue pops every scheduled event exactly once, in
-    /// non-decreasing time order, with FIFO tie-breaking.
-    #[test]
-    fn queue_is_a_stable_time_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+const CASES: usize = if cfg!(feature = "heavy-tests") {
+    512
+} else {
+    64
+};
+
+/// The event queue pops every scheduled event exactly once, in
+/// non-decreasing time order, with FIFO tie-breaking.
+#[test]
+fn queue_is_a_stable_time_order() {
+    let mut rng = Xoshiro256::seed_from_u64(0xD1);
+    for _ in 0..CASES {
+        let times: Vec<u64> = (0..rng.gen_range(1usize..200))
+            .map(|_| rng.gen_range(0u64..1_000))
+            .collect();
         let mut q = EventQueue::new();
         for (i, t) in times.iter().enumerate() {
             q.schedule(SimTime::from_micros(*t), i);
@@ -22,70 +35,82 @@ proptest! {
         let mut last: Option<(SimTime, usize)> = None;
         while let Some((at, idx)) = q.pop() {
             if let Some((lt, lidx)) = last {
-                prop_assert!(at >= lt);
+                assert!(at >= lt);
                 if at == lt {
-                    prop_assert!(idx > lidx, "FIFO violated at equal times");
+                    assert!(idx > lidx, "FIFO violated at equal times");
                 }
             }
-            prop_assert_eq!(at, SimTime::from_micros(times[idx]));
+            assert_eq!(at, SimTime::from_micros(times[idx]));
             last = Some((at, idx));
             popped.push(idx);
         }
         popped.sort_unstable();
-        prop_assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
+        assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
     }
+}
 
-    /// Transit time is symmetric in distance terms when jitter is off and
-    /// grows monotonically with payload size.
-    #[test]
-    fn transit_monotone_in_bytes(
-        n in 2usize..20,
-        a in any::<prop::sample::Index>(),
-        b in any::<prop::sample::Index>(),
-        small in 0u64..10_000,
-        extra in 1u64..1_000_000,
-    ) {
+/// Transit time is symmetric in distance terms when jitter is off and
+/// grows monotonically with payload size.
+#[test]
+fn transit_monotone_in_bytes() {
+    let mut rng = Xoshiro256::seed_from_u64(0xD2);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..20);
+        let small = rng.gen_range(0u64..10_000);
+        let extra = rng.gen_range(1u64..1_000_000);
         let topo = Topology::generate(n, &Placement::Uniform { side: 50.0 }, 7);
-        let link = LinkModel { max_jitter_ms: 0.0, ..LinkModel::default() };
-        let from = NodeId::new(a.index(n) as u64);
-        let to = NodeId::new(b.index(n) as u64);
+        let link = LinkModel {
+            max_jitter_ms: 0.0,
+            ..LinkModel::default()
+        };
+        let from = NodeId::new(rng.gen_range(0usize..n) as u64);
+        let to = NodeId::new(rng.gen_range(0usize..n) as u64);
         let t1 = link.transit(&topo, from, to, small, 0);
         let t2 = link.transit(&topo, from, to, small + extra, 0);
-        prop_assert!(t2 > t1);
+        assert!(t2 > t1);
         // Symmetry of the propagation term.
-        prop_assert_eq!(
+        assert_eq!(
             link.transit(&topo, from, to, 0, 0),
             link.transit(&topo, to, from, 0, 0)
         );
     }
+}
 
-    /// The meter's total equals the sum over kinds, and per-node sends sum
-    /// to the same total.
-    #[test]
-    fn meter_totals_are_consistent(
-        sends in proptest::collection::vec((0u64..10, 0u64..10, 0usize..11, 0u64..10_000), 0..100),
-    ) {
+/// The meter's total equals the sum over kinds, and per-node sends sum
+/// to the same total.
+#[test]
+fn meter_totals_are_consistent() {
+    let mut rng = Xoshiro256::seed_from_u64(0xD3);
+    for _ in 0..CASES {
         let topo = Topology::generate(10, &Placement::Uniform { side: 10.0 }, 1);
         let mut net = Network::new(topo, LinkModel::default());
-        for (from, to, kind_idx, bytes) in sends {
-            let kind = MessageKind::ALL[kind_idx];
+        for _ in 0..rng.gen_range(0usize..100) {
+            let from = rng.gen_range(0u64..10);
+            let to = rng.gen_range(0u64..10);
+            let kind = MessageKind::ALL[rng.gen_range(0usize..MessageKind::ALL.len())];
+            let bytes = rng.gen_range(0u64..10_000);
             let _ = net.send(NodeId::new(from), NodeId::new(to), kind, bytes);
         }
         let meter = net.meter();
         let by_kind: u64 = meter.by_kind().values().map(|c| c.bytes).sum();
-        prop_assert_eq!(meter.total().bytes, by_kind);
+        assert_eq!(meter.total().bytes, by_kind);
         let by_sender: u64 = (0..10u64)
             .map(|n| meter.sent_by(NodeId::new(n)).bytes)
             .sum();
-        prop_assert_eq!(meter.total().bytes, by_sender);
+        assert_eq!(meter.total().bytes, by_sender);
         let msgs_by_kind: u64 = meter.by_kind().values().map(|c| c.messages).sum();
-        prop_assert_eq!(meter.total().messages, msgs_by_kind);
+        assert_eq!(meter.total().messages, msgs_by_kind);
     }
+}
 
-    /// Crash/recover round-trips restore delivery; crashed nodes never
-    /// receive.
-    #[test]
-    fn liveness_transitions(crash_mask in 0u16..1024, seed in any::<u64>()) {
+/// Crash/recover round-trips restore delivery; crashed nodes never
+/// receive.
+#[test]
+fn liveness_transitions() {
+    let mut rng = Xoshiro256::seed_from_u64(0xD4);
+    for _ in 0..CASES {
+        let crash_mask = rng.gen_range(0u64..1024) as u16;
+        let seed = rng.next_u64();
         let topo = Topology::generate(10, &Placement::Uniform { side: 10.0 }, seed);
         let mut net = Network::new(topo, LinkModel::default());
         for i in 0..10u64 {
@@ -94,27 +119,37 @@ proptest! {
             }
         }
         let live = net.live_nodes();
-        prop_assert_eq!(live.len(), 10 - net.down_count());
+        assert_eq!(live.len(), 10 - net.down_count());
         for &node in &live {
-            prop_assert!(net.is_up(node));
+            assert!(net.is_up(node));
         }
         // Recover everyone; all sends succeed again.
         for i in 0..10u64 {
             net.recover(NodeId::new(i));
         }
         for i in 0..10u64 {
-            let outcome = net.send(NodeId::new(i), NodeId::new((i + 1) % 10), MessageKind::Control, 1);
-            prop_assert!(outcome.delay().is_some());
+            let outcome = net.send(
+                NodeId::new(i),
+                NodeId::new((i + 1) % 10),
+                MessageKind::Control,
+                1,
+            );
+            assert!(outcome.delay().is_some());
         }
     }
+}
 
-    /// Durations and times obey basic arithmetic laws.
-    #[test]
-    fn time_arithmetic(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+/// Durations and times obey basic arithmetic laws.
+#[test]
+fn time_arithmetic() {
+    let mut rng = Xoshiro256::seed_from_u64(0xD5);
+    for _ in 0..CASES * 4 {
+        let a = rng.gen_range(0u64..1_000_000);
+        let b = rng.gen_range(0u64..1_000_000);
         let t = SimTime::from_micros(a);
         let d = Duration::from_micros(b);
-        prop_assert_eq!((t + d) - t, d);
-        prop_assert_eq!(t.saturating_since(t + d), Duration::ZERO);
-        prop_assert_eq!((t + d).saturating_since(t), d);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t.saturating_since(t + d), Duration::ZERO);
+        assert_eq!((t + d).saturating_since(t), d);
     }
 }

@@ -1,0 +1,343 @@
+//! Deterministic, std-only pseudo-random number generation.
+//!
+//! Every stochastic component of the workspace — topology generation,
+//! clustering initialisation, gossip peer sampling, workload synthesis,
+//! property tests — draws from this crate instead of an external `rand`
+//! dependency. Two reasons:
+//!
+//! * **Hermetic builds.** The workspace must compile and test with no
+//!   network access; an in-repo generator removes the last hard external
+//!   dependency.
+//! * **Reproducibility.** Experiments cite seeds; the stream behind a seed
+//!   must be stable across platforms and releases, which an external
+//!   crate's internals cannot promise.
+//!
+//! The generator is [`Xoshiro256`] (xoshiro256**), seeded through
+//! [`SplitMix64`] exactly as recommended by the xoshiro authors. Both are
+//! public-domain algorithms (Blackman & Vigna, <https://prng.di.unimi.it>).
+//! This is **not** a cryptographic RNG — protocol randomness (leader
+//! lotteries, rendezvous hashing) stays on `ici-crypto`'s hash-based
+//! constructions; this crate only powers simulation and test inputs.
+//!
+//! # Examples
+//!
+//! ```
+//! use ici_rng::Xoshiro256;
+//!
+//! let mut rng = Xoshiro256::seed_from_u64(7);
+//! let roll = rng.gen_range(0usize..6);
+//! assert!(roll < 6);
+//! let coin: f64 = rng.gen_f64();
+//! assert!((0.0..1.0).contains(&coin));
+//! // Same seed, same stream.
+//! assert_eq!(
+//!     Xoshiro256::seed_from_u64(7).next_u64(),
+//!     Xoshiro256::seed_from_u64(7).next_u64(),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: a tiny 64-bit generator used to expand seeds.
+///
+/// Passes through every 64-bit value exactly once per period; its main job
+/// here is turning a single `u64` seed into the 256-bit xoshiro state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: the workspace's general-purpose generator.
+///
+/// 256-bit state, period `2^256 - 1`, excellent statistical quality for
+/// simulation workloads, and trivially portable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seeds the full 256-bit state from one `u64` via [`SplitMix64`], the
+    /// initialisation the xoshiro authors recommend. A zero seed is fine —
+    /// SplitMix64 never emits four zero words in a row.
+    pub fn seed_from_u64(seed: u64) -> Xoshiro256 {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit output (upper half of the 64-bit stream).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32 // lint:allow(cast) -- intentional truncation to the high word
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform draw from a range, like `rand`'s `gen_range`.
+    ///
+    /// Supports `Range` and `RangeInclusive` over the unsigned integer
+    /// types used in this workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Unbiased uniform draw from `[0, bound)` by rejection sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range"); // lint:allow(panic) -- caller contract, mirrors rand's gen_range
+                                           // Reject the (tiny) biased tail of the 64-bit stream.
+        let zone = u64::MAX - u64::MAX.wrapping_rem(bound);
+        loop {
+            let draw = self.next_u64();
+            if draw < zone || zone == 0 {
+                return draw % bound;
+            }
+        }
+    }
+
+    /// Fills `out` with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        for chunk in out.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&word[..len]);
+        }
+    }
+
+    /// A fresh `Vec<u8>` of `len` pseudo-random bytes.
+    pub fn gen_bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.fill_bytes(&mut out);
+        out
+    }
+
+    /// A fresh `Vec<u8>` whose length is drawn uniformly from `len_range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_bytes_in(&mut self, len_range: Range<usize>) -> Vec<u8> {
+        let len = self.gen_range(len_range);
+        self.gen_bytes(len)
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Uniformly chosen element, or `None` if the slice is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.gen_range(0..xs.len())])
+        }
+    }
+
+    /// Derives an independent generator for a sub-stream (e.g. per node,
+    /// per round) without disturbing this one.
+    pub fn fork(&self, stream: u64) -> Xoshiro256 {
+        let mut sm = SplitMix64::new(
+            self.s[0].wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ self.s[3],
+        );
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+/// Range types [`Xoshiro256::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The scalar produced by sampling.
+    type Output;
+    /// Draws uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample(self, rng: &mut Xoshiro256) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for Range<$ty> {
+            type Output = $ty;
+            fn sample(self, rng: &mut Xoshiro256) -> $ty {
+                assert!(self.start < self.end, "empty range"); // lint:allow(panic) -- caller contract, mirrors rand's gen_range
+                let span = (self.end - self.start) as u64;
+                self.start + rng.bounded_u64(span) as $ty
+            }
+        }
+        impl SampleRange for RangeInclusive<$ty> {
+            type Output = $ty;
+            fn sample(self, rng: &mut Xoshiro256) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range"); // lint:allow(panic) -- caller contract, mirrors rand's gen_range
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                start + rng.bounded_u64(span + 1) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u64, usize, u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the public-domain C
+        // implementation.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Xoshiro256::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Xoshiro256::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Xoshiro256::seed_from_u64(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5u64..=9);
+            assert!((5..=9).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn f64_is_uniformish() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|b| *b != 0), "astronomically unlikely");
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let base = Xoshiro256::seed_from_u64(11);
+        let mut f1 = base.fork(1);
+        let mut f2 = base.fork(2);
+        let mut f1b = base.fork(1);
+        assert_eq!(f1.next_u64(), f1b.next_u64());
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn choose_handles_empty_and_singleton() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        assert_eq!(rng.choose(&[7u8]), Some(&7));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Xoshiro256::seed_from_u64(0);
+        let _ = rng.gen_range(5usize..5);
+    }
+}

@@ -24,10 +24,7 @@ impl LatencyStats {
     where
         I: IntoIterator<Item = Duration>,
     {
-        let mut ms: Vec<f64> = durations
-            .into_iter()
-            .map(|d| d.as_millis_f64())
-            .collect();
+        let mut ms: Vec<f64> = durations.into_iter().map(|d| d.as_millis_f64()).collect();
         if ms.is_empty() {
             return LatencyStats::default();
         }
@@ -49,9 +46,8 @@ mod tests {
 
     #[test]
     fn known_values() {
-        let stats = LatencyStats::from_durations(
-            [10u64, 20, 30, 40, 100].map(Duration::from_millis),
-        );
+        let stats =
+            LatencyStats::from_durations([10u64, 20, 30, 40, 100].map(Duration::from_millis));
         assert_eq!(stats.samples, 5);
         assert_eq!(stats.mean_ms, 40.0);
         assert_eq!(stats.p50_ms, 30.0);

@@ -1,15 +1,18 @@
 //! Experiment result bookkeeping: JSON export for EXPERIMENTS.md.
+//!
+//! The JSON is emitted by a small in-repo serializer (the record shape is
+//! fixed and shallow), keeping the workspace free of external
+//! serialization dependencies so it builds fully offline.
 
+use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::Path;
 
-use serde::Serialize;
-
 use crate::table::Table;
 
 /// A serializable experiment record: id, parameters, and result tables.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentRecord {
     /// Experiment id, e.g. `"E1"`.
     pub id: String,
@@ -22,7 +25,7 @@ pub struct ExperimentRecord {
 }
 
 /// A table in serializable form.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SerializableTable {
     /// Table title.
     pub title: String,
@@ -42,6 +45,66 @@ impl From<&Table> for SerializableTable {
     }
 }
 
+/// Escapes `s` as the contents of a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_string_array(out: &mut String, indent: &str, items: &[String]) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n{indent}  \"{}\"", escape_json(item));
+    }
+    let _ = write!(out, "\n{indent}]");
+}
+
+impl SerializableTable {
+    fn write_pretty(&self, out: &mut String, indent: &str) {
+        let _ = write!(
+            out,
+            "{{\n{indent}  \"title\": \"{}\",\n{indent}  \"headers\": ",
+            escape_json(&self.title)
+        );
+        write_string_array(out, &format!("{indent}  "), &self.headers);
+        let _ = write!(out, ",\n{indent}  \"rows\": ");
+        if self.rows.is_empty() {
+            out.push_str("[]");
+        } else {
+            out.push('[');
+            for (i, row) in self.rows.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\n{indent}    ");
+                write_string_array(out, &format!("{indent}    "), row);
+            }
+            let _ = write!(out, "\n{indent}  ]");
+        }
+        let _ = write!(out, "\n{indent}}}");
+    }
+}
+
 impl ExperimentRecord {
     /// Builds a record from rendered tables.
     pub fn new(
@@ -58,6 +121,33 @@ impl ExperimentRecord {
         }
     }
 
+    /// Renders the record as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"params\": \"{}\",\n  \"tables\": ",
+            escape_json(&self.id),
+            escape_json(&self.title),
+            escape_json(&self.params)
+        );
+        if self.tables.is_empty() {
+            out.push_str("[]");
+        } else {
+            out.push('[');
+            for (i, table) in self.tables.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    ");
+                table.write_pretty(&mut out, "    ");
+            }
+            out.push_str("\n  ]");
+        }
+        out.push_str("\n}");
+        out
+    }
+
     /// Writes the record as pretty JSON to `path`, creating parent
     /// directories.
     ///
@@ -68,9 +158,7 @@ impl ExperimentRecord {
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent)?;
         }
-        let json = serde_json::to_string_pretty(self)
-            .map_err(|e| io::Error::new(io::ErrorKind::Other, e))?;
-        fs::write(path, json)
+        fs::write(path, self.to_json())
     }
 }
 
@@ -79,16 +167,40 @@ mod tests {
     use super::*;
 
     #[test]
-    fn record_round_trips_through_json() {
+    fn json_contains_all_fields() {
         let mut t = Table::new("Storage", ["strategy", "MB/node"]);
         t.row(["ICI", "25"]).row(["RapidChain", "100"]);
         let record = ExperimentRecord::new("E1", "Storage comparison", "N=4000", &[&t]);
-        let json = serde_json::to_string(&record).expect("serializes");
+        let json = record.to_json();
         assert!(json.contains("\"E1\""));
+        assert!(json.contains("\"Storage comparison\""));
+        assert!(json.contains("\"N=4000\""));
         assert!(json.contains("RapidChain"));
+        assert!(json.contains("\"MB/node\""));
+        assert!(json.contains("\"25\""));
+    }
 
-        let parsed: serde_json::Value = serde_json::from_str(&json).expect("parses");
-        assert_eq!(parsed["tables"][0]["rows"][0][1], "25");
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut t = Table::new("q\"t", ["a\\b"]);
+        t.row(["line\nbreak"]);
+        let record = ExperimentRecord::new("EX", "tab\there", "", &[&t]);
+        let json = record.to_json();
+        assert!(json.contains("q\\\"t"));
+        assert!(json.contains("a\\\\b"));
+        assert!(json.contains("line\\nbreak"));
+        assert!(json.contains("tab\\there"));
+        // Output must stay single-logical-line free of raw control chars
+        // inside string literals: every raw newline is structural.
+        for line in json.lines() {
+            assert!(!line.contains('\r'));
+        }
+    }
+
+    #[test]
+    fn empty_tables_serialize_as_empty_array() {
+        let record = ExperimentRecord::new("E0", "none", "", &[]);
+        assert!(record.to_json().contains("\"tables\": []"));
     }
 
     #[test]

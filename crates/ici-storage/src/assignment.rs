@@ -220,7 +220,12 @@ mod tests {
         let m = members(8);
         let (id, h) = (Sha256::digest(b"block"), 5);
         for s in strategies() {
-            assert_eq!(s.owners(&id, h, &m, 2), s.owners(&id, h, &m, 2), "{}", s.name());
+            assert_eq!(
+                s.owners(&id, h, &m, 2),
+                s.owners(&id, h, &m, 2),
+                "{}",
+                s.name()
+            );
         }
     }
 

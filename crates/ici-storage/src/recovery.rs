@@ -174,10 +174,7 @@ mod tests {
         let plan = plan_recovery(&blocks, &holdings, &live, &RendezvousAssignment, 2);
         assert!(plan.unrecoverable.is_empty());
         // Every block n3 owned needs exactly one new replica.
-        let lost: usize = holdings
-            .get(&NodeId::new(3))
-            .map(|h| h.len())
-            .unwrap_or(0);
+        let lost: usize = holdings.get(&NodeId::new(3)).map(|h| h.len()).unwrap_or(0);
         assert_eq!(plan.transfers.len(), lost);
         for t in &plan.transfers {
             assert_ne!(t.destination, NodeId::new(3));

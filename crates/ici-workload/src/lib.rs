@@ -34,8 +34,7 @@ use std::collections::HashMap;
 
 use ici_chain::transaction::{Address, Transaction};
 use ici_crypto::sig::Keypair;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ici_rng::Xoshiro256;
 
 /// How senders are drawn from the account universe.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -100,7 +99,7 @@ impl Default for WorkloadConfig {
 #[derive(Clone, Debug)]
 pub struct WorkloadGenerator {
     config: WorkloadConfig,
-    rng: StdRng,
+    rng: Xoshiro256,
     nonces: HashMap<u64, u64>,
     /// Precomputed Zipf CDF (empty for uniform).
     zipf_cdf: Vec<f64>,
@@ -131,7 +130,7 @@ impl WorkloadGenerator {
             }
         };
         WorkloadGenerator {
-            rng: StdRng::seed_from_u64(config.seed ^ 0x774C_0AD5),
+            rng: Xoshiro256::seed_from_u64(config.seed ^ 0x774C_0AD5),
             config,
             nonces: HashMap::new(),
             zipf_cdf,
@@ -153,7 +152,7 @@ impl WorkloadGenerator {
         match self.config.senders {
             SenderDistribution::Uniform => self.rng.gen_range(0..self.config.accounts),
             SenderDistribution::Zipf { .. } => {
-                let u: f64 = self.rng.gen();
+                let u: f64 = self.rng.gen_f64();
                 self.zipf_cdf.partition_point(|cdf| *cdf < u) as u64
             }
         }
@@ -167,7 +166,7 @@ impl WorkloadGenerator {
                 large,
                 fraction_large,
             } => {
-                if self.rng.gen::<f64>() < fraction_large {
+                if self.rng.gen_f64() < fraction_large {
                     large
                 } else {
                     small
@@ -323,7 +322,11 @@ mod tests {
             },
             ..WorkloadConfig::default()
         });
-        let sizes: Vec<usize> = generator.batch(300).iter().map(|t| t.payload().len()).collect();
+        let sizes: Vec<usize> = generator
+            .batch(300)
+            .iter()
+            .map(|t| t.payload().len())
+            .collect();
         let large = sizes.iter().filter(|s| **s == 1_000).count();
         let small = sizes.iter().filter(|s| **s == 10).count();
         assert_eq!(large + small, 300);

@@ -54,13 +54,18 @@ fn main() -> Result<(), IciError> {
     let report = network.query_body(requester, height)?;
     println!(
         "query: node {requester} fetched body {height} via {:?} from {} in {:.2} ms",
-        report.tier, report.server, report.latency.as_millis_f64(),
+        report.tier,
+        report.server,
+        report.latency.as_millis_f64(),
     );
 
     // The invariant the strategy is named for: every cluster collectively
     // holds every block.
     let intact = network.audit_all().iter().all(|r| r.is_intact());
-    println!("intra-cluster integrity: {}", if intact { "intact" } else { "VIOLATED" });
+    println!(
+        "intra-cluster integrity: {}",
+        if intact { "intact" } else { "VIOLATED" }
+    );
     assert!(intact);
     Ok(())
 }

@@ -32,7 +32,10 @@ fn main() {
         shape.blocks,
         format_bytes(shape.total_bytes()),
     );
-    println!("network: {nodes} nodes, per-node budget {}\n", format_bytes(budget));
+    println!(
+        "network: {nodes} nodes, per-node budget {}\n",
+        format_bytes(budget)
+    );
 
     let mut reference = Table::new(
         "Reference points",
@@ -47,7 +50,12 @@ fn main() {
         reference.row([
             name.to_string(),
             format_bytes(bytes as u64),
-            if (bytes as u64) <= budget { "yes" } else { "no" }.to_string(),
+            if (bytes as u64) <= budget {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     println!("{reference}");

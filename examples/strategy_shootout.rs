@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example strategy_shootout`
 
-use icistrategy::prelude::*;
 use icistrategy::net::link::LinkModel;
+use icistrategy::prelude::*;
 use icistrategy::sim::table::{fmt_f64, Table};
 use icistrategy::storage::stats::format_bytes;
 

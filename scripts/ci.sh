@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The full gate, exactly as CI runs it. Fail fast: the first failing
+# step aborts the run. Everything here is offline — the workspace has
+# no registry dependencies (enforced by ici-lint's `deps` rule).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> ici-lint"
+cargo run -q -p ici-lint
+
+echo "==> all green"

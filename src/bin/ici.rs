@@ -118,7 +118,8 @@ fn run_strategy(name: &str, opts: &CommonOpts) -> Result<RunSummary, String> {
                 .replication(opts.replication)
                 .link(quiet_link())
                 .seed(opts.seed)
-                .build()?;
+                .build()
+                .map_err(|e| e.to_string())?;
             Ok(run_ici(config, opts.blocks, opts.txs, workload(opts.seed)).1)
         }
         "full" => Ok(run_full(
@@ -258,7 +259,12 @@ fn cmd_plan(flags: HashMap<String, String>) -> Result<(), String> {
 }
 
 fn fits(bytes: f64, budget: u64) -> String {
-    if (bytes as u64) <= budget { "yes" } else { "no" }.to_string()
+    if (bytes as u64) <= budget {
+        "yes"
+    } else {
+        "no"
+    }
+    .to_string()
 }
 
 fn main() -> ExitCode {

@@ -62,7 +62,9 @@ pub use ici_workload as workload;
 /// Convenience re-exports of the types most programs start from.
 pub mod prelude {
     pub use ici_baselines::analytic::LedgerShape;
-    pub use ici_baselines::{FullConfig, FullReplicationNetwork, RapidChainConfig, RapidChainNetwork};
+    pub use ici_baselines::{
+        FullConfig, FullReplicationNetwork, RapidChainConfig, RapidChainNetwork,
+    };
     pub use ici_chain::{Address, Block, BlockHeader, GenesisConfig, Transaction, WorldState};
     pub use ici_cluster::{ClusterId, JoinPolicy};
     pub use ici_core::{Assignment, Clustering, IciConfig, IciError, IciNetwork, QueryTier};

@@ -2,8 +2,8 @@
 //! public facade, spanning every crate: crypto → chain → net → cluster →
 //! storage → consensus → core.
 
-use icistrategy::prelude::*;
 use icistrategy::core::config::Clustering;
+use icistrategy::prelude::*;
 
 fn network(nodes: usize, c: usize, r: usize, seed: u64) -> IciNetwork {
     let config = IciConfig::builder()
@@ -135,7 +135,11 @@ fn clustering_choice_does_not_affect_correctness() {
 #[test]
 fn assignment_choice_does_not_affect_correctness() {
     use icistrategy::core::config::Assignment;
-    for assignment in [Assignment::Rendezvous, Assignment::Ring, Assignment::RoundRobin] {
+    for assignment in [
+        Assignment::Rendezvous,
+        Assignment::Ring,
+        Assignment::RoundRobin,
+    ] {
         let config = IciConfig::builder()
             .nodes(32)
             .cluster_size(8)
@@ -160,8 +164,11 @@ fn join_crash_repair_cycle_keeps_chain_alive_and_intact() {
 
     // Join two nodes.
     for i in 0..2 {
-        net.bootstrap_node(Coord::new(20.0 * i as f64, 10.0), JoinPolicy::SmallestCluster)
-            .expect("join succeeds");
+        net.bootstrap_node(
+            Coord::new(20.0 * i as f64, 10.0),
+            JoinPolicy::SmallestCluster,
+        )
+        .expect("join succeeds");
     }
     // Crash three nodes across clusters.
     for i in [1u64, 13, 25] {

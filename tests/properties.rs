@@ -1,8 +1,17 @@
-//! Property-based integration tests: random configurations and random
+//! Randomized integration tests: random configurations and random
 //! operation sequences must never violate the core invariants.
+//!
+//! Ported from `proptest` to seeded, deterministic case loops over
+//! [`ici_rng`]. Enable the `heavy-tests` feature for a deeper sweep.
 
+use ici_rng::Xoshiro256;
 use icistrategy::prelude::*;
-use proptest::prelude::*;
+
+const CASES: usize = if cfg!(feature = "heavy-tests") {
+    64
+} else {
+    12
+};
 
 fn build(nodes: usize, c: usize, r: usize, seed: u64) -> IciNetwork {
     let config = IciConfig::builder()
@@ -15,20 +24,17 @@ fn build(nodes: usize, c: usize, r: usize, seed: u64) -> IciNetwork {
     IciNetwork::new(config).expect("constructs")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Integrity, linkage, and header completeness hold for arbitrary
-    /// (small) shapes.
-    #[test]
-    fn invariants_hold_for_random_shapes(
-        nodes in 12usize..48,
-        cluster in 4usize..16,
-        r in 1usize..4,
-        blocks in 1usize..6,
-        seed in 0u64..1_000,
-    ) {
-        let r = r.min(cluster);
+/// Integrity, linkage, and header completeness hold for arbitrary
+/// (small) shapes.
+#[test]
+fn invariants_hold_for_random_shapes() {
+    let mut rng = Xoshiro256::seed_from_u64(0xF1);
+    for _ in 0..CASES {
+        let nodes = rng.gen_range(12usize..48);
+        let cluster = rng.gen_range(4usize..16);
+        let r = rng.gen_range(1usize..4).min(cluster);
+        let blocks = rng.gen_range(1usize..6);
+        let seed = rng.gen_range(0u64..1_000);
         let mut net = build(nodes, cluster, r, seed);
         let mut workload = WorkloadGenerator::new(WorkloadConfig {
             accounts: 64,
@@ -38,19 +44,20 @@ proptest! {
         for _ in 0..blocks {
             net.propose_block(workload.batch(6)).expect("commits");
         }
-        prop_assert!(net.audit_all().iter().all(|rep| rep.is_intact()));
-        prop_assert_eq!(net.chain_len(), blocks as u64 + 1);
-        prop_assert_eq!(net.tip().state_root, net.state().root());
+        assert!(net.audit_all().iter().all(|rep| rep.is_intact()));
+        assert_eq!(net.chain_len(), blocks as u64 + 1);
+        assert_eq!(net.tip().state_root, net.state().root());
     }
+}
 
-    /// A random crash set within the fault budget never blocks commits,
-    /// and repair restores full integrity whenever each cluster keeps a
-    /// live holder or any other cluster does.
-    #[test]
-    fn random_crashes_then_repair_restores_integrity(
-        seed in 0u64..500,
-        crash_picks in proptest::collection::vec(any::<prop::sample::Index>(), 1..4),
-    ) {
+/// A random crash set within the fault budget never blocks commits,
+/// and repair restores full integrity whenever each cluster keeps a
+/// live holder or any other cluster does.
+#[test]
+fn random_crashes_then_repair_restores_integrity() {
+    let mut rng = Xoshiro256::seed_from_u64(0xF2);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..500);
         let mut net = build(36, 12, 2, seed);
         let mut workload = WorkloadGenerator::new(WorkloadConfig {
             accounts: 64,
@@ -63,30 +70,31 @@ proptest! {
         // Crash at most 2 distinct nodes per cluster of 12 (f = 3, and we
         // want bodies to stay findable).
         let mut crashed = std::collections::HashSet::new();
-        for pick in crash_picks {
-            let node = NodeId::new(pick.index(36) as u64);
+        for _ in 0..rng.gen_range(1usize..4) {
+            let node = NodeId::new(rng.gen_range(0usize..36) as u64);
             if crashed.insert(node) {
                 net.crash_node(node).expect("known node");
             }
         }
         // Chain still commits.
-        net.propose_block(workload.batch(6)).expect("commits despite crashes");
+        net.propose_block(workload.batch(6))
+            .expect("commits despite crashes");
 
         let reports = net.repair_all();
         for report in &reports {
-            prop_assert!(report.unrecoverable.is_empty(), "lost heights: {:?}", report);
+            assert!(report.unrecoverable.is_empty(), "lost heights: {report:?}");
         }
-        prop_assert!(net.audit_all().iter().all(|rep| rep.is_intact()));
+        assert!(net.audit_all().iter().all(|rep| rep.is_intact()));
     }
+}
 
-    /// Queries succeed from any live node for any committed height, and
-    /// local queries cost no traffic.
-    #[test]
-    fn queries_always_succeed_on_live_networks(
-        seed in 0u64..500,
-        node_pick in any::<prop::sample::Index>(),
-        height_pick in any::<prop::sample::Index>(),
-    ) {
+/// Queries succeed from any live node for any committed height, and
+/// local queries cost no traffic.
+#[test]
+fn queries_always_succeed_on_live_networks() {
+    let mut rng = Xoshiro256::seed_from_u64(0xF3);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..500);
         let mut net = build(24, 8, 2, seed);
         let mut workload = WorkloadGenerator::new(WorkloadConfig {
             accounts: 64,
@@ -96,24 +104,26 @@ proptest! {
         for _ in 0..3 {
             net.propose_block(workload.batch(5)).expect("commits");
         }
-        let node = NodeId::new(node_pick.index(24) as u64);
-        let height = height_pick.index(4) as u64;
+        let node = NodeId::new(rng.gen_range(0usize..24) as u64);
+        let height = rng.gen_range(0u64..4);
         let before = net.net().meter().total().bytes;
         let report = net.query_body(node, height).expect("query succeeds");
         if report.tier == QueryTier::Local {
-            prop_assert_eq!(net.net().meter().total().bytes, before);
+            assert_eq!(net.net().meter().total().bytes, before);
         } else {
-            prop_assert!(report.bytes > 0 || height == 0);
+            assert!(report.bytes > 0 || height == 0);
         }
     }
+}
 
-    /// Bootstrap keeps integrity and never increases replication beyond r.
-    #[test]
-    fn bootstrap_preserves_replication_bound(
-        seed in 0u64..200,
-        x in 0.0f64..100.0,
-        y in 0.0f64..100.0,
-    ) {
+/// Bootstrap keeps integrity and never increases replication beyond r.
+#[test]
+fn bootstrap_preserves_replication_bound() {
+    let mut rng = Xoshiro256::seed_from_u64(0xF4);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..200);
+        let x = rng.gen_f64() * 100.0;
+        let y = rng.gen_f64() * 100.0;
         let mut net = build(24, 8, 2, seed);
         let mut workload = WorkloadGenerator::new(WorkloadConfig {
             accounts: 64,
@@ -126,9 +136,9 @@ proptest! {
         net.bootstrap_node(Coord::new(x, y), JoinPolicy::NearestCentroid)
             .expect("join succeeds");
         for report in net.audit_all() {
-            prop_assert!(report.is_intact());
+            assert!(report.is_intact());
             for (replicas, _) in &report.replication_histogram {
-                prop_assert!(*replicas <= 2, "over-replicated after join");
+                assert!(*replicas <= 2, "over-replicated after join");
             }
         }
     }
