@@ -11,6 +11,8 @@
 //!
 //! * `ICI_BENCH_BUDGET_MS` — per-benchmark time budget (default 300 ms).
 //! * `ICI_BENCH_MIN_ITERS` — minimum timed iterations (default 10).
+//! * `ICI_BENCH_JSON=1` — emit one machine-readable JSON line per
+//!   benchmark instead of the aligned text line.
 
 use std::time::{Duration, Instant};
 
@@ -62,25 +64,74 @@ fn env_u64(key: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-fn report(name: &str, samples_ns: &mut [u128]) {
+/// Summary statistics of one benchmark's timed samples, in nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BenchStats {
+    /// Timed iterations.
+    pub iters: usize,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Middle sample.
+    pub median_ns: u128,
+    /// Mean sample.
+    pub mean_ns: u128,
+    /// 90th-percentile sample (nearest-rank).
+    pub p90_ns: u128,
+    /// 99th-percentile sample (nearest-rank).
+    pub p99_ns: u128,
+}
+
+/// Computes summary statistics over (sorted-in-place) samples. Returns
+/// `None` for an empty slice.
+pub fn stats(samples_ns: &mut [u128]) -> Option<BenchStats> {
     samples_ns.sort_unstable();
     let n = samples_ns.len();
     if n == 0 {
+        return None;
+    }
+    let rank = |p: f64| -> u128 {
+        let idx = ((p / 100.0) * n as f64).ceil() as usize;
+        samples_ns[idx.clamp(1, n) - 1]
+    };
+    Some(BenchStats {
+        iters: n,
+        min_ns: samples_ns[0],
+        median_ns: samples_ns[n / 2],
+        mean_ns: samples_ns.iter().sum::<u128>() / n as u128,
+        p90_ns: rank(90.0),
+        p99_ns: rank(99.0),
+    })
+}
+
+fn report(name: &str, samples_ns: &mut [u128]) {
+    let Some(s) = stats(samples_ns) else {
         println!("{name:<44} no samples");
         return;
+    };
+    if std::env::var("ICI_BENCH_JSON")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        println!(
+            "{{\"name\": \"{name}\", \"iters\": {}, \"min_ns\": {}, \"median_ns\": {}, \
+             \"mean_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}}}",
+            s.iters, s.min_ns, s.median_ns, s.mean_ns, s.p90_ns, s.p99_ns,
+        );
+        return;
     }
-    let min = samples_ns[0];
-    let median = samples_ns[n / 2];
-    let mean = samples_ns.iter().sum::<u128>() / n as u128;
     println!(
-        "{name:<44} min {:>12}  median {:>12}  mean {:>12}  ({n} iters)",
-        fmt_ns(min),
-        fmt_ns(median),
-        fmt_ns(mean),
+        "{name:<44} min {:>11}  median {:>11}  mean {:>11}  p90 {:>11}  p99 {:>11}  ({} iters)",
+        fmt_ns(s.min_ns),
+        fmt_ns(s.median_ns),
+        fmt_ns(s.mean_ns),
+        fmt_ns(s.p90_ns),
+        fmt_ns(s.p99_ns),
+        s.iters,
     );
 }
 
-fn fmt_ns(ns: u128) -> String {
+/// Renders a nanosecond quantity with a human-scale unit.
+pub fn fmt_ns(ns: u128) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.3} s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {
@@ -109,5 +160,31 @@ mod tests {
         assert!(fmt_ns(12_345).contains("µs"));
         assert!(fmt_ns(12_345_678).contains("ms"));
         assert!(fmt_ns(12_345_678_901).contains("s"));
+    }
+
+    #[test]
+    fn stats_percentiles_use_nearest_rank() {
+        let mut samples: Vec<u128> = (1..=100).collect();
+        let s = stats(&mut samples).expect("non-empty");
+        assert_eq!(s.iters, 100);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.p90_ns, 90);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.mean_ns, 50);
+    }
+
+    #[test]
+    fn stats_single_sample_is_every_quantile() {
+        let mut samples = vec![42u128];
+        let s = stats(&mut samples).expect("non-empty");
+        assert_eq!(s.min_ns, 42);
+        assert_eq!(s.median_ns, 42);
+        assert_eq!(s.p90_ns, 42);
+        assert_eq!(s.p99_ns, 42);
+    }
+
+    #[test]
+    fn stats_empty_is_none() {
+        assert!(stats(&mut []).is_none());
     }
 }

@@ -36,7 +36,11 @@ pub enum Scale {
 
 impl Scale {
     /// Parses the process arguments: `--paper` selects [`Scale::Paper`].
+    ///
+    /// Also initializes telemetry from the environment (`ICI_TELEMETRY=1`),
+    /// since every experiment binary calls this exactly once at startup.
     pub fn from_args() -> Scale {
+        ici_telemetry::init_from_env();
         if std::env::args().any(|a| a == "--paper") {
             Scale::Paper
         } else {
@@ -110,16 +114,48 @@ pub fn txs_per_block(scale: Scale) -> usize {
 }
 
 /// Prints tables and archives the experiment record under `results/`.
+///
+/// When telemetry is enabled (`ICI_TELEMETRY=1`) the record gains a
+/// `telemetry` section with the run's counters, histograms, and spans, and
+/// a top-spans profile is printed after the tables.
 pub fn emit(id: &str, title: &str, params: &str, tables: &[&Table]) {
     for table in tables {
         println!("{table}");
     }
-    let record = ExperimentRecord::new(id, title, params, tables);
+    let record = ExperimentRecord::new(id, title, params, tables).with_telemetry();
+    if let Some(snapshot) = &record.telemetry {
+        print_top_spans(snapshot, 5);
+    }
     let path = PathBuf::from("results").join(format!("{}.json", id.to_lowercase()));
     match record.write_json(&path) {
         Ok(()) => println!("[saved {}]\n", path.display()),
         Err(e) => eprintln!("[warn: could not save {}: {e}]", path.display()),
     }
+}
+
+/// Prints the `n` spans with the largest self time, one line each.
+pub fn print_top_spans(snapshot: &ici_telemetry::TelemetrySnapshot, n: usize) {
+    let top = snapshot.top_spans_by_self_time(n);
+    if top.is_empty() {
+        return;
+    }
+    println!("top {} spans by self time:", top.len());
+    for s in top {
+        let label = if s.label.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", s.label)
+        };
+        println!(
+            "  {:<28}{} count={:<6} self={:>10} total={:>10}",
+            s.name,
+            label,
+            s.count,
+            harness::fmt_ns(s.self_ns as u128),
+            harness::fmt_ns(s.total_ns as u128),
+        );
+    }
+    println!();
 }
 
 #[cfg(test)]

@@ -179,6 +179,12 @@ impl BlockBuilder {
 
     /// Seals the block, consuming the builder.
     pub fn seal(self) -> Block {
+        let _span = ici_telemetry::span!("chain/block_build");
+        ici_telemetry::observe(
+            "chain/block_txs",
+            ici_telemetry::Label::Global,
+            self.transactions.len() as u64,
+        );
         Block::new(
             BlockHeader {
                 height: self.height,

@@ -74,6 +74,7 @@ pub fn validate_block(
     parent: &BlockHeader,
     pre_state: &WorldState,
 ) -> Result<WorldState, ValidationError> {
+    let _span = ici_telemetry::span!("chain/block_validate");
     let header = block.header();
     if header.height != parent.height + 1 {
         return Err(ValidationError::WrongHeight {
@@ -114,6 +115,7 @@ pub fn validate_block(
 ///
 /// The index of the first failing transaction.
 pub fn verify_tx_range(block: &Block, start: usize, end: usize) -> Result<usize, usize> {
+    let _span = ici_telemetry::span!("chain/verify_tx_range");
     let txs = block.transactions();
     let end = end.min(txs.len());
     let start = start.min(end);

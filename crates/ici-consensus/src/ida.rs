@@ -73,6 +73,12 @@ pub fn run_ida_dissemination(
     body_bytes: u64,
     config: &IdaConfig,
 ) -> BTreeMap<NodeId, SimTime> {
+    let _span = ici_telemetry::span!("consensus/ida_disseminate");
+    ici_telemetry::observe(
+        "consensus/ida_body_bytes",
+        ici_telemetry::Label::Global,
+        body_bytes,
+    );
     let mut reconstructed = BTreeMap::new();
     if members.is_empty() || !net.is_up(leader) {
         return reconstructed;

@@ -13,6 +13,7 @@ use ici_net::node::NodeId;
 /// Elects the proposer for `height` among `members`, seeded by the parent
 /// block id. Returns `None` for an empty member set.
 pub fn elect_leader(parent_id: &Digest, height: u64, members: &[NodeId]) -> Option<NodeId> {
+    let _span = ici_telemetry::span!("consensus/leader_elect");
     lottery_winner(parent_id, height, members.iter().map(|n| n.get())).map(NodeId::new)
 }
 
@@ -28,6 +29,7 @@ pub fn elect_live_leader<F>(
 where
     F: Fn(NodeId) -> bool,
 {
+    let _span = ici_telemetry::span!("consensus/leader_elect");
     let mut scored: Vec<(u64, NodeId)> = members
         .iter()
         .map(|n| {

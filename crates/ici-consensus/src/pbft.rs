@@ -93,6 +93,7 @@ where
     P: Fn(NodeId) -> (MessageKind, u64),
     V: Fn(NodeId) -> Duration,
 {
+    let _span = ici_telemetry::span!("consensus/pbft_round");
     let members = inputs.members;
     let c = members.len();
     let q = quorum(c);
@@ -101,6 +102,7 @@ where
         quorum: q,
     };
     if c == 0 || !net.is_up(inputs.leader) {
+        ici_telemetry::counter_add("consensus/pbft_aborted", ici_telemetry::Label::Global, 1);
         return report;
     }
 
@@ -128,6 +130,23 @@ where
     let committed = vote_round(net, members, &prepared, q);
 
     report.commit_times = committed;
+    ici_telemetry::counter_add(
+        if report.is_committed() {
+            "consensus/pbft_committed"
+        } else {
+            "consensus/pbft_failed"
+        },
+        ici_telemetry::Label::Global,
+        1,
+    );
+    if let Some(at) = report.quorum_commit() {
+        // Simulated commit latency, in sim-clock microseconds.
+        ici_telemetry::observe(
+            "consensus/pbft_commit_sim_us",
+            ici_telemetry::Label::Global,
+            at.saturating_since(inputs.start).as_micros(),
+        );
+    }
     report
 }
 
@@ -158,6 +177,7 @@ fn vote_round(
     send_times: &BTreeMap<NodeId, SimTime>,
     q: usize,
 ) -> BTreeMap<NodeId, SimTime> {
+    let _span = ici_telemetry::span!("consensus/vote_round");
     let mut arrivals: BTreeMap<NodeId, Vec<SimTime>> = BTreeMap::new();
     for &voter in members {
         let Some(&at) = send_times.get(&voter) else {

@@ -64,6 +64,7 @@ impl IciNetwork {
         coord: Coord,
         policy: JoinPolicy,
     ) -> Result<BootstrapReport, IciError> {
+        let _span = ici_telemetry::span!("core/bootstrap");
         let node = self.net.join(coord);
         let cluster = {
             let topology = self.net.topology().clone();
@@ -155,6 +156,17 @@ impl IciNetwork {
         let body_finish = per_source_finish.values().max().copied().unwrap_or(finish);
         let duration = body_finish.max(finish).saturating_since(start);
 
+        ici_telemetry::counter_add("core/bootstraps", ici_telemetry::Label::Global, 1);
+        ici_telemetry::counter_add(
+            "core/bootstrap_bytes",
+            ici_telemetry::Label::Global,
+            header_bytes + body_bytes,
+        );
+        ici_telemetry::observe(
+            "core/bootstrap_sim_us",
+            ici_telemetry::Label::Global,
+            duration.as_micros(),
+        );
         Ok(BootstrapReport {
             node,
             cluster: cluster.get(),

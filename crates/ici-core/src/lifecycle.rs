@@ -116,6 +116,7 @@ impl IciNetwork {
         &mut self,
         pending: Vec<Transaction>,
     ) -> Result<&BlockCommitRecord, IciError> {
+        let _span = ici_telemetry::span!("core/block_lifecycle");
         let parent = *self.tip();
         let parent_id = parent.id();
         let height = parent.height + 1;
@@ -190,6 +191,7 @@ impl IciNetwork {
             if other == home {
                 continue;
             }
+            let _cluster_span = ici_telemetry::span!("core/remote_commit", cluster = other.get());
             let remote_members = self.membership.active_members(other);
             let remote_leader = {
                 let net = &self.net;
@@ -280,6 +282,22 @@ impl IciNetwork {
         self.clock = network_commit;
 
         let meter_after = self.net.meter().total();
+        ici_telemetry::counter_add("core/blocks_committed", ici_telemetry::Label::Global, 1);
+        for (&cluster, &at) in &cluster_commits {
+            let label = ici_telemetry::Label::Cluster(u64::from(cluster.get()));
+            ici_telemetry::counter_add("core/cluster_commits", label, 1);
+            ici_telemetry::observe(
+                "core/cluster_commit_sim_us",
+                label,
+                at.saturating_since(proposed_at).as_micros(),
+            );
+        }
+        ici_telemetry::observe(
+            "core/commit_latency_sim_us",
+            ici_telemetry::Label::Global,
+            network_commit.saturating_since(proposed_at).as_micros(),
+        );
+        ici_telemetry::observe("core/body_bytes", ici_telemetry::Label::Global, body_bytes);
         missed.sort_unstable_by_key(|c| c.get());
         self.commit_log.push(BlockCommitRecord {
             height,

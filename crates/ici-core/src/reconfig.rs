@@ -50,6 +50,7 @@ impl IciNetwork {
     /// inactive; crashed-but-member nodes are treated as members whose
     /// copies cannot serve as sources.
     pub fn reconfigure_clusters(&mut self) -> ReconfigReport {
+        let _span = ici_telemetry::span!("core/reconfig");
         let n = self.holdings.len();
         let active: Vec<bool> = (0..n as u64)
             .map(|i| self.membership.is_active(NodeId::new(i)))

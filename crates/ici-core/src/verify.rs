@@ -52,6 +52,7 @@ impl IciNetwork {
     /// Pure logic — no traffic or time is charged (the lifecycle's cost
     /// model covers that); use it to test what the cluster *decides*.
     pub fn collaborative_verify(&self, cluster: ClusterId, block: &Block) -> Verdict {
+        let _span = ici_telemetry::span!("core/collaborative_verify", cluster = cluster.get());
         let members = self.live_members(cluster);
         let tx_count = block.transactions().len();
 

@@ -62,6 +62,12 @@ pub struct MerkleTree {
 impl MerkleTree {
     /// Builds a tree over pre-hashed leaves.
     pub fn from_leaf_hashes(leaves: Vec<Digest>) -> MerkleTree {
+        let _span = ici_telemetry::span!("crypto/merkle_build");
+        ici_telemetry::observe(
+            "crypto/merkle_leaves",
+            ici_telemetry::Label::Global,
+            leaves.len() as u64,
+        );
         if leaves.is_empty() {
             return MerkleTree { levels: Vec::new() };
         }
@@ -127,6 +133,7 @@ impl MerkleTree {
         if index >= self.len() {
             return None;
         }
+        ici_telemetry::counter_add("crypto/merkle_proofs", ici_telemetry::Label::Global, 1);
         let mut siblings = Vec::new();
         let mut pos = index;
         for level in &self.levels[..self.levels.len().saturating_sub(1)] {
@@ -215,6 +222,7 @@ impl MerkleProof {
 
     /// Verifies a pre-hashed leaf against `root`.
     pub fn verify_leaf_hash(&self, leaf: Digest, root: Digest) -> bool {
+        ici_telemetry::counter_add("crypto/merkle_verifies", ici_telemetry::Label::Global, 1);
         let mut acc = leaf;
         for step in &self.siblings {
             acc = match step.side {

@@ -166,6 +166,12 @@ impl ReedSolomon {
         if shard_len == 0 || data.iter().any(|s| s.len() != shard_len) {
             return Err(RsError::InconsistentShardLength);
         }
+        Ok(self.parity_for(data, shard_len))
+    }
+
+    /// Parity computation core; callers have already validated that `data`
+    /// holds exactly `k` shards of `shard_len > 0` bytes each.
+    fn parity_for(&self, data: &[Vec<u8>], shard_len: usize) -> Vec<Vec<u8>> {
         let xs: Vec<u8> = (0..self.data_shards as u16).map(|x| x as u8).collect();
         let mut parity = Vec::with_capacity(self.parity_shards);
         for p in 0..self.parity_shards {
@@ -177,7 +183,7 @@ impl ReedSolomon {
             }
             parity.push(shard);
         }
-        Ok(parity)
+        parity
     }
 
     /// Splits `payload` into `k` equal data shards (zero-padded) and appends
@@ -185,6 +191,12 @@ impl ReedSolomon {
     ///
     /// Use [`ReedSolomon::join_payload`] with the original length to invert.
     pub fn encode_payload(&self, payload: &[u8]) -> Vec<Vec<u8>> {
+        let _span = ici_telemetry::span!("crypto/rs_encode");
+        ici_telemetry::observe(
+            "crypto/rs_payload_bytes",
+            ici_telemetry::Label::Global,
+            payload.len() as u64,
+        );
         let shard_len = payload.len().div_ceil(self.data_shards).max(1);
         let mut shards: Vec<Vec<u8>> = Vec::with_capacity(self.total_shards());
         for i in 0..self.data_shards {
@@ -194,9 +206,9 @@ impl ReedSolomon {
             shard.resize(shard_len, 0);
             shards.push(shard);
         }
-        let parity = self
-            .encode(&shards)
-            .expect("shards built internally are consistent");
+        // The shards built above are k equal-length non-empty rows, so the
+        // parity core's precondition holds by construction.
+        let parity = self.parity_for(&shards, shard_len);
         shards.extend(parity);
         shards
     }
@@ -211,6 +223,7 @@ impl ReedSolomon {
     /// Fails if fewer than `k` shards are present, the count is wrong, or
     /// present shards disagree on length.
     pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), RsError> {
+        let _span = ici_telemetry::span!("crypto/rs_reconstruct");
         if shards.len() != self.total_shards() {
             return Err(RsError::WrongShardCount {
                 expected: self.total_shards(),
@@ -228,13 +241,14 @@ impl ReedSolomon {
                 present: present.len(),
             });
         }
-        let shard_len = shards[present[0]].as_ref().expect("present").len();
-        if shard_len == 0
-            || present
-                .iter()
-                .any(|&i| shards[i].as_ref().expect("present").len() != shard_len)
-        {
-            return Err(RsError::InconsistentShardLength);
+        let mut shard_len = 0usize;
+        for shard in shards.iter().flatten() {
+            if shard_len == 0 {
+                shard_len = shard.len();
+            }
+            if shard.is_empty() || shard.len() != shard_len {
+                return Err(RsError::InconsistentShardLength);
+            }
         }
 
         // Any k present shards determine the polynomial.
@@ -247,8 +261,11 @@ impl ReedSolomon {
             let row = ReedSolomon::lagrange_row(&xs, target as u8);
             let mut out = vec![0u8; shard_len];
             for (j, &src_idx) in basis.iter().enumerate() {
-                let src = shards[src_idx].as_ref().expect("basis shard present");
-                mul_acc(&mut out, src, row[j]);
+                // Basis indices come from `present` and are never erased
+                // (targets are drawn from `missing`), so this always hits.
+                if let Some(src) = &shards[src_idx] {
+                    mul_acc(&mut out, src, row[j]);
+                }
             }
             shards[target] = Some(out);
         }

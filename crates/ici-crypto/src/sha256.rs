@@ -153,10 +153,11 @@ impl Digest {
 
     /// Renders the digest as a 64-character lowercase hex string.
     pub fn to_hex(&self) -> String {
+        const HEX: &[u8; 16] = b"0123456789abcdef";
         let mut s = String::with_capacity(64);
         for b in &self.0 {
-            s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
-            s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+            s.push(HEX[(b >> 4) as usize] as char);
+            s.push(HEX[(b & 0xf) as usize] as char);
         }
         s
     }
@@ -166,7 +167,8 @@ impl Digest {
     /// Handy for deriving deterministic pseudo-random choices (leader
     /// lotteries, rendezvous hashing) from a digest.
     pub fn prefix_u64(&self) -> u64 {
-        u64::from_be_bytes(self.0[..8].try_into().expect("slice is 8 bytes"))
+        let b = &self.0;
+        u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
     }
 
     /// Counts the number of leading zero bits, as used by the
@@ -276,19 +278,25 @@ impl Sha256 {
                 return self;
             }
         }
-        let mut chunks = input.chunks_exact(64);
-        for block in &mut chunks {
-            let block: &[u8; 64] = block.try_into().expect("chunk is 64 bytes");
-            self.compress(block);
+        while let Some(block) = input.first_chunk::<64>() {
+            let block = *block;
+            self.compress(&block);
+            input = &input[64..];
         }
-        let rem = chunks.remainder();
-        self.buffer[..rem.len()].copy_from_slice(rem);
-        self.buffered = rem.len();
+        self.buffer[..input.len()].copy_from_slice(input);
+        self.buffered = input.len();
         self
     }
 
     /// Completes the hash, consuming the hasher.
     pub fn finalize(mut self) -> Digest {
+        // Counters only: a span per digest would dominate this hot path.
+        ici_telemetry::counter_add("crypto/sha256_digests", ici_telemetry::Label::Global, 1);
+        ici_telemetry::counter_add(
+            "crypto/sha256_bytes",
+            ici_telemetry::Label::Global,
+            self.length,
+        );
         let bit_len = self.length.wrapping_mul(8);
         // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
         self.update(&[0x80]);
@@ -310,8 +318,9 @@ impl Sha256 {
     /// The SHA-256 compression function over one 64-byte block.
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(chunk.try_into().expect("chunk is 4 bytes"));
+        for i in 0..16 {
+            let o = i * 4;
+            w[i] = u32::from_be_bytes([block[o], block[o + 1], block[o + 2], block[o + 3]]);
         }
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);

@@ -32,6 +32,7 @@ impl Default for Config {
                 "ici-storage",
                 "ici-crypto",
                 "ici-net",
+                "ici-telemetry",
             ]
             .iter()
             .map(|s| s.to_string())

@@ -37,6 +37,23 @@ pub enum MessageKind {
 }
 
 impl MessageKind {
+    /// Stable lowercase name, as used in tables and telemetry labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MessageKind::BlockFull => "block-full",
+            MessageKind::BlockBody => "block-body",
+            MessageKind::BlockHeader => "block-header",
+            MessageKind::BlockShard => "block-shard",
+            MessageKind::Transaction => "transaction",
+            MessageKind::Vote => "vote",
+            MessageKind::Query => "query",
+            MessageKind::Response => "response",
+            MessageKind::Bootstrap => "bootstrap",
+            MessageKind::Repair => "repair",
+            MessageKind::Control => "control",
+        }
+    }
+
     /// All kinds, for table rendering.
     pub const ALL: [MessageKind; 11] = [
         MessageKind::BlockFull,
@@ -55,20 +72,8 @@ impl MessageKind {
 
 impl fmt::Display for MessageKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
-            MessageKind::BlockFull => "block-full",
-            MessageKind::BlockBody => "block-body",
-            MessageKind::BlockHeader => "block-header",
-            MessageKind::BlockShard => "block-shard",
-            MessageKind::Transaction => "transaction",
-            MessageKind::Vote => "vote",
-            MessageKind::Query => "query",
-            MessageKind::Response => "response",
-            MessageKind::Bootstrap => "bootstrap",
-            MessageKind::Repair => "repair",
-            MessageKind::Control => "control",
-        };
-        f.write_str(name)
+        // `pad` (not `write_str`) so `{:<12}`-style table alignment works.
+        f.pad(self.name())
     }
 }
 
@@ -109,6 +114,22 @@ impl TrafficMeter {
         self.sent_by_node.entry(from).or_default().add(bytes);
         self.received_by_node.entry(to).or_default().add(bytes);
         self.total.add(bytes);
+    }
+
+    /// Mirrors the accumulated per-class totals into the workspace
+    /// telemetry registry (`net/messages` and `net/bytes`, labelled by
+    /// message class). Counters add, so call this exactly once per meter
+    /// lifetime — the simulation runners do it at end of run, keeping
+    /// [`TrafficMeter::record`] free of any per-send telemetry cost.
+    pub fn publish_telemetry(&self) {
+        if !ici_telemetry::enabled() {
+            return;
+        }
+        for (kind, c) in &self.by_kind {
+            let phase = ici_telemetry::Label::Phase(kind.name());
+            ici_telemetry::counter_add("net/messages", phase, c.messages);
+            ici_telemetry::counter_add("net/bytes", phase, c.bytes);
+        }
     }
 
     /// Total over all classes.
@@ -247,5 +268,83 @@ mod tests {
         let names: std::collections::HashSet<String> =
             MessageKind::ALL.iter().map(|k| k.to_string()).collect();
         assert_eq!(names.len(), MessageKind::ALL.len());
+    }
+
+    #[test]
+    fn kind_display_honors_width_and_alignment() {
+        assert_eq!(format!("{:<12}|", MessageKind::Vote), "vote        |");
+        assert_eq!(format!("{:>12}|", MessageKind::Vote), "        vote|");
+        assert_eq!(format!("{:-<6}|", MessageKind::Query), "query-|");
+        // Width shorter than the name must not truncate.
+        assert_eq!(format!("{:2}", MessageKind::BlockHeader), "block-header");
+    }
+
+    #[test]
+    fn merge_covers_all_kinds_and_node_tables() {
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        let mut m1 = TrafficMeter::new();
+        let mut m2 = TrafficMeter::new();
+        for (i, kind) in MessageKind::ALL.into_iter().enumerate() {
+            m1.record(a, b, kind, i as u64 + 1);
+            m2.record(b, c, kind, 10 * (i as u64 + 1));
+        }
+        m1.merge(&m2);
+        for (i, kind) in MessageKind::ALL.into_iter().enumerate() {
+            assert_eq!(
+                m1.kind(kind),
+                Counter {
+                    messages: 2,
+                    bytes: 11 * (i as u64 + 1)
+                },
+                "kind {kind}"
+            );
+        }
+        let n = MessageKind::ALL.len() as u64;
+        assert_eq!(m1.total().messages, 2 * n);
+        assert_eq!(m1.sent_by(a).messages, n);
+        assert_eq!(m1.sent_by(b).messages, n);
+        assert_eq!(m1.received_by(b).messages, n);
+        assert_eq!(m1.received_by(c).messages, n);
+        // Per-node totals agree with the grand total.
+        let sent: u64 = [a, b, c].iter().map(|&x| m1.sent_by(x).bytes).sum();
+        let received: u64 = [a, b, c].iter().map(|&x| m1.received_by(x).bytes).sum();
+        assert_eq!(sent, m1.total().bytes);
+        assert_eq!(received, m1.total().bytes);
+    }
+
+    #[test]
+    fn merge_into_empty_meter_is_a_copy() {
+        let (a, b) = (NodeId::new(3), NodeId::new(4));
+        let mut src = TrafficMeter::new();
+        src.record(a, b, MessageKind::Repair, 77);
+        let mut dst = TrafficMeter::new();
+        dst.merge(&src);
+        assert_eq!(dst.kind(MessageKind::Repair), src.kind(MessageKind::Repair));
+        assert_eq!(dst.total(), src.total());
+        assert_eq!(dst.max_received_bytes(), 77);
+    }
+
+    #[test]
+    fn publish_mirrors_totals_into_telemetry_registry() {
+        ici_telemetry::set_enabled(true);
+        ici_telemetry::reset();
+        let mut m = TrafficMeter::new();
+        m.record(NodeId::new(0), NodeId::new(1), MessageKind::Vote, 112);
+        m.record(NodeId::new(1), NodeId::new(0), MessageKind::Vote, 112);
+        m.publish_telemetry();
+        let snap = ici_telemetry::snapshot();
+        ici_telemetry::set_enabled(false);
+        let msgs = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "net/messages" && c.label == "phase=vote")
+            .expect("net/messages mirrored");
+        assert_eq!(msgs.value, 2);
+        let bytes = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "net/bytes" && c.label == "phase=vote")
+            .expect("net/bytes mirrored");
+        assert_eq!(bytes.value, 224);
     }
 }

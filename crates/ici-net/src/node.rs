@@ -31,7 +31,8 @@ impl fmt::Debug for NodeId {
 
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "n{}", self.0)
+        // `pad` (not `write!`) so table columns align for multi-digit ids.
+        f.pad(&format!("n{}", self.0))
     }
 }
 

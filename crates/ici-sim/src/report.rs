@@ -22,6 +22,9 @@ pub struct ExperimentRecord {
     pub params: String,
     /// Result tables.
     pub tables: Vec<SerializableTable>,
+    /// Telemetry captured during the run, when collection was enabled
+    /// (see `ici-telemetry`). `None` omits the section entirely.
+    pub telemetry: Option<ici_telemetry::TelemetrySnapshot>,
 }
 
 /// A table in serializable form.
@@ -118,7 +121,18 @@ impl ExperimentRecord {
             title: title.into(),
             params: params.into(),
             tables: tables.iter().map(|t| SerializableTable::from(*t)).collect(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches the current thread's telemetry snapshot when collection is
+    /// enabled; a no-op otherwise. Call just before export so the snapshot
+    /// covers the whole run.
+    pub fn with_telemetry(mut self) -> ExperimentRecord {
+        if ici_telemetry::enabled() {
+            self.telemetry = Some(ici_telemetry::snapshot());
+        }
+        self
     }
 
     /// Renders the record as pretty-printed JSON.
@@ -143,6 +157,10 @@ impl ExperimentRecord {
                 table.write_pretty(&mut out, "    ");
             }
             out.push_str("\n  ]");
+        }
+        if let Some(telemetry) = &self.telemetry {
+            out.push_str(",\n  \"telemetry\": ");
+            telemetry.write_json(&mut out, "  ");
         }
         out.push_str("\n}");
         out
@@ -201,6 +219,25 @@ mod tests {
     fn empty_tables_serialize_as_empty_array() {
         let record = ExperimentRecord::new("E0", "none", "", &[]);
         assert!(record.to_json().contains("\"tables\": []"));
+    }
+
+    #[test]
+    fn telemetry_section_rides_the_record() {
+        ici_telemetry::set_enabled(true);
+        ici_telemetry::reset();
+        ici_telemetry::counter_add("sim/test_counter", ici_telemetry::Label::Global, 3);
+        let record = ExperimentRecord::new("ET", "probe run", "", &[]).with_telemetry();
+        ici_telemetry::set_enabled(false);
+        let json = record.to_json();
+        assert!(json.contains("\"telemetry\": {"));
+        assert!(json.contains("sim/test_counter"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Without a snapshot: no telemetry key at all. (Constructed
+        // directly — the enable flag is process-global and other test
+        // threads may toggle it.)
+        let bare = ExperimentRecord::new("ET", "probe run", "", &[]);
+        assert!(bare.telemetry.is_none());
+        assert!(!bare.to_json().contains("\"telemetry\""));
     }
 
     #[test]

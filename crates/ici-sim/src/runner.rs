@@ -77,6 +77,7 @@ pub fn run_ici(
     txs_per_block: usize,
     workload: WorkloadConfig,
 ) -> (IciNetwork, RunSummary) {
+    let _span = ici_telemetry::span!("sim/run_ici");
     config.genesis = genesis_for(&workload);
     let mut network = IciNetwork::new(config).expect("valid configuration");
     let mut generator = WorkloadGenerator::new(workload);
@@ -103,6 +104,7 @@ pub fn run_ici(
         throughput_tps: tps(total_txs, final_clock_ms),
         final_clock_ms,
     };
+    network.net().meter().publish_telemetry();
     (network, summary)
 }
 
@@ -117,6 +119,7 @@ pub fn run_full(
     txs_per_block: usize,
     workload: WorkloadConfig,
 ) -> (FullReplicationNetwork, RunSummary) {
+    let _span = ici_telemetry::span!("sim/run_full");
     config.genesis = genesis_for(&workload);
     let nodes = config.nodes;
     let mut network = FullReplicationNetwork::new(config);
@@ -144,6 +147,7 @@ pub fn run_full(
         throughput_tps: tps(total_txs, final_clock_ms),
         final_clock_ms,
     };
+    network.net().meter().publish_telemetry();
     (network, summary)
 }
 
@@ -159,6 +163,7 @@ pub fn run_rapidchain(
     txs_per_block: usize,
     workload: WorkloadConfig,
 ) -> (RapidChainNetwork, RunSummary) {
+    let _span = ici_telemetry::span!("sim/run_rapidchain");
     config.genesis = genesis_for(&workload);
     let nodes = config.nodes;
     let mut network = RapidChainNetwork::new(config);
@@ -212,6 +217,7 @@ pub fn run_rapidchain(
         throughput_tps: tps(total_txs, final_clock_ms),
         final_clock_ms,
     };
+    network.net().meter().publish_telemetry();
     (network, summary)
 }
 

@@ -39,6 +39,7 @@ pub struct RendezvousAssignment;
 
 impl AssignmentStrategy for RendezvousAssignment {
     fn owners(&self, id: &Digest, _height: Height, members: &[NodeId], r: usize) -> Vec<NodeId> {
+        let _span = ici_telemetry::span!("storage/assign_owners", phase = "rendezvous");
         rendezvous_top(id, members.iter().map(|n| n.get()), r)
             .into_iter()
             .map(NodeId::new)
@@ -56,6 +57,7 @@ pub struct RoundRobinAssignment;
 
 impl AssignmentStrategy for RoundRobinAssignment {
     fn owners(&self, _id: &Digest, height: Height, members: &[NodeId], r: usize) -> Vec<NodeId> {
+        let _span = ici_telemetry::span!("storage/assign_owners", phase = "round-robin");
         if members.is_empty() {
             return Vec::new();
         }
@@ -95,6 +97,7 @@ impl RingAssignment {
 
 impl AssignmentStrategy for RingAssignment {
     fn owners(&self, id: &Digest, _height: Height, members: &[NodeId], r: usize) -> Vec<NodeId> {
+        let _span = ici_telemetry::span!("storage/assign_owners", phase = "consistent-ring");
         if members.is_empty() || r == 0 {
             return Vec::new();
         }

@@ -61,6 +61,7 @@ pub fn audit_cluster(
     live: &BTreeSet<NodeId>,
     chain_len: Height,
 ) -> IntegrityReport {
+    let _span = ici_telemetry::span!("storage/audit_cluster");
     let mut replicas: BTreeMap<Height, usize> = (0..chain_len).map(|h| (h, 0)).collect();
     for (node, heights) in holdings {
         if !live.contains(node) {

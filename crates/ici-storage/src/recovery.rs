@@ -80,6 +80,7 @@ pub fn plan_recovery<S: AssignmentStrategy + ?Sized>(
     strategy: &S,
     r: usize,
 ) -> RecoveryPlan {
+    let _span = ici_telemetry::span!("storage/plan_recovery");
     let live_members: Vec<NodeId> = live.iter().copied().collect();
     let mut plan = RecoveryPlan::default();
 
@@ -128,6 +129,16 @@ pub fn plan_recovery<S: AssignmentStrategy + ?Sized>(
     }
     plan.transfers.sort_by_key(|t| (t.height, t.destination));
     plan.unrecoverable.sort_unstable();
+    ici_telemetry::counter_add(
+        "storage/repair_transfers",
+        ici_telemetry::Label::Global,
+        plan.transfers.len() as u64,
+    );
+    ici_telemetry::counter_add(
+        "storage/repair_bytes",
+        ici_telemetry::Label::Global,
+        plan.transfers.iter().map(|t| t.bytes).sum(),
+    );
     plan
 }
 

@@ -18,4 +18,19 @@ cargo test -q --workspace
 echo "==> ici-lint"
 cargo run -q -p ici-lint
 
+echo "==> telemetry smoke (E1 with ICI_TELEMETRY=1)"
+ICI_TELEMETRY=1 cargo run -q --release -p ici-bench --bin e1_storage >/dev/null
+python3 - <<'EOF'
+import json
+with open("results/e1.json") as f:
+    record = json.load(f)
+t = record.get("telemetry")
+assert t is not None, "results/e1.json has no telemetry section"
+assert t["spans"], "telemetry.spans is empty"
+assert t["counters"], "telemetry.counters is empty"
+subsystems = {s["name"].split("/", 1)[0] for s in t["spans"]}
+print(f"    telemetry OK: {len(t['spans'])} span rows, "
+      f"{len(t['counters'])} counters, subsystems: {', '.join(sorted(subsystems))}")
+EOF
+
 echo "==> all green"

@@ -16,6 +16,7 @@
 //! | [`baselines`] | `ici-baselines` | full replication and RapidChain comparators |
 //! | [`workload`] | `ici-workload` | deterministic transaction generators |
 //! | [`sim`] | `ici-sim` | experiment runners, statistics, tables |
+//! | [`telemetry`] | `ici-telemetry` | spans, counters, histograms, profiling export |
 //!
 //! # Quickstart
 //!
@@ -57,6 +58,7 @@ pub use ici_crypto as crypto;
 pub use ici_net as net;
 pub use ici_sim as sim;
 pub use ici_storage as storage;
+pub use ici_telemetry as telemetry;
 pub use ici_workload as workload;
 
 /// Convenience re-exports of the types most programs start from.
