@@ -126,6 +126,7 @@ fn recompute_centroids(
 ///
 /// Panics if `config.k == 0` or the topology is empty.
 pub fn kmeans(topology: &Topology, config: &KMeansConfig) -> Partition {
+    let _span = ici_telemetry::span!("cluster/kmeans");
     // lint:allow(panic) -- documented `# Panics` contract on experiment
     // parameters fixed at configuration time
     assert!(config.k > 0, "k must be positive");
@@ -138,7 +139,10 @@ pub fn kmeans(topology: &Topology, config: &KMeansConfig) -> Partition {
     let mut centroids = kmeans_pp_init(coords, k, &mut rng);
     let mut assignment = vec![0usize; coords.len()];
 
+    let mut iters = 0u64;
     for _ in 0..config.max_iters {
+        let _iter_span = ici_telemetry::span!("cluster/kmeans_iter");
+        iters += 1;
         for (i, c) in coords.iter().enumerate() {
             assignment[i] = nearest(&centroids, c);
         }
@@ -153,6 +157,7 @@ pub fn kmeans(topology: &Topology, config: &KMeansConfig) -> Partition {
             break;
         }
     }
+    ici_telemetry::counter_add("cluster/kmeans_iters", ici_telemetry::Label::Global, iters);
     for (i, c) in coords.iter().enumerate() {
         assignment[i] = nearest(&centroids, c);
     }
@@ -175,6 +180,7 @@ pub fn kmeans(topology: &Topology, config: &KMeansConfig) -> Partition {
 ///
 /// Panics if `config.k == 0` or the topology is empty.
 pub fn balanced_kmeans(topology: &Topology, config: &KMeansConfig) -> Partition {
+    let _span = ici_telemetry::span!("cluster/balanced_kmeans");
     let unbalanced = kmeans(topology, config);
     let coords = topology.coords();
     let n = coords.len();
@@ -364,6 +370,33 @@ mod tests {
         assert_eq!(p.node_count(), 12);
         let b = balanced_kmeans(&topo, &KMeansConfig::with_k(3, 0));
         assert!(b.imbalance() <= 1);
+    }
+
+    #[test]
+    fn kmeans_iterations_are_span_covered() {
+        ici_telemetry::set_enabled(true);
+        ici_telemetry::reset();
+        let topo = wan(60, 9);
+        let _ = balanced_kmeans(&topo, &KMeansConfig::with_k(4, 2));
+        let snap = ici_telemetry::snapshot();
+        ici_telemetry::set_enabled(false);
+        assert!(snap.spans.iter().any(|s| s.name == "cluster/kmeans"));
+        assert!(snap
+            .spans
+            .iter()
+            .any(|s| s.name == "cluster/balanced_kmeans"));
+        let iter_span = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "cluster/kmeans_iter")
+            .expect("every Lloyd iteration is span-covered");
+        let iters = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "cluster/kmeans_iters")
+            .expect("iteration counter recorded");
+        assert!(iters.value >= 1);
+        assert_eq!(iter_span.count, iters.value);
     }
 
     #[test]

@@ -34,6 +34,8 @@ pub enum IciError {
     UnknownNode(NodeId),
     /// Operation requires a live node but it is crashed.
     NodeDown(NodeId),
+    /// The node already departed the network and cannot depart again.
+    AlreadyDeparted(NodeId),
 }
 
 impl fmt::Display for IciError {
@@ -56,6 +58,7 @@ impl fmt::Display for IciError {
             }
             IciError::UnknownNode(n) => write!(f, "unknown node {n}"),
             IciError::NodeDown(n) => write!(f, "node {n} is crashed"),
+            IciError::AlreadyDeparted(n) => write!(f, "node {n} already departed"),
         }
     }
 }

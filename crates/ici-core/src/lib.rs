@@ -13,7 +13,8 @@
 //! [`lifecycle`] (propose→commit→store), [`verify`] (the collaborative
 //! checking logic), [`query`] (tiered reads), [`spv`] (light transaction
 //! proofs), [`bootstrap`] (joins), [`failure`] (crashes and
-//! re-replication), [`reconfig`] (epoch re-clustering), [`holdings`]
+//! re-replication), [`merkle_audit`] (shard-level content audit),
+//! [`reconfig`] (epoch re-clustering and departures), [`holdings`]
 //! (per-node storage accounting), [`error`].
 //!
 //! # Examples
@@ -53,6 +54,7 @@ pub mod error;
 pub mod failure;
 pub mod holdings;
 pub mod lifecycle;
+pub mod merkle_audit;
 pub mod network;
 pub mod query;
 pub mod reconfig;
@@ -65,8 +67,9 @@ pub use error::IciError;
 pub use failure::RepairReport;
 pub use holdings::NodeHoldings;
 pub use lifecycle::BlockCommitRecord;
+pub use merkle_audit::MerkleAuditReport;
 pub use network::IciNetwork;
 pub use query::{QueryReport, QueryTier};
-pub use reconfig::ReconfigReport;
+pub use reconfig::{DepartReport, ReconfigReport};
 pub use spv::TxProofReport;
 pub use verify::Verdict;

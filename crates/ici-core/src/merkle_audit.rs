@@ -1,0 +1,232 @@
+//! Shard-level Merkle audit — proving recovery actually restored bytes.
+//!
+//! The traffic-level audit ([`IciNetwork::audit`]) counts replicas; this
+//! module checks *content*. After a crash-and-recover cycle the fault
+//! harness must show that what re-replication put back is the block the
+//! header committed to, not merely that some replica exists. The audit
+//! mirrors the collaborative split used for verification: the cluster's
+//! live members divide the height range with
+//! [`ici_chain::validation::split_ranges`], and each member re-derives
+//! the Merkle root of every body replica its slice covers, comparing it
+//! to the committed header's `tx_root` and spot-checking one transaction
+//! inclusion proof per height.
+//!
+//! Pure logic — no traffic or simulated time is charged (the lifecycle's
+//! cost model owns that); use it as the ground-truth check after
+//! [`IciNetwork::repair_cluster`].
+
+use ici_chain::block::Height;
+use ici_chain::codec::Encode;
+use ici_chain::validation::split_ranges;
+use ici_cluster::partition::ClusterId;
+use ici_telemetry::Label;
+
+use crate::network::IciNetwork;
+
+/// Outcome of one cluster's shard-level Merkle audit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleAuditReport {
+    /// The audited cluster.
+    pub cluster: u32,
+    /// Heights whose body at least one live member holds (and was checked).
+    pub heights_checked: usize,
+    /// Body replicas re-hashed (one per live holder per height).
+    pub shards_verified: usize,
+    /// Transaction inclusion proofs verified (one per non-empty height).
+    pub proofs_checked: usize,
+    /// Heights whose recomputed Merkle root contradicts the header.
+    pub root_mismatches: Vec<Height>,
+    /// Heights with no live body replica in the cluster — nothing to audit.
+    pub missing: Vec<Height>,
+}
+
+impl MerkleAuditReport {
+    /// Whether every height was present and every shard hashed clean.
+    pub fn is_clean(&self) -> bool {
+        self.root_mismatches.is_empty() && self.missing.is_empty()
+    }
+}
+
+impl IciNetwork {
+    /// Runs the shard-level Merkle audit on `cluster`.
+    ///
+    /// The cluster's live members split the committed height range; each
+    /// member re-derives the transaction Merkle root of every replica in
+    /// its slice and verifies one inclusion proof per non-empty block.
+    pub fn merkle_audit(&self, cluster: ClusterId) -> MerkleAuditReport {
+        let _span = ici_telemetry::span!("core/merkle_audit", cluster = cluster.get());
+        let members = self.live_members(cluster);
+        let chain_len = self.chain_len() as usize; // lint:allow(cast) -- chain length bounded by memory
+        let mut report = MerkleAuditReport {
+            cluster: cluster.get(),
+            heights_checked: 0,
+            shards_verified: 0,
+            proofs_checked: 0,
+            root_mismatches: Vec::new(),
+            missing: Vec::new(),
+        };
+        if members.is_empty() {
+            report.missing = (0..self.chain_len()).collect();
+            return report;
+        }
+
+        // One contiguous height slice per live member, exactly like the
+        // signature split in collaborative verification.
+        for (start, end) in split_ranges(chain_len, members.len()) {
+            for height in start..end {
+                let height = height as Height; // lint:allow(cast) -- usize height widens losslessly
+                let holders: Vec<_> = members
+                    .iter()
+                    .filter(|m| {
+                        self.holdings
+                            .get(m.index())
+                            .is_some_and(|h| h.has_body(height))
+                    })
+                    .collect();
+                if holders.is_empty() {
+                    report.missing.push(height);
+                    continue;
+                }
+                let Some(block) = self.block(height) else {
+                    report.missing.push(height);
+                    continue;
+                };
+                report.heights_checked += 1;
+
+                // Every live replica is re-hashed: a holder whose disk
+                // diverged from the commitment would fail here.
+                let tree = block.tx_tree();
+                report.shards_verified += holders.len();
+                if tree.root() != block.header().tx_root {
+                    report.root_mismatches.push(height);
+                    continue;
+                }
+
+                // Spot-check one inclusion proof per non-empty block, the
+                // height-keyed representative transaction.
+                let tx_count = block.transactions().len();
+                if tx_count > 0 {
+                    let index = (height as usize) % tx_count; // lint:allow(cast) -- modulo keeps it in range
+                    let proved = tree.prove(index).is_some_and(|proof| {
+                        let tx = &block.transactions()[index];
+                        proof.verify(&tx.to_bytes(), block.header().tx_root)
+                    });
+                    if proved {
+                        report.proofs_checked += 1;
+                    } else {
+                        report.root_mismatches.push(height);
+                    }
+                }
+            }
+        }
+        report.root_mismatches.sort_unstable();
+        report.root_mismatches.dedup();
+        ici_telemetry::counter_add(
+            "core/merkle_audit_shards",
+            Label::Cluster(u64::from(cluster.get())),
+            report.shards_verified as u64, // lint:allow(cast) -- counter magnitude
+        );
+        report
+    }
+
+    /// Audits every cluster; returns per-cluster reports.
+    pub fn merkle_audit_all(&self) -> Vec<MerkleAuditReport> {
+        self.clusters()
+            .into_iter()
+            .map(|c| self.merkle_audit(c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IciConfig;
+    use ici_chain::genesis::GenesisConfig;
+    use ici_chain::transaction::{Address, Transaction};
+    use ici_crypto::sig::Keypair;
+    use ici_net::node::NodeId;
+
+    fn network_with_blocks(blocks: u64) -> IciNetwork {
+        let config = IciConfig::builder()
+            .nodes(24)
+            .cluster_size(8)
+            .replication(2)
+            .genesis(GenesisConfig::uniform(32, 10_000_000))
+            .seed(17)
+            .build()
+            .expect("valid");
+        let mut net = IciNetwork::new(config).expect("constructs");
+        for round in 0..blocks {
+            let txs: Vec<Transaction> = (0..4)
+                .map(|i| {
+                    Transaction::signed(
+                        &Keypair::from_seed(i),
+                        Address::from_seed(i + 1),
+                        3,
+                        1,
+                        round,
+                        vec![0u8; 100],
+                    )
+                })
+                .collect();
+            net.propose_block(txs).expect("commits");
+        }
+        net
+    }
+
+    #[test]
+    fn healthy_network_audits_clean() {
+        let net = network_with_blocks(6);
+        for report in net.merkle_audit_all() {
+            assert!(report.is_clean(), "{report:?}");
+            assert_eq!(report.heights_checked, 7); // genesis + 6
+            assert!(report.shards_verified >= report.heights_checked);
+            assert_eq!(report.proofs_checked, 6); // genesis has no txs
+        }
+    }
+
+    #[test]
+    fn crash_then_repair_audits_clean_again() {
+        let mut net = network_with_blocks(6);
+        let victim = NodeId::new(0);
+        let cluster = net.membership().cluster_of(victim);
+        net.crash_node(victim).expect("known");
+        let before = net.merkle_audit(cluster);
+        // r=2 keeps everything present, but fewer shards answer.
+        assert!(before.is_clean());
+        net.repair_cluster(cluster);
+        net.recover_node(victim).expect("known");
+        let after = net.merkle_audit(cluster);
+        assert!(after.is_clean());
+        assert!(after.shards_verified >= before.shards_verified);
+    }
+
+    #[test]
+    fn lost_heights_are_reported_missing() {
+        let mut net = network_with_blocks(4);
+        let cluster = net.clusters()[0];
+        // Crash every member holding height 2 in this cluster.
+        for m in net.membership().active_members(cluster) {
+            if net.holdings(m).expect("known").has_body(2) {
+                net.crash_node(m).expect("known");
+            }
+        }
+        let report = net.merkle_audit(cluster);
+        assert!(report.missing.contains(&2), "{report:?}");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn fully_dead_cluster_reports_every_height_missing() {
+        let mut net = network_with_blocks(3);
+        let cluster = net.clusters()[1];
+        for m in net.membership().active_members(cluster) {
+            net.crash_node(m).expect("known");
+        }
+        let report = net.merkle_audit(cluster);
+        assert_eq!(report.heights_checked, 0);
+        assert_eq!(report.missing.len(), 4); // genesis + 3
+        assert!(!report.is_clean());
+    }
+}

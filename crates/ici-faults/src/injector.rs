@@ -1,0 +1,81 @@
+//! Per-round message-fault derivation.
+//!
+//! A plan carries one [`MessageFaultSpec`] — the loss/duplication/delay
+//! probabilities — but every round must see a *different* concrete loss
+//! pattern, or a message retried next round would hit the identical
+//! fate. [`round_fault_config`] folds the plan seed and the round index
+//! through SplitMix64 into a fresh per-round sub-seed for the
+//! [`FaultConfig`] installed on [`ici_net::Network::send`]'s path. The
+//! derivation is pure, so replays reproduce every drop.
+
+use ici_net::faults::{FaultConfig, PartitionSpec};
+use ici_rng::SplitMix64;
+
+use crate::plan::MessageFaultSpec;
+
+/// Derives the [`FaultConfig`] to install on the network for `round`.
+///
+/// `partition` is the currently-open partition window, if any (the
+/// scheduler owns that bookkeeping). The returned config may be inert —
+/// [`ici_net::Network::set_faults`] treats that as "no faults".
+pub fn round_fault_config(
+    plan_seed: u64,
+    round: usize,
+    messages: &MessageFaultSpec,
+    partition: Option<PartitionSpec>,
+) -> FaultConfig {
+    FaultConfig {
+        seed: round_seed(plan_seed, round),
+        drop_prob: messages.drop_prob,
+        dup_prob: messages.dup_prob,
+        delay_prob: messages.delay_prob,
+        max_extra_delay_ms: messages.max_extra_delay_ms,
+        partition,
+    }
+}
+
+/// The per-round sub-seed: SplitMix64 over the plan seed offset by the
+/// round index. Distinct rounds land in distinct SplitMix64 streams.
+pub fn round_seed(plan_seed: u64, round: usize) -> u64 {
+    let mut sm = SplitMix64::new(
+        plan_seed ^ (round as u64).wrapping_mul(0xA076_1D64_78BD_642F), // lint:allow(cast) -- usize round widens losslessly
+    );
+    sm.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ici_net::node::NodeId;
+
+    #[test]
+    fn round_seeds_are_stable_and_distinct() {
+        assert_eq!(round_seed(7, 3), round_seed(7, 3));
+        assert_ne!(round_seed(7, 3), round_seed(7, 4));
+        assert_ne!(round_seed(7, 3), round_seed(8, 3));
+    }
+
+    #[test]
+    fn config_carries_spec_and_partition() {
+        let spec = MessageFaultSpec {
+            drop_prob: 0.1,
+            dup_prob: 0.05,
+            delay_prob: 0.2,
+            max_extra_delay_ms: 40.0,
+        };
+        let partition = PartitionSpec::split(6, &[NodeId::new(5)]);
+        let config = round_fault_config(9, 2, &spec, Some(partition.clone()));
+        assert_eq!(config.drop_prob, 0.1);
+        assert_eq!(config.dup_prob, 0.05);
+        assert_eq!(config.delay_prob, 0.2);
+        assert_eq!(config.max_extra_delay_ms, 40.0);
+        assert_eq!(config.partition, Some(partition));
+        assert!(!config.is_inert());
+    }
+
+    #[test]
+    fn quiet_spec_without_partition_is_inert() {
+        let config = round_fault_config(1, 0, &MessageFaultSpec::default(), None);
+        assert!(config.is_inert());
+    }
+}

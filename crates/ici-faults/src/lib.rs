@@ -1,0 +1,78 @@
+//! Deterministic fault injection for the ICIStrategy simulator.
+//!
+//! The abstract's load-bearing claims — in-cluster collaborative storage
+//! and verification, cheap bootstrap — only mean something when nodes
+//! crash, lag, and rejoin. This crate turns an `ici-rng` seed into a
+//! complete, replayable fault schedule:
+//!
+//! * [`plan`] — [`FaultPlan`]: a round-by-round schedule of node crashes
+//!   and restarts (independent and cluster-correlated churn), network
+//!   partition windows, and a message-fault profile (drop / delay /
+//!   duplicate / reorder). Same seed ⇒ byte-identical schedule, on every
+//!   platform — failures found in CI replay exactly.
+//! * [`scheduler`] — [`FaultScheduler`]: walks a plan one round at a
+//!   time, tracks the live set, exports `faults/live_nodes` gauges
+//!   through `ici-telemetry`, and emits the per-round crash/restart
+//!   actions plus the [`ici_net::FaultConfig`] to install on the send
+//!   path.
+//! * [`injector`] — derives the per-round message-fault configuration
+//!   (round-keyed sub-seeds so every round sees a fresh but reproducible
+//!   loss pattern).
+//!
+//! The crate is std-only and panic-free; schedule construction returns
+//! typed [`FaultError`]s instead of asserting. It deliberately knows
+//! nothing about chains or storage: `ici-sim`'s failure-aware runner owns
+//! applying the actions to an `IciNetwork` and driving repair.
+//!
+//! # Examples
+//!
+//! ```
+//! use ici_faults::plan::{ChurnConfig, FaultPlanConfig};
+//! use ici_faults::scheduler::FaultScheduler;
+//! use ici_net::node::NodeId;
+//!
+//! let clusters: Vec<Vec<NodeId>> = (0..3)
+//!     .map(|c| (0..8).map(|i| NodeId::new(c * 8 + i)).collect())
+//!     .collect();
+//! let plan = FaultPlanConfig::new(7, 12, clusters)
+//!     .churn(ChurnConfig {
+//!         crash_prob: 0.05,
+//!         restart_prob: 0.4,
+//!         ..ChurnConfig::default()
+//!     })
+//!     .build()
+//!     .expect("valid plan");
+//!
+//! // Same seed, same schedule — bit for bit.
+//! let replay = FaultPlanConfig::new(7, 12, plan.clusters().to_vec())
+//!     .churn(ChurnConfig {
+//!         crash_prob: 0.05,
+//!         restart_prob: 0.4,
+//!         ..ChurnConfig::default()
+//!     })
+//!     .build()
+//!     .expect("valid plan");
+//! assert_eq!(plan.render(), replay.render());
+//! assert_eq!(plan.fingerprint(), replay.fingerprint());
+//!
+//! let mut scheduler = FaultScheduler::new(plan);
+//! while let Some(round) = scheduler.step() {
+//!     // apply round.crashes / round.restarts to the network under test,
+//!     // install round.message_faults on the send path...
+//!     assert!(round.live_nodes <= 24);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod injector;
+pub mod plan;
+pub mod scheduler;
+
+pub use injector::round_fault_config;
+pub use plan::{
+    ChurnConfig, FaultError, FaultPlan, FaultPlanConfig, MessageFaultSpec, PartitionPolicy,
+    RoundFaults,
+};
+pub use scheduler::{FaultScheduler, ScheduledRound};

@@ -1,0 +1,748 @@
+//! Seed-deterministic fault schedules.
+//!
+//! A [`FaultPlan`] is built once, up front, from a [`FaultPlanConfig`]:
+//! the full sequence of crashes, restarts, and partition windows for every
+//! round is decided at construction time by walking an [`ici_rng`] stream
+//! in a canonical order. Nothing during execution draws randomness, so a
+//! plan can be rendered, fingerprinted, diffed, and replayed exactly.
+//!
+//! The generator never schedules a crash that would leave a cluster with
+//! fewer than [`ChurnConfig::min_live_per_cluster`] live members — the
+//! analogue of keeping at least the decode threshold of shards alive in
+//! coded-storage churn experiments (Dynamic Distributed Storage,
+//! LightChain).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fmt::Write as _;
+
+use ici_net::node::NodeId;
+use ici_rng::Xoshiro256;
+
+/// Node-churn parameters, all probabilities per round in `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnConfig {
+    /// Probability each live node crashes this round (fail-stop).
+    pub crash_prob: f64,
+    /// Probability each crashed node restarts this round.
+    pub restart_prob: f64,
+    /// Probability a cluster-correlated churn event hits this round (one
+    /// cluster loses a whole fraction of its members at once — a rack or
+    /// region going dark).
+    pub cluster_churn_prob: f64,
+    /// Fraction of the chosen cluster's live members a correlated event
+    /// takes down.
+    pub cluster_churn_fraction: f64,
+    /// Hard floor: no crash is ever scheduled that would leave a cluster
+    /// with fewer live members than this.
+    pub min_live_per_cluster: usize,
+    /// Guarantee at least one crash-and-recover cycle per cluster by
+    /// seeding one deterministic victim per cluster into the schedule.
+    pub ensure_cycle_per_cluster: bool,
+}
+
+impl Default for ChurnConfig {
+    /// Gentle churn: 2 % crash, 30 % restart, rare correlated events,
+    /// floor of 2 live members, guaranteed per-cluster cycles.
+    fn default() -> ChurnConfig {
+        ChurnConfig {
+            crash_prob: 0.02,
+            restart_prob: 0.3,
+            cluster_churn_prob: 0.05,
+            cluster_churn_fraction: 0.25,
+            min_live_per_cluster: 2,
+            ensure_cycle_per_cluster: true,
+        }
+    }
+}
+
+/// Partition-window parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartitionPolicy {
+    /// Probability a partition opens on a round with none active.
+    pub prob: f64,
+    /// Maximum window length in rounds (uniform in `1..=max`).
+    pub max_duration_rounds: usize,
+}
+
+impl Default for PartitionPolicy {
+    /// No partitions.
+    fn default() -> PartitionPolicy {
+        PartitionPolicy {
+            prob: 0.0,
+            max_duration_rounds: 2,
+        }
+    }
+}
+
+/// Message-fault profile installed on the send path each round (see
+/// [`ici_net::faults::FaultConfig`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MessageFaultSpec {
+    /// Probability a message is dropped.
+    pub drop_prob: f64,
+    /// Probability a message is transmitted twice.
+    pub dup_prob: f64,
+    /// Probability a message is delayed/reordered.
+    pub delay_prob: f64,
+    /// Maximum extra delay in milliseconds.
+    pub max_extra_delay_ms: f64,
+}
+
+impl Default for MessageFaultSpec {
+    /// No message faults.
+    fn default() -> MessageFaultSpec {
+        MessageFaultSpec {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
+            max_extra_delay_ms: 0.0,
+        }
+    }
+}
+
+/// Why a plan could not be built.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultError {
+    /// The cluster map is empty or contains an empty cluster.
+    EmptyClusters,
+    /// `rounds` is zero.
+    ZeroRounds,
+    /// A probability or fraction is outside `[0, 1]` (or not finite).
+    BadProbability {
+        /// Which knob was out of range.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `min_live_per_cluster` exceeds the smallest cluster, so no crash
+    /// could ever be scheduled — almost certainly a misconfiguration.
+    MinLiveTooHigh {
+        /// The configured floor.
+        min_live: usize,
+        /// The smallest cluster's size.
+        smallest_cluster: usize,
+    },
+    /// Too few rounds to fit the guaranteed per-cluster crash-and-recover
+    /// cycles.
+    TooFewRounds {
+        /// Rounds requested.
+        rounds: usize,
+        /// Minimum required for the guaranteed cycles.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::EmptyClusters => write!(f, "cluster map is empty or has an empty cluster"),
+            FaultError::ZeroRounds => write!(f, "a fault plan needs at least one round"),
+            FaultError::BadProbability { what, value } => {
+                write!(f, "{what} = {value} is not a probability in [0, 1]")
+            }
+            FaultError::MinLiveTooHigh {
+                min_live,
+                smallest_cluster,
+            } => write!(
+                f,
+                "min_live_per_cluster {min_live} exceeds the smallest cluster ({smallest_cluster} members)"
+            ),
+            FaultError::TooFewRounds { rounds, needed } => write!(
+                f,
+                "{rounds} rounds cannot fit the guaranteed per-cluster cycles (need >= {needed})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// The faults scheduled for one round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundFaults {
+    /// Nodes that crash at the start of this round.
+    pub crashes: Vec<NodeId>,
+    /// Nodes that restart at the start of this round (disk intact).
+    pub restarts: Vec<NodeId>,
+    /// A partition opens this round, severing the listed minority from
+    /// the rest of the network.
+    pub partition_starts: Option<Vec<NodeId>>,
+    /// The active partition (if any) heals at the start of this round.
+    pub partition_ends: bool,
+}
+
+impl RoundFaults {
+    /// Whether the round schedules nothing.
+    pub fn is_quiet(&self) -> bool {
+        self.crashes.is_empty()
+            && self.restarts.is_empty()
+            && self.partition_starts.is_none()
+            && !self.partition_ends
+    }
+}
+
+/// Builder for a [`FaultPlan`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlanConfig {
+    /// Master seed; the entire schedule is a pure function of it (plus
+    /// the other fields).
+    pub seed: u64,
+    /// Rounds the plan covers (one round ≈ one proposed block).
+    pub rounds: usize,
+    /// Cluster map: `clusters[i]` lists cluster `i`'s members.
+    pub clusters: Vec<Vec<NodeId>>,
+    /// Node-churn parameters.
+    pub churn: ChurnConfig,
+    /// Partition-window parameters.
+    pub partitions: PartitionPolicy,
+    /// Message-fault profile (constant across rounds; the per-round seed
+    /// varies the concrete loss pattern).
+    pub messages: MessageFaultSpec,
+}
+
+impl FaultPlanConfig {
+    /// Starts a config with default churn, no partitions, and no message
+    /// faults.
+    pub fn new(seed: u64, rounds: usize, clusters: Vec<Vec<NodeId>>) -> FaultPlanConfig {
+        FaultPlanConfig {
+            seed,
+            rounds,
+            clusters,
+            churn: ChurnConfig::default(),
+            partitions: PartitionPolicy::default(),
+            messages: MessageFaultSpec::default(),
+        }
+    }
+
+    /// Sets the churn parameters.
+    pub fn churn(mut self, churn: ChurnConfig) -> FaultPlanConfig {
+        self.churn = churn;
+        self
+    }
+
+    /// Sets the partition policy.
+    pub fn partitions(mut self, partitions: PartitionPolicy) -> FaultPlanConfig {
+        self.partitions = partitions;
+        self
+    }
+
+    /// Sets the message-fault profile.
+    pub fn messages(mut self, messages: MessageFaultSpec) -> FaultPlanConfig {
+        self.messages = messages;
+        self
+    }
+
+    fn validate(&self) -> Result<(), FaultError> {
+        if self.rounds == 0 {
+            return Err(FaultError::ZeroRounds);
+        }
+        if self.clusters.is_empty() || self.clusters.iter().any(Vec::is_empty) {
+            return Err(FaultError::EmptyClusters);
+        }
+        let probabilities = [
+            ("crash_prob", self.churn.crash_prob),
+            ("restart_prob", self.churn.restart_prob),
+            ("cluster_churn_prob", self.churn.cluster_churn_prob),
+            ("cluster_churn_fraction", self.churn.cluster_churn_fraction),
+            ("partition_prob", self.partitions.prob),
+            ("drop_prob", self.messages.drop_prob),
+            ("dup_prob", self.messages.dup_prob),
+            ("delay_prob", self.messages.delay_prob),
+        ];
+        for (what, value) in probabilities {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(FaultError::BadProbability { what, value });
+            }
+        }
+        let smallest = self.clusters.iter().map(Vec::len).min().unwrap_or(0);
+        if self.churn.min_live_per_cluster >= smallest
+            && (self.churn.crash_prob > 0.0
+                || self.churn.cluster_churn_prob > 0.0
+                || self.churn.ensure_cycle_per_cluster)
+        {
+            return Err(FaultError::MinLiveTooHigh {
+                min_live: self.churn.min_live_per_cluster,
+                smallest_cluster: smallest,
+            });
+        }
+        if self.churn.ensure_cycle_per_cluster && self.rounds < 4 {
+            return Err(FaultError::TooFewRounds {
+                rounds: self.rounds,
+                needed: 4,
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds the full schedule.
+    ///
+    /// # Errors
+    ///
+    /// See [`FaultError`]; nothing here panics.
+    pub fn build(self) -> Result<FaultPlan, FaultError> {
+        self.validate()?;
+        let _span = ici_telemetry::span!("faults/build_plan");
+        let mut rng = Xoshiro256::seed_from_u64(self.seed ^ 0x6661_756C_7470_6C61); // "faultpla"
+        let cluster_of: BTreeMap<NodeId, usize> = self
+            .clusters
+            .iter()
+            .enumerate()
+            .flat_map(|(c, members)| members.iter().map(move |m| (*m, c)))
+            .collect();
+        let all_nodes: BTreeSet<NodeId> = cluster_of.keys().copied().collect();
+
+        // Guaranteed per-cluster cycles: one victim per cluster, crash
+        // rounds spread over the schedule's first half, restart two rounds
+        // later. Chosen before the main walk so the per-round stream stays
+        // independent of the cluster count.
+        let mut forced_crashes: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+        let mut forced_restarts: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+        if self.churn.ensure_cycle_per_cluster {
+            let span = (self.rounds - 3).max(1);
+            for (c, members) in self.clusters.iter().enumerate() {
+                let victim = match rng.choose(members) {
+                    Some(v) => *v,
+                    None => continue, // unreachable: clusters validated non-empty
+                };
+                let crash_round = 1 + (c * span) / self.clusters.len().max(1);
+                let restart_round = (crash_round + 2).min(self.rounds - 1);
+                forced_crashes.entry(crash_round).or_default().push(victim);
+                forced_restarts
+                    .entry(restart_round)
+                    .or_default()
+                    .push(victim);
+            }
+        }
+
+        let mut down: BTreeSet<NodeId> = BTreeSet::new();
+        let mut live_per_cluster: Vec<usize> = self.clusters.iter().map(Vec::len).collect();
+        let mut partition_left = 0usize;
+        let mut rounds: Vec<RoundFaults> = Vec::with_capacity(self.rounds);
+
+        for round in 0..self.rounds {
+            let mut faults = RoundFaults::default();
+
+            // 1. Restarts first, so a node never crashes and restarts in
+            //    the same round. Forced restarts, then random ones in
+            //    ascending node order.
+            let mut restarts: Vec<NodeId> = forced_restarts.remove(&round).unwrap_or_default();
+            for node in down.iter().copied() {
+                if restarts.contains(&node) {
+                    continue;
+                }
+                if self.churn.restart_prob > 0.0 && rng.gen_bool(self.churn.restart_prob) {
+                    restarts.push(node);
+                }
+            }
+            restarts.sort_unstable();
+            restarts.dedup();
+            for node in &restarts {
+                if down.remove(node) {
+                    if let Some(c) = cluster_of.get(node) {
+                        if let Some(count) = live_per_cluster.get_mut(*c) {
+                            *count += 1;
+                        }
+                    }
+                    faults.restarts.push(*node);
+                }
+            }
+
+            // 2. Crashes: forced cycle victims, then independent churn in
+            //    ascending node order, then a correlated cluster event.
+            //    Every crash respects the per-cluster live floor.
+            let restarted_now = faults.restarts.clone();
+            let crash = |node: NodeId,
+                         down: &mut BTreeSet<NodeId>,
+                         live_per_cluster: &mut [usize],
+                         out: &mut Vec<NodeId>| {
+                // A node never crashes in the round it just restarted —
+                // give it one round to resync before it can churn again.
+                if down.contains(&node) || restarted_now.contains(&node) {
+                    return;
+                }
+                let Some(&c) = cluster_of.get(&node) else {
+                    return;
+                };
+                let Some(count) = live_per_cluster.get_mut(c) else {
+                    return;
+                };
+                if *count <= self.churn.min_live_per_cluster {
+                    return;
+                }
+                *count -= 1;
+                down.insert(node);
+                out.push(node);
+            };
+            for node in forced_crashes.remove(&round).unwrap_or_default() {
+                crash(node, &mut down, &mut live_per_cluster, &mut faults.crashes);
+            }
+            if self.churn.crash_prob > 0.0 {
+                for node in all_nodes.iter().copied() {
+                    if !down.contains(&node) && rng.gen_bool(self.churn.crash_prob) {
+                        crash(node, &mut down, &mut live_per_cluster, &mut faults.crashes);
+                    }
+                }
+            }
+            if self.churn.cluster_churn_prob > 0.0 && rng.gen_bool(self.churn.cluster_churn_prob) {
+                let c = rng.gen_range(0..self.clusters.len());
+                if let Some(members) = self.clusters.get(c) {
+                    let live: Vec<NodeId> = members
+                        .iter()
+                        .copied()
+                        .filter(|m| !down.contains(m))
+                        .collect();
+                    let hit = ((live.len() as f64 * self.churn.cluster_churn_fraction).ceil()
+                        as usize)
+                        .min(live.len());
+                    let mut pool = live;
+                    rng.shuffle(&mut pool);
+                    for node in pool.into_iter().take(hit) {
+                        crash(node, &mut down, &mut live_per_cluster, &mut faults.crashes);
+                    }
+                }
+            }
+            faults.crashes.sort_unstable();
+
+            // 3. Partition window bookkeeping.
+            if partition_left > 0 {
+                partition_left -= 1;
+                if partition_left == 0 {
+                    faults.partition_ends = true;
+                }
+            } else if self.partitions.prob > 0.0 && rng.gen_bool(self.partitions.prob) {
+                let c = rng.gen_range(0..self.clusters.len());
+                if let Some(members) = self.clusters.get(c) {
+                    let mut minority = members.clone();
+                    minority.sort_unstable();
+                    faults.partition_starts = Some(minority);
+                    partition_left = rng.gen_range(1..=self.partitions.max_duration_rounds.max(1));
+                }
+            }
+
+            rounds.push(faults);
+        }
+
+        Ok(FaultPlan {
+            seed: self.seed,
+            clusters: self.clusters,
+            messages: self.messages,
+            rounds,
+        })
+    }
+}
+
+/// A fully materialised, replayable fault schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    clusters: Vec<Vec<NodeId>>,
+    messages: MessageFaultSpec,
+    rounds: Vec<RoundFaults>,
+}
+
+impl FaultPlan {
+    /// The seed the schedule was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The cluster map the plan was built against.
+    pub fn clusters(&self) -> &[Vec<NodeId>] {
+        &self.clusters
+    }
+
+    /// Total nodes covered by the cluster map.
+    pub fn nodes(&self) -> usize {
+        self.clusters.iter().map(Vec::len).sum()
+    }
+
+    /// The message-fault profile.
+    pub fn messages(&self) -> &MessageFaultSpec {
+        &self.messages
+    }
+
+    /// The per-round schedule.
+    pub fn rounds(&self) -> &[RoundFaults] {
+        &self.rounds
+    }
+
+    /// Total scheduled crash events.
+    pub fn total_crashes(&self) -> usize {
+        self.rounds.iter().map(|r| r.crashes.len()).sum()
+    }
+
+    /// Total scheduled restart events.
+    pub fn total_restarts(&self) -> usize {
+        self.rounds.iter().map(|r| r.restarts.len()).sum()
+    }
+
+    /// Crash-and-recover cycles per cluster: the number of crash events
+    /// in each cluster whose node restarts in a later round.
+    pub fn cycles_per_cluster(&self) -> Vec<usize> {
+        let cluster_of: BTreeMap<NodeId, usize> = self
+            .clusters
+            .iter()
+            .enumerate()
+            .flat_map(|(c, members)| members.iter().map(move |m| (*m, c)))
+            .collect();
+        let mut cycles = vec![0usize; self.clusters.len()];
+        for (i, round) in self.rounds.iter().enumerate() {
+            for node in &round.crashes {
+                let recovered = self.rounds[i + 1..]
+                    .iter()
+                    .any(|later| later.restarts.contains(node));
+                if recovered {
+                    if let Some(&c) = cluster_of.get(node) {
+                        if let Some(slot) = cycles.get_mut(c) {
+                            *slot += 1;
+                        }
+                    }
+                }
+            }
+        }
+        cycles
+    }
+
+    /// Canonical text rendering of the schedule, one line per non-quiet
+    /// round. Two plans are identical iff their renderings are — this is
+    /// the string the CI smoke test compares byte-for-byte across runs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "plan seed={} nodes={} clusters={} rounds={}",
+            self.seed,
+            self.nodes(),
+            self.clusters.len(),
+            self.rounds.len()
+        );
+        for (i, round) in self.rounds.iter().enumerate() {
+            if round.is_quiet() {
+                continue;
+            }
+            let _ = write!(out, "r{i}:");
+            if !round.crashes.is_empty() {
+                let _ = write!(out, " crash={}", render_nodes(&round.crashes));
+            }
+            if !round.restarts.is_empty() {
+                let _ = write!(out, " restart={}", render_nodes(&round.restarts));
+            }
+            if let Some(minority) = &round.partition_starts {
+                let _ = write!(out, " partition={}", render_nodes(minority));
+            }
+            if round.partition_ends {
+                let _ = write!(out, " heal");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// FNV-1a 64 fingerprint of [`FaultPlan::render`] — a compact stable
+    /// identity for tables and CI assertions.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in self.render().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
+fn render_nodes(nodes: &[NodeId]) -> String {
+    let mut out = String::new();
+    for (i, node) in nodes.iter().enumerate() {
+        if i > 0 {
+            out.push('+');
+        }
+        let _ = write!(out, "{}", node.get());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clusters(k: usize, size: usize) -> Vec<Vec<NodeId>> {
+        (0..k)
+            .map(|c| {
+                (0..size)
+                    .map(|i| NodeId::new((c * size + i) as u64))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn config(seed: u64) -> FaultPlanConfig {
+        FaultPlanConfig::new(seed, 20, clusters(3, 8)).churn(ChurnConfig {
+            crash_prob: 0.05,
+            restart_prob: 0.4,
+            cluster_churn_prob: 0.1,
+            cluster_churn_fraction: 0.3,
+            min_live_per_cluster: 2,
+            ensure_cycle_per_cluster: true,
+        })
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = config(11).build().expect("valid");
+        let b = config(11).build().expect("valid");
+        let c = config(12).build().expect("valid");
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.render(), c.render(), "different seeds must diverge");
+    }
+
+    #[test]
+    fn every_cluster_gets_a_cycle() {
+        for seed in [1u64, 7, 99, 1234] {
+            let plan = config(seed).build().expect("valid");
+            let cycles = plan.cycles_per_cluster();
+            assert_eq!(cycles.len(), 3);
+            assert!(
+                cycles.iter().all(|c| *c >= 1),
+                "seed {seed}: cycles {cycles:?}\n{}",
+                plan.render()
+            );
+        }
+    }
+
+    #[test]
+    fn live_floor_is_never_violated() {
+        // Aggressive churn with almost no restarts: the floor must hold.
+        let plan = FaultPlanConfig::new(3, 40, clusters(4, 6))
+            .churn(ChurnConfig {
+                crash_prob: 0.5,
+                restart_prob: 0.05,
+                cluster_churn_prob: 0.3,
+                cluster_churn_fraction: 0.9,
+                min_live_per_cluster: 2,
+                ensure_cycle_per_cluster: false,
+            })
+            .build()
+            .expect("valid");
+        let mut down: BTreeSet<NodeId> = BTreeSet::new();
+        for round in plan.rounds() {
+            for r in &round.restarts {
+                down.remove(r);
+            }
+            for c in &round.crashes {
+                assert!(down.insert(*c), "node {c} crashed while already down");
+            }
+            for members in plan.clusters() {
+                let live = members.iter().filter(|m| !down.contains(m)).count();
+                assert!(live >= 2, "cluster dropped below the floor: {round:?}");
+            }
+        }
+        assert!(plan.total_crashes() > 0);
+    }
+
+    #[test]
+    fn nodes_never_restart_while_up() {
+        let plan = config(21).build().expect("valid");
+        let mut down: BTreeSet<NodeId> = BTreeSet::new();
+        for round in plan.rounds() {
+            for r in &round.restarts {
+                assert!(down.remove(r), "restart of a live node: {r}");
+            }
+            for c in &round.crashes {
+                down.insert(*c);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_windows_open_and_close() {
+        let plan = FaultPlanConfig::new(5, 30, clusters(3, 6))
+            .churn(ChurnConfig {
+                crash_prob: 0.0,
+                cluster_churn_prob: 0.0,
+                ensure_cycle_per_cluster: false,
+                ..ChurnConfig::default()
+            })
+            .partitions(PartitionPolicy {
+                prob: 0.3,
+                max_duration_rounds: 3,
+            })
+            .build()
+            .expect("valid");
+        let mut active = false;
+        let mut opened = 0;
+        for round in plan.rounds() {
+            if round.partition_ends {
+                assert!(active, "heal without an open partition");
+                active = false;
+            }
+            if let Some(minority) = &round.partition_starts {
+                assert!(!active, "nested partitions are not allowed");
+                assert!(!minority.is_empty());
+                active = true;
+                opened += 1;
+            }
+        }
+        assert!(opened > 0, "no partitions at 30% per round over 30 rounds");
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert_eq!(
+            FaultPlanConfig::new(0, 0, clusters(2, 4)).build(),
+            Err(FaultError::ZeroRounds)
+        );
+        assert_eq!(
+            FaultPlanConfig::new(0, 5, Vec::new()).build(),
+            Err(FaultError::EmptyClusters)
+        );
+        assert_eq!(
+            FaultPlanConfig::new(0, 5, vec![vec![NodeId::new(0)], Vec::new()]).build(),
+            Err(FaultError::EmptyClusters)
+        );
+        let bad_prob = FaultPlanConfig::new(0, 5, clusters(2, 4)).churn(ChurnConfig {
+            crash_prob: 1.5,
+            ..ChurnConfig::default()
+        });
+        assert!(matches!(
+            bad_prob.build(),
+            Err(FaultError::BadProbability {
+                what: "crash_prob",
+                ..
+            })
+        ));
+        let floor = FaultPlanConfig::new(0, 8, clusters(2, 3)).churn(ChurnConfig {
+            min_live_per_cluster: 3,
+            ..ChurnConfig::default()
+        });
+        assert!(matches!(
+            floor.build(),
+            Err(FaultError::MinLiveTooHigh { .. })
+        ));
+        let short = FaultPlanConfig::new(0, 2, clusters(2, 4));
+        assert!(matches!(
+            short.build(),
+            Err(FaultError::TooFewRounds { .. })
+        ));
+        // Errors render as text.
+        assert!(FaultError::ZeroRounds.to_string().contains("round"));
+    }
+
+    #[test]
+    fn quiet_plan_renders_header_only() {
+        let plan = FaultPlanConfig::new(9, 6, clusters(2, 4))
+            .churn(ChurnConfig {
+                crash_prob: 0.0,
+                cluster_churn_prob: 0.0,
+                ensure_cycle_per_cluster: false,
+                ..ChurnConfig::default()
+            })
+            .build()
+            .expect("valid");
+        assert_eq!(plan.total_crashes(), 0);
+        assert_eq!(plan.render().lines().count(), 1);
+        assert!(plan.rounds().iter().all(RoundFaults::is_quiet));
+    }
+}

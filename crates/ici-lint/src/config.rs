@@ -33,6 +33,7 @@ impl Default for Config {
                 "ici-crypto",
                 "ici-net",
                 "ici-telemetry",
+                "ici-faults",
             ]
             .iter()
             .map(|s| s.to_string())

@@ -11,7 +11,9 @@
 //! * [`metrics`] — per-class, per-node traffic metering;
 //! * [`cost`] — CPU cost model for verification and execution;
 //! * [`network`] — the facade protocols send through, with crash/recover
-//!   failure injection.
+//!   failure injection;
+//! * [`faults`] — deterministic message faults (drop, delay, duplicate,
+//!   partition) on the send path, driven by the `ici-faults` schedules.
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod faults;
 pub mod link;
 pub mod metrics;
 pub mod network;
@@ -51,6 +54,7 @@ pub mod time;
 pub mod topology;
 
 pub use cost::CostModel;
+pub use faults::{FaultConfig, PartitionSpec, SendFault};
 pub use link::LinkModel;
 pub use metrics::{MessageKind, TrafficMeter};
 pub use network::{Network, SendOutcome};

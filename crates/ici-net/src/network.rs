@@ -7,6 +7,7 @@
 
 use std::collections::HashSet;
 
+use crate::faults::{FaultConfig, SendFault};
 use crate::link::LinkModel;
 use crate::metrics::{MessageKind, TrafficMeter};
 use crate::node::NodeId;
@@ -23,6 +24,10 @@ pub enum SendOutcome {
     /// The receiver is crashed; the transmission is metered on the sender
     /// side (the bytes left the machine) but never arrives.
     ReceiverDown,
+    /// Fault injection lost the message (random loss or a severed
+    /// partition edge); metered on the sender side like
+    /// [`SendOutcome::ReceiverDown`].
+    Dropped,
 }
 
 impl SendOutcome {
@@ -42,6 +47,7 @@ pub struct Network {
     link: LinkModel,
     meter: TrafficMeter,
     down: HashSet<NodeId>,
+    faults: Option<FaultConfig>,
     seq: u64,
 }
 
@@ -53,6 +59,7 @@ impl Network {
             link,
             meter: TrafficMeter::new(),
             down: HashSet::new(),
+            faults: None,
             seq: 0,
         }
     }
@@ -87,6 +94,27 @@ impl Network {
         self.meter.reset();
     }
 
+    /// Installs a message-fault configuration on the send path. Inert
+    /// configs (all probabilities zero, no partition) are treated as
+    /// [`Network::clear_faults`].
+    pub fn set_faults(&mut self, faults: FaultConfig) {
+        self.faults = if faults.is_inert() {
+            None
+        } else {
+            Some(faults)
+        };
+    }
+
+    /// Removes any installed fault configuration.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// The fault configuration currently on the send path, if any.
+    pub fn faults(&self) -> Option<&FaultConfig> {
+        self.faults.as_ref()
+    }
+
     /// Marks `node` crashed. Sends from/to it fail until recovery.
     pub fn crash(&mut self, node: NodeId) {
         self.down.insert(node);
@@ -118,8 +146,14 @@ impl Network {
     /// Attempts to transmit `bytes` of `kind` from `from` to `to`.
     ///
     /// Returns the transit delay on success; the caller schedules delivery
-    /// at `now + delay`. Metering: delivered and receiver-down sends charge
-    /// the sender; sender-down sends charge nothing.
+    /// at `now + delay`. Metering: delivered, receiver-down, and dropped
+    /// sends charge the sender (the bytes left its uplink, and a duplicated
+    /// message charges once per copy); sender-down sends charge nothing.
+    ///
+    /// When a [`FaultConfig`] is installed the send path consults it:
+    /// partitioned or lossy edges return [`SendOutcome::Dropped`], delayed
+    /// messages carry extra transit time (which reorders them past later
+    /// traffic), and duplicates are metered as retransmissions.
     pub fn send(&mut self, from: NodeId, to: NodeId, kind: MessageKind, bytes: u64) -> SendOutcome {
         if !self.is_up(from) {
             return SendOutcome::SenderDown;
@@ -131,8 +165,41 @@ impl Network {
             self.meter.record(from, to, kind, bytes);
             return SendOutcome::ReceiverDown;
         }
-        self.meter.record(from, to, kind, bytes);
-        SendOutcome::Delivered(self.link.transit(&self.topology, from, to, bytes, seq))
+        let fault = match &self.faults {
+            Some(config) => config.decide(from, to, seq),
+            None => SendFault::Deliver {
+                extra_delay: Duration::ZERO,
+                copies: 1,
+            },
+        };
+        match fault {
+            SendFault::Drop => {
+                self.meter.record(from, to, kind, bytes);
+                ici_telemetry::counter_add("net/fault_drops", ici_telemetry::Label::Global, 1);
+                SendOutcome::Dropped
+            }
+            SendFault::Deliver {
+                extra_delay,
+                copies,
+            } => {
+                for _ in 0..copies.max(1) {
+                    self.meter.record(from, to, kind, bytes);
+                }
+                if copies > 1 {
+                    ici_telemetry::counter_add(
+                        "net/fault_duplicates",
+                        ici_telemetry::Label::Global,
+                        u64::from(copies - 1),
+                    );
+                }
+                if extra_delay > Duration::ZERO {
+                    ici_telemetry::counter_add("net/fault_delays", ici_telemetry::Label::Global, 1);
+                }
+                SendOutcome::Delivered(
+                    self.link.transit(&self.topology, from, to, bytes, seq) + extra_delay,
+                )
+            }
+        }
     }
 
     /// Adds a node at `coord` (e.g. a bootstrapping joiner). Returns its id.
@@ -216,6 +283,71 @@ mod tests {
         assert!(net.is_up(id));
         assert!(net
             .send(id, NodeId::new(0), MessageKind::Bootstrap, 10)
+            .delay()
+            .is_some());
+    }
+
+    #[test]
+    fn installed_faults_drop_and_duplicate_deterministically() {
+        use crate::faults::FaultConfig;
+        let run = || {
+            let mut net = net(4);
+            net.set_faults(FaultConfig {
+                seed: 5,
+                drop_prob: 0.4,
+                dup_prob: 0.3,
+                delay_prob: 0.2,
+                max_extra_delay_ms: 25.0,
+                partition: None,
+            });
+            let outcomes: Vec<SendOutcome> = (0..200)
+                .map(|_| net.send(NodeId::new(0), NodeId::new(1), MessageKind::Vote, 64))
+                .collect();
+            (outcomes, net.meter().total().messages)
+        };
+        let (a, messages_a) = run();
+        let (b, messages_b) = run();
+        assert_eq!(a, b, "fault stream must be replayable");
+        assert_eq!(messages_a, messages_b);
+        let drops = a.iter().filter(|o| **o == SendOutcome::Dropped).count();
+        assert!(drops > 0, "no drops at 40% loss");
+        // Duplicates meter extra copies: more metered messages than sends
+        // that charged the uplink.
+        assert!(messages_a > 200 - drops as u64);
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic_until_cleared() {
+        use crate::faults::{FaultConfig, PartitionSpec};
+        let mut net = net(4);
+        net.set_faults(FaultConfig {
+            partition: Some(PartitionSpec::split(4, &[NodeId::new(3)])),
+            ..FaultConfig::default()
+        });
+        assert_eq!(
+            net.send(NodeId::new(0), NodeId::new(3), MessageKind::Vote, 10),
+            SendOutcome::Dropped
+        );
+        assert!(net
+            .send(NodeId::new(0), NodeId::new(1), MessageKind::Vote, 10)
+            .delay()
+            .is_some());
+        net.clear_faults();
+        assert!(net.faults().is_none());
+        assert!(net
+            .send(NodeId::new(0), NodeId::new(3), MessageKind::Vote, 10)
+            .delay()
+            .is_some());
+    }
+
+    #[test]
+    fn inert_fault_config_is_not_installed() {
+        use crate::faults::FaultConfig;
+        let mut net = net(2);
+        net.set_faults(FaultConfig::default());
+        assert!(net.faults().is_none());
+        assert!(net
+            .send(NodeId::new(0), NodeId::new(1), MessageKind::Vote, 10)
             .delay()
             .is_some());
     }

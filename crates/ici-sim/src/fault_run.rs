@@ -1,0 +1,383 @@
+//! Failure-aware experiment runner.
+//!
+//! [`run_ici_under_faults`] drives an ICIStrategy deployment through a
+//! deterministic [`FaultPlan`]: each round it applies the scheduled
+//! restarts and crashes, installs the round's message-fault profile on
+//! the send path, attempts to commit one block, and lets the surviving
+//! cluster members re-replicate. Recovery is verified at the content
+//! level — every repaired cluster must pass the shard-level Merkle audit
+//! ([`ici_core::merkle_audit`]), not merely report replicas present.
+//!
+//! Same seed ⇒ same plan ⇒ same commits, same repair traffic, same
+//! summary, byte for byte — which is what lets CI assert on survivability
+//! numbers and diff two runs of `e_fault` directly.
+
+use ici_chain::genesis::GenesisConfig;
+use ici_core::config::IciConfig;
+use ici_core::network::IciNetwork;
+use ici_faults::plan::{
+    ChurnConfig, FaultError, FaultPlanConfig, MessageFaultSpec, PartitionPolicy,
+};
+use ici_faults::scheduler::FaultScheduler;
+use ici_net::node::NodeId;
+use ici_workload::{WorkloadConfig, WorkloadGenerator};
+
+use crate::latency::LatencyStats;
+
+/// Initial balance granted to each workload account at genesis.
+const GENESIS_BALANCE: u64 = u64::MAX / 1_000_000;
+
+/// The fault schedule's knobs, bundled so experiment binaries can cite
+/// one profile per run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultProfile {
+    /// Seed of the fault schedule (independent of the network seed).
+    pub seed: u64,
+    /// Rounds to run; each round proposes one block.
+    pub rounds: usize,
+    /// Node churn parameters.
+    pub churn: ChurnConfig,
+    /// Partition-window parameters.
+    pub partitions: PartitionPolicy,
+    /// Message-level fault profile.
+    pub messages: MessageFaultSpec,
+}
+
+impl Default for FaultProfile {
+    /// Default churn over 12 rounds with no partitions or message faults.
+    fn default() -> FaultProfile {
+        FaultProfile {
+            seed: 1,
+            rounds: 12,
+            churn: ChurnConfig::default(),
+            partitions: PartitionPolicy::default(),
+            messages: MessageFaultSpec::default(),
+        }
+    }
+}
+
+/// One fault run, reduced to the survivability quantities `e_fault`
+/// tables report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultRunSummary {
+    /// Nodes simulated.
+    pub nodes: usize,
+    /// Clusters formed.
+    pub clusters: usize,
+    /// Rounds executed (== the plan's length).
+    pub rounds: usize,
+    /// Blocks committed despite the faults (excluding genesis).
+    pub committed_blocks: u64,
+    /// Rounds whose proposal failed (no quorum / partitioned leader); the
+    /// batch is retried next round, so these measure liveness loss only.
+    pub skipped_rounds: usize,
+    /// Crash events applied.
+    pub crash_events: usize,
+    /// Restart events applied.
+    pub restart_events: usize,
+    /// Completed crash-and-recover cycles per cluster (from the plan).
+    pub cycles_per_cluster: Vec<usize>,
+    /// Cluster repairs attempted after churn rounds.
+    pub recovery_attempts: usize,
+    /// Repairs that restored the cluster *and* passed the shard-level
+    /// Merkle audit afterwards.
+    pub recovery_successes: usize,
+    /// Intra- and cross-cluster repair transfers executed.
+    pub repair_transfers: usize,
+    /// Re-replication traffic in bytes (metered as repair).
+    pub repair_bytes: u64,
+    /// Heights restored by fetching from a foreign cluster.
+    pub cross_cluster_fetches: usize,
+    /// Heights no live node anywhere still held (permanent loss).
+    pub unrecoverable_heights: Vec<u64>,
+    /// Fewest live nodes observed at any round start.
+    pub min_live_nodes: usize,
+    /// Worst per-cluster availability observed after any round's repairs.
+    pub min_availability: f64,
+    /// Whether every cluster's final shard-level Merkle audit was clean.
+    pub final_audit_clean: bool,
+    /// Body replicas re-hashed by the final audit.
+    pub merkle_shards_verified: usize,
+    /// Commit latency over the committed blocks.
+    pub commit_latency: LatencyStats,
+    /// FNV-1a fingerprint of the plan's canonical rendering.
+    pub plan_fingerprint: u64,
+    /// The plan's canonical rendering (for replay diffing).
+    pub plan_render: String,
+}
+
+impl FaultRunSummary {
+    /// Fraction of repair attempts that fully recovered, in `[0, 1]`
+    /// (1.0 when nothing needed repair).
+    pub fn recovery_success_rate(&self) -> f64 {
+        if self.recovery_attempts == 0 {
+            1.0
+        } else {
+            self.recovery_successes as f64 / self.recovery_attempts as f64
+        }
+    }
+}
+
+/// Runs ICIStrategy under the given fault profile.
+///
+/// The network is built from `config` (its genesis is replaced by one
+/// derived from the workload), the fault plan is built over the actual
+/// cluster map, and each round proposes one `txs_per_block` block. A
+/// failed proposal (partitioned leader, no quorum) retries the same
+/// batch next round, so account nonces stay sequential.
+///
+/// # Errors
+///
+/// [`FaultError`] if the profile cannot produce a valid plan for the
+/// network's cluster map (e.g. the live floor exceeds a cluster).
+///
+/// # Panics
+///
+/// Panics if `config` itself is invalid — misconfiguration, not a fault.
+pub fn run_ici_under_faults(
+    mut config: IciConfig,
+    txs_per_block: usize,
+    workload: WorkloadConfig,
+    profile: FaultProfile,
+) -> Result<(IciNetwork, FaultRunSummary), FaultError> {
+    let _span = ici_telemetry::span!("sim/run_ici_faults");
+    config.genesis = GenesisConfig::uniform(workload.accounts, GENESIS_BALANCE);
+    let mut network = IciNetwork::new(config).expect("valid configuration");
+
+    // The plan is built over the clusters the network actually formed.
+    let cluster_map: Vec<Vec<NodeId>> = network
+        .clusters()
+        .into_iter()
+        .map(|c| network.membership().active_members(c))
+        .collect();
+    let plan = FaultPlanConfig::new(profile.seed, profile.rounds, cluster_map)
+        .churn(profile.churn)
+        .partitions(profile.partitions)
+        .messages(profile.messages)
+        .build()?;
+    let plan_render = plan.render();
+    let plan_fingerprint = plan.fingerprint();
+    let cycles_per_cluster = plan.cycles_per_cluster();
+    let mut scheduler = FaultScheduler::new(plan);
+
+    let mut generator = WorkloadGenerator::new(workload);
+    let mut pending: Option<Vec<ici_chain::Transaction>> = None;
+    let mut summary = FaultRunSummary {
+        nodes: network.config().nodes,
+        clusters: network.clusters().len(),
+        rounds: profile.rounds,
+        committed_blocks: 0,
+        skipped_rounds: 0,
+        crash_events: 0,
+        restart_events: 0,
+        cycles_per_cluster,
+        recovery_attempts: 0,
+        recovery_successes: 0,
+        repair_transfers: 0,
+        repair_bytes: 0,
+        cross_cluster_fetches: 0,
+        unrecoverable_heights: Vec::new(),
+        min_live_nodes: network.config().nodes,
+        min_availability: 1.0,
+        final_audit_clean: false,
+        merkle_shards_verified: 0,
+        commit_latency: LatencyStats::from_durations(std::iter::empty()),
+        plan_fingerprint,
+        plan_render,
+    };
+
+    while let Some(round) = scheduler.step() {
+        // 1. Apply the scheduled churn (restarts come back disk-intact).
+        for node in &round.restarts {
+            let _ = network.recover_node(*node);
+        }
+        for node in &round.crashes {
+            let _ = network.crash_node(*node);
+        }
+        summary.restart_events += round.restarts.len();
+        summary.crash_events += round.crashes.len();
+        summary.min_live_nodes = summary.min_live_nodes.min(round.live_nodes);
+
+        // 2. Install this round's message faults on the send path.
+        network.net_mut().set_faults(round.message_faults.clone());
+
+        // 3. One block proposal; a failed commit retries the same batch.
+        let batch = pending
+            .take()
+            .unwrap_or_else(|| generator.batch(txs_per_block));
+        match network.propose_block(batch.clone()) {
+            Ok(_) => summary.committed_blocks += 1,
+            Err(_) => {
+                summary.skipped_rounds += 1;
+                pending = Some(batch);
+            }
+        }
+
+        // 4. Survivors re-replicate every cluster touched by churn, and
+        //    the shard-level Merkle audit certifies each repair.
+        let mut affected: Vec<_> = round
+            .crashes
+            .iter()
+            .chain(&round.restarts)
+            .map(|n| network.membership().cluster_of(*n))
+            .collect();
+        affected.sort_unstable_by_key(|c| c.get());
+        affected.dedup();
+        for cluster in affected {
+            summary.recovery_attempts += 1;
+            let report = network.repair_cluster(cluster);
+            summary.repair_transfers += report.transfers;
+            summary.repair_bytes += report.bytes;
+            summary.cross_cluster_fetches += report.cross_cluster_fetches.len();
+            let audit = network.merkle_audit(cluster);
+            if report.unrecoverable.is_empty() && audit.is_clean() {
+                summary.recovery_successes += 1;
+            } else {
+                summary
+                    .unrecoverable_heights
+                    .extend(report.unrecoverable.iter().copied());
+            }
+        }
+
+        // 5. Track the worst availability the network sank to.
+        for audit in network.audit_all() {
+            summary.min_availability = summary.min_availability.min(audit.availability());
+        }
+    }
+
+    // Faults end with the plan; a final repair pass heals anything the
+    // last round left degraded, then the audit rules on the whole run.
+    network.net_mut().clear_faults();
+    for report in network.repair_all() {
+        summary.repair_transfers += report.transfers;
+        summary.repair_bytes += report.bytes;
+        summary.cross_cluster_fetches += report.cross_cluster_fetches.len();
+        summary
+            .unrecoverable_heights
+            .extend(report.unrecoverable.iter().copied());
+    }
+    summary.unrecoverable_heights.sort_unstable();
+    summary.unrecoverable_heights.dedup();
+
+    let final_audits = network.merkle_audit_all();
+    summary.final_audit_clean = final_audits.iter().all(|a| a.is_clean());
+    summary.merkle_shards_verified = final_audits.iter().map(|a| a.shards_verified).sum();
+    summary.commit_latency =
+        LatencyStats::from_durations(network.commit_log().iter().map(|r| r.commit_latency()));
+
+    ici_telemetry::counter_add(
+        "sim/fault_repair_bytes",
+        ici_telemetry::Label::Global,
+        summary.repair_bytes,
+    );
+    network.net().meter().publish_telemetry();
+    Ok((network, summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ici_net::link::LinkModel;
+
+    fn workload() -> WorkloadConfig {
+        WorkloadConfig {
+            accounts: 32,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    fn quiet_link() -> LinkModel {
+        LinkModel {
+            max_jitter_ms: 0.0,
+            ..LinkModel::default()
+        }
+    }
+
+    fn config() -> IciConfig {
+        IciConfig::builder()
+            .nodes(24)
+            .cluster_size(8)
+            .replication(2)
+            .link(quiet_link())
+            .seed(7)
+            .build()
+            .expect("valid")
+    }
+
+    fn profile(seed: u64) -> FaultProfile {
+        FaultProfile {
+            seed,
+            rounds: 10,
+            churn: ChurnConfig {
+                crash_prob: 0.08,
+                restart_prob: 0.4,
+                cluster_churn_prob: 0.0,
+                min_live_per_cluster: 3,
+                ..ChurnConfig::default()
+            },
+            ..FaultProfile::default()
+        }
+    }
+
+    #[test]
+    fn faulted_run_commits_and_recovers() {
+        let (network, summary) =
+            run_ici_under_faults(config(), 5, workload(), profile(3)).expect("plan builds");
+        assert_eq!(summary.rounds, 10);
+        assert!(summary.crash_events > 0, "{}", summary.plan_render);
+        assert!(summary.committed_blocks + summary.skipped_rounds as u64 == 10);
+        assert!(summary.recovery_attempts > 0);
+        assert_eq!(summary.recovery_success_rate(), 1.0, "{summary:?}");
+        assert!(summary.final_audit_clean);
+        assert!(summary.unrecoverable_heights.is_empty());
+        assert!(summary.min_live_nodes < 24);
+        assert!(network.chain_len() > 1);
+    }
+
+    #[test]
+    fn same_seed_same_fault_summary() {
+        let (_, a) = run_ici_under_faults(config(), 4, workload(), profile(11)).expect("plan");
+        let (_, b) = run_ici_under_faults(config(), 4, workload(), profile(11)).expect("plan");
+        assert_eq!(a, b);
+        let (_, c) = run_ici_under_faults(config(), 4, workload(), profile(12)).expect("plan");
+        assert_ne!(a.plan_render, c.plan_render);
+    }
+
+    #[test]
+    fn guaranteed_cycles_cover_every_cluster() {
+        let (_, summary) = run_ici_under_faults(config(), 4, workload(), profile(5)).expect("plan");
+        assert_eq!(summary.cycles_per_cluster.len(), summary.clusters);
+        assert!(summary.cycles_per_cluster.iter().all(|c| *c >= 1));
+    }
+
+    #[test]
+    fn impossible_floor_is_a_typed_error() {
+        let bad = FaultProfile {
+            churn: ChurnConfig {
+                min_live_per_cluster: 100,
+                ..ChurnConfig::default()
+            },
+            ..FaultProfile::default()
+        };
+        assert!(matches!(
+            run_ici_under_faults(config(), 4, workload(), bad),
+            Err(FaultError::MinLiveTooHigh { .. })
+        ));
+    }
+
+    #[test]
+    fn message_faults_still_converge() {
+        let lossy = FaultProfile {
+            messages: MessageFaultSpec {
+                drop_prob: 0.1,
+                dup_prob: 0.05,
+                delay_prob: 0.1,
+                max_extra_delay_ms: 20.0,
+            },
+            ..profile(9)
+        };
+        let (_, summary) = run_ici_under_faults(config(), 4, workload(), lossy).expect("plan");
+        assert!(summary.final_audit_clean, "{summary:?}");
+        assert_eq!(summary.recovery_success_rate(), 1.0);
+    }
+}

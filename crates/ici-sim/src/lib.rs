@@ -2,6 +2,9 @@
 //!
 //! * [`runner`] — drives ICIStrategy and both baselines over a shared
 //!   workload and reduces each run to a [`runner::RunSummary`];
+//! * [`fault_run`] — the failure-aware runner: drives a run through a
+//!   deterministic `ici-faults` schedule and certifies recovery with the
+//!   shard-level Merkle audit;
 //! * [`latency`] — latency percentile summaries;
 //! * [`table`] — paper-style ASCII tables and CSV;
 //! * [`report`] — JSON export of experiment records for `EXPERIMENTS.md`
@@ -28,11 +31,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault_run;
 pub mod latency;
 pub mod report;
 pub mod runner;
 pub mod table;
 
+pub use fault_run::{run_ici_under_faults, FaultProfile, FaultRunSummary};
 pub use latency::LatencyStats;
 pub use report::ExperimentRecord;
 pub use runner::{run_full, run_ici, run_rapidchain, RunSummary};

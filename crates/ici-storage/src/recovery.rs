@@ -242,6 +242,61 @@ mod tests {
     }
 
     #[test]
+    fn dead_cluster_reports_every_height_unrecoverable() {
+        let (blocks, holdings) = full_cluster(6, 25, 2);
+        // Every holder crashed; the only live members never stored anything.
+        let live: BTreeSet<NodeId> = (6..9).map(NodeId::new).collect();
+        let plan = plan_recovery(&blocks, &holdings, &live, &RendezvousAssignment, 2);
+        assert!(plan.transfers.is_empty());
+        assert_eq!(plan.total_bytes(), 0);
+        assert_eq!(plan.unrecoverable, (0..25).collect::<Vec<Height>>());
+        assert!(!plan.is_empty(), "lost data is not a no-op plan");
+    }
+
+    #[test]
+    fn duplicate_offers_never_schedule_redundant_transfers() {
+        let (blocks, mut holdings) = full_cluster(8, 40, 2);
+        // Node 5 offers a surplus replica of every block, duplicating
+        // whatever the assignment already placed on it.
+        for b in &blocks {
+            holdings.entry(NodeId::new(5)).or_default().insert(b.height);
+        }
+        let mut live: BTreeSet<NodeId> = (0..8).map(NodeId::new).collect();
+        live.remove(&NodeId::new(2));
+
+        let plan = plan_recovery(&blocks, &holdings, &live, &RendezvousAssignment, 2);
+        assert!(plan.unrecoverable.is_empty());
+        let mut seen = BTreeSet::new();
+        for t in &plan.transfers {
+            // Never copy to a node that already holds the block, never
+            // schedule the same (height, destination) twice, and never
+            // self-transfer.
+            assert!(
+                !holdings
+                    .get(&t.destination)
+                    .map_or(false, |h| h.contains(&t.height)),
+                "offered a shard to an existing holder: {t:?}"
+            );
+            assert!(seen.insert((t.height, t.destination)), "duplicate: {t:?}");
+            assert_ne!(t.source, t.destination);
+        }
+        // Blocks whose second replica the surplus already restored must
+        // not appear in the plan at all.
+        for b in &blocks {
+            let holders = live
+                .iter()
+                .filter(|n| holdings.get(n).map_or(false, |h| h.contains(&b.height)))
+                .count();
+            if holders >= 2 {
+                assert!(
+                    plan.transfers.iter().all(|t| t.height != b.height),
+                    "replicated block {b:?} was repaired anyway"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn sources_rotate_among_holders() {
         let (blocks, holdings) = full_cluster(6, 30, 3);
         let mut live: BTreeSet<NodeId> = (0..6).map(NodeId::new).collect();

@@ -33,4 +33,43 @@ print(f"    telemetry OK: {len(t['spans'])} span rows, "
       f"{len(t['counters'])} counters, subsystems: {', '.join(sorted(subsystems))}")
 EOF
 
+echo "==> fault-injection smoke (E-fault, pinned seed, replayed twice)"
+cargo run -q --release -p ici-bench --bin e_fault -- --seed 42 >/dev/null
+cp results/e_fault.json results/e_fault.replay.json
+cargo run -q --release -p ici-bench --bin e_fault -- --seed 42 >/dev/null
+cmp results/e_fault.replay.json results/e_fault.json
+rm results/e_fault.replay.json
+python3 - <<'EOF'
+import json
+with open("results/e_fault.json") as f:
+    record = json.load(f)
+rows = {r[0]: r[1] for r in record["tables"][0]["rows"]}
+assert rows["recovery success rate"] == "100.0%", rows
+assert rows["unrecoverable heights"] == "0", rows
+cycles = record["tables"][1]["rows"]
+assert all(int(r[1]) >= 1 for r in cycles), cycles
+assert all(r[3] == "clean" for r in cycles), cycles
+print(f"    fault smoke OK: byte-identical replay, "
+      f"{rows['crash events']} crashes / {rows['restart events']} restarts, "
+      f"recovery {rows['recovery success rate']}, "
+      f"{len(cycles)} clusters all cycled and audited clean")
+EOF
+
+echo "==> fault telemetry smoke (E-fault with ICI_TELEMETRY=1)"
+ICI_TELEMETRY=1 cargo run -q --release -p ici-bench --bin e_fault -- --seed 42 >/dev/null
+python3 - <<'EOF'
+import json
+with open("results/e_fault.json") as f:
+    record = json.load(f)
+t = record.get("telemetry")
+assert t is not None, "results/e_fault.json has no telemetry section"
+gauges = [g for g in t["gauges"] if g["name"] == "faults/live_nodes"]
+assert gauges, "faults/live_nodes gauge missing"
+assert any(s["name"].startswith("cluster/kmeans") for s in t["spans"]), \
+    "cluster/kmeans spans missing"
+print(f"    fault telemetry OK: {len(gauges)} live-node gauge rows")
+EOF
+# Restore the deterministic (telemetry-free) record the repo commits.
+cargo run -q --release -p ici-bench --bin e_fault -- --seed 42 >/dev/null
+
 echo "==> all green"

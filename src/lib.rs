@@ -16,6 +16,7 @@
 //! | [`baselines`] | `ici-baselines` | full replication and RapidChain comparators |
 //! | [`workload`] | `ici-workload` | deterministic transaction generators |
 //! | [`sim`] | `ici-sim` | experiment runners, statistics, tables |
+//! | [`faults`] | `ici-faults` | seed-deterministic fault plans, schedulers, injectors |
 //! | [`telemetry`] | `ici-telemetry` | spans, counters, histograms, profiling export |
 //!
 //! # Quickstart
@@ -55,6 +56,7 @@ pub use ici_cluster as cluster;
 pub use ici_consensus as consensus;
 pub use ici_core as core;
 pub use ici_crypto as crypto;
+pub use ici_faults as faults;
 pub use ici_net as net;
 pub use ici_sim as sim;
 pub use ici_storage as storage;
@@ -71,7 +73,9 @@ pub mod prelude {
     pub use ici_cluster::{ClusterId, JoinPolicy};
     pub use ici_core::{Assignment, Clustering, IciConfig, IciError, IciNetwork, QueryTier};
     pub use ici_crypto::{Digest, Keypair, Sha256};
+    pub use ici_faults::{FaultPlan, FaultPlanConfig, FaultScheduler};
     pub use ici_net::{Coord, NodeId};
+    pub use ici_sim::fault_run::{run_ici_under_faults, FaultProfile};
     pub use ici_sim::runner::{run_full, run_ici, run_rapidchain};
     pub use ici_workload::{WorkloadConfig, WorkloadGenerator};
 }

@@ -116,6 +116,134 @@ fn queries_always_succeed_on_live_networks() {
     }
 }
 
+/// Reed–Solomon decoding round-trips under *every* erasure pattern that
+/// stays within the parity budget, and degrades into a typed error —
+/// never a wrong payload — the moment the budget is exceeded.
+#[test]
+fn rs_round_trips_under_every_erasure_pattern() {
+    use icistrategy::crypto::rs::{ReedSolomon, RsError};
+    let mut rng = Xoshiro256::seed_from_u64(0xF5);
+    let geometries: &[(usize, usize)] = if cfg!(feature = "heavy-tests") {
+        &[(2, 1), (3, 1), (4, 2), (5, 3), (6, 4), (10, 4)]
+    } else {
+        &[(2, 1), (3, 1), (4, 2), (5, 3)]
+    };
+    for &(data, parity) in geometries {
+        let rs = ReedSolomon::new(data, parity).expect("valid geometry");
+        let payload: Vec<u8> = (0..rng.gen_range(1usize..200))
+            .map(|_| rng.next_u64() as u8)
+            .collect();
+        let shards = rs.encode_payload(&payload);
+        let total = data + parity;
+        for mask in 0u32..(1u32 << total) {
+            let erased = mask.count_ones() as usize;
+            if erased == 0 || erased > parity {
+                continue;
+            }
+            let mut holey: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+            for (i, slot) in holey.iter_mut().enumerate() {
+                if mask & (1 << i) != 0 {
+                    *slot = None;
+                }
+            }
+            rs.reconstruct(&mut holey).expect("within parity budget");
+            assert_eq!(
+                rs.join_payload(&holey, payload.len()).expect("joins"),
+                payload,
+                "data={data} parity={parity} mask={mask:#b}"
+            );
+        }
+        // One erasure past the budget must be reported, not decoded.
+        let mut holey: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+        for slot in holey.iter_mut().take(parity + 1) {
+            *slot = None;
+        }
+        assert!(matches!(
+            rs.reconstruct(&mut holey),
+            Err(RsError::TooFewShards { .. })
+        ));
+    }
+}
+
+/// Churn scheduled by a random [`FaultPlan`] never loses data a live
+/// node still holds: once the plan runs out, repair restores exactly the
+/// heights that remained reachable, and for fully recoverable runs both
+/// the integrity audit and the shard-level Merkle audit come back clean.
+#[test]
+fn fault_plans_leave_recoverable_networks_repairable() {
+    use icistrategy::faults::ChurnConfig;
+    let mut rng = Xoshiro256::seed_from_u64(0xF6);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..500);
+        let mut net = build(36, 12, 2, seed);
+        let mut workload = WorkloadGenerator::new(WorkloadConfig {
+            accounts: 64,
+            seed,
+            ..WorkloadConfig::default()
+        });
+        for _ in 0..4 {
+            net.propose_block(workload.batch(6)).expect("commits");
+        }
+
+        let cluster_map: Vec<Vec<NodeId>> = net
+            .clusters()
+            .into_iter()
+            .map(|c| net.membership().active_members(c))
+            .collect();
+        let plan = FaultPlanConfig::new(rng.next_u64(), 8, cluster_map)
+            .churn(ChurnConfig {
+                crash_prob: 0.2,
+                restart_prob: 0.35,
+                cluster_churn_prob: 0.1,
+                cluster_churn_fraction: 0.3,
+                min_live_per_cluster: 2,
+                ensure_cycle_per_cluster: true,
+            })
+            .build()
+            .expect("plan builds over the formed clusters");
+        let mut scheduler = FaultScheduler::new(plan);
+        while let Some(round) = scheduler.step() {
+            for node in &round.restarts {
+                net.recover_node(*node).expect("scheduled restart is valid");
+            }
+            for node in &round.crashes {
+                net.crash_node(*node).expect("scheduled crash is valid");
+            }
+        }
+
+        // A height is reachable iff some live node still holds its body.
+        let live: Vec<NodeId> = net
+            .clusters()
+            .into_iter()
+            .flat_map(|c| net.live_members(c))
+            .collect();
+        let lost: Vec<u64> = (0..net.chain_len())
+            .filter(|height| {
+                !live
+                    .iter()
+                    .any(|n| net.holdings(*n).is_some_and(|h| h.has_body(*height)))
+            })
+            .collect();
+
+        let mut unrecoverable: Vec<u64> = net
+            .repair_all()
+            .iter()
+            .flat_map(|report| report.unrecoverable.iter().copied())
+            .collect();
+        unrecoverable.sort_unstable();
+        unrecoverable.dedup();
+        assert_eq!(
+            unrecoverable, lost,
+            "repair must restore exactly the reachable heights"
+        );
+
+        if lost.is_empty() {
+            assert!(net.audit_all().iter().all(|rep| rep.is_intact()));
+            assert!(net.merkle_audit_all().iter().all(|a| a.is_clean()));
+        }
+    }
+}
+
 /// Bootstrap keeps integrity and never increases replication beyond r.
 #[test]
 fn bootstrap_preserves_replication_bound() {
