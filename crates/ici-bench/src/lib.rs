@@ -116,8 +116,9 @@ pub fn txs_per_block(scale: Scale) -> usize {
 /// Prints tables and archives the experiment record under `results/`.
 ///
 /// When telemetry is enabled (`ICI_TELEMETRY=1`) the record gains a
-/// `telemetry` section with the run's counters, histograms, and spans, and
-/// a top-spans profile is printed after the tables.
+/// `telemetry` section with the run's counters, histograms, and spans,
+/// and a top-spans profile plus a flame graph over the span-event ring
+/// are printed after the tables.
 pub fn emit(id: &str, title: &str, params: &str, tables: &[&Table]) {
     for table in tables {
         println!("{table}");
@@ -125,6 +126,7 @@ pub fn emit(id: &str, title: &str, params: &str, tables: &[&Table]) {
     let record = ExperimentRecord::new(id, title, params, tables).with_telemetry();
     if let Some(snapshot) = &record.telemetry {
         print_top_spans(snapshot, 5);
+        println!("{}", ici_telemetry::render_flamegraph(snapshot, 40));
     }
     let path = PathBuf::from("results").join(format!("{}.json", id.to_lowercase()));
     match record.write_json(&path) {

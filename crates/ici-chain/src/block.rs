@@ -163,13 +163,13 @@ impl Block {
     /// Computes the Merkle root over transaction encodings.
     pub fn compute_tx_root(transactions: &[Transaction]) -> Digest {
         let encodings: Vec<Vec<u8>> = transactions.iter().map(|tx| tx.to_bytes()).collect();
-        MerkleTree::from_leaves(encodings.iter().map(|v| v.as_slice())).root()
+        MerkleTree::from_owned_leaves(encodings).root()
     }
 
     /// Builds the Merkle tree over this block's transactions (for proofs).
     pub fn tx_tree(&self) -> MerkleTree {
         let encodings: Vec<Vec<u8>> = self.transactions.iter().map(|tx| tx.to_bytes()).collect();
-        MerkleTree::from_leaves(encodings.iter().map(|v| v.as_slice()))
+        MerkleTree::from_owned_leaves(encodings)
     }
 
     /// The block header.

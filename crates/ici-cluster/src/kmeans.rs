@@ -13,12 +13,23 @@
 //!
 //! Plus [`random_partition`], the baseline for experiment E8.
 
+use std::sync::Arc;
+
 use ici_rng::Xoshiro256;
 
 use ici_net::node::NodeId;
 use ici_net::topology::{Coord, Topology};
 
 use crate::partition::{ClusterId, Partition};
+
+/// Points per parallel work chunk in the Lloyd assignment/update steps
+/// and the balanced-assignment pair build. The geometry depends only on
+/// the point count — never the thread count — so per-chunk float
+/// accumulation reduces in the same order everywhere and the algorithm
+/// is byte-identical for every `ICI_PAR_THREADS` value. Runs with
+/// `n <= CHUNK_POINTS` form a single chunk, which also matches the
+/// historical fully-serial summation order.
+const CHUNK_POINTS: usize = 1024;
 
 /// Configuration for the k-means algorithms.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -96,23 +107,71 @@ fn nearest(centroids: &[Coord], point: &Coord) -> usize {
     best
 }
 
+/// Lloyd assignment step: nearest centroid per point, one parallel task
+/// per [`CHUNK_POINTS`]-wide chunk, gathered in point order.
+fn assign_step(coords: &Arc<Vec<Coord>>, centroids: &Arc<Vec<Coord>>) -> Vec<usize> {
+    let n = coords.len();
+    if n <= CHUNK_POINTS || ici_par::threads() <= 1 {
+        return coords.iter().map(|c| nearest(centroids, c)).collect();
+    }
+    let starts: Vec<usize> = (0..n).step_by(CHUNK_POINTS).collect();
+    let coords = Arc::clone(coords);
+    let centroids = Arc::clone(centroids);
+    ici_par::par_map(starts, move |_, start| {
+        let end = (start + CHUNK_POINTS).min(coords.len());
+        coords
+            .get(start..end)
+            .unwrap_or_default()
+            .iter()
+            .map(|c| nearest(&centroids, c))
+            .collect::<Vec<usize>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Lloyd update step: per-cluster coordinate sums computed as per-chunk
+/// partials and reduced in chunk order. Because the chunk geometry is
+/// data-derived (see [`CHUNK_POINTS`]) the floating-point reduction
+/// order — and therefore every centroid bit — is independent of the
+/// thread count.
 fn recompute_centroids(
-    coords: &[Coord],
-    assignment: &[usize],
+    coords: &Arc<Vec<Coord>>,
+    assignment: Arc<Vec<usize>>,
     k: usize,
     old: &[Coord],
 ) -> Vec<Coord> {
+    let n = coords.len();
+    let starts: Vec<usize> = (0..n).step_by(CHUNK_POINTS).collect();
+    let coords_arc = Arc::clone(coords);
+    let partials: Vec<Vec<(f64, f64, usize)>> = ici_par::par_map(starts, move |_, start| {
+        let end = (start + CHUNK_POINTS).min(coords_arc.len());
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
+        for i in start..end {
+            if let (Some(&c), Some(coord)) = (assignment.get(i), coords_arc.get(i)) {
+                if let Some(entry) = sums.get_mut(c) {
+                    entry.0 += coord.x;
+                    entry.1 += coord.y;
+                    entry.2 += 1;
+                }
+            }
+        }
+        sums
+    });
     let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
-    for (i, &c) in assignment.iter().enumerate() {
-        sums[c].0 += coords[i].x;
-        sums[c].1 += coords[i].y;
-        sums[c].2 += 1;
+    for partial in partials {
+        for (acc, part) in sums.iter_mut().zip(partial) {
+            acc.0 += part.0;
+            acc.1 += part.1;
+            acc.2 += part.2;
+        }
     }
     sums.iter()
         .enumerate()
         .map(|(i, (x, y, n))| {
             if *n == 0 {
-                old[i] // keep an empty cluster's centroid in place
+                old.get(i).copied().unwrap_or_default() // keep an empty cluster's centroid in place
             } else {
                 Coord::new(x / *n as f64, y / *n as f64)
             }
@@ -137,16 +196,15 @@ pub fn kmeans(topology: &Topology, config: &KMeansConfig) -> Partition {
     let k = config.k.min(coords.len());
     let mut rng = Xoshiro256::seed_from_u64(config.seed ^ 0x6B6D_6561_6E73);
     let mut centroids = kmeans_pp_init(coords, k, &mut rng);
-    let mut assignment = vec![0usize; coords.len()];
+    let coords: Arc<Vec<Coord>> = Arc::new(coords.to_vec());
 
     let mut iters = 0u64;
     for _ in 0..config.max_iters {
         let _iter_span = ici_telemetry::span!("cluster/kmeans_iter");
         iters += 1;
-        for (i, c) in coords.iter().enumerate() {
-            assignment[i] = nearest(&centroids, c);
-        }
-        let next = recompute_centroids(coords, &assignment, k, &centroids);
+        let current = Arc::new(centroids.clone());
+        let assignment = Arc::new(assign_step(&coords, &current));
+        let next = recompute_centroids(&coords, assignment, k, &centroids);
         let moved = centroids
             .iter()
             .zip(&next)
@@ -158,9 +216,8 @@ pub fn kmeans(topology: &Topology, config: &KMeansConfig) -> Partition {
         }
     }
     ici_telemetry::counter_add("cluster/kmeans_iters", ici_telemetry::Label::Global, iters);
-    for (i, c) in coords.iter().enumerate() {
-        assignment[i] = nearest(&centroids, c);
-    }
+    let final_centroids = Arc::new(centroids);
+    let assignment = assign_step(&coords, &final_centroids);
     Partition::from_assignment(
         assignment
             .into_iter()
@@ -210,12 +267,29 @@ pub fn balanced_kmeans(topology: &Topology, config: &KMeansConfig) -> Partition 
         .collect();
 
     // Sort every (node, centroid) pair by distance; fill greedily. Distance
-    // ties break on (node, cluster) index for determinism.
+    // ties break on (node, cluster) index for determinism. The pair build
+    // is parallel over node chunks, gathered in node order, so the list
+    // matches the serial node-major construction exactly.
+    let pairs_by_chunk: Vec<Vec<(f64, usize, usize)>> = {
+        let coords_arc: Arc<Vec<Coord>> = Arc::new(coords.to_vec());
+        let centroids_arc: Arc<Vec<Coord>> = Arc::new(centroids.clone());
+        let starts: Vec<usize> = (0..n).step_by(CHUNK_POINTS).collect();
+        ici_par::par_map(starts, move |_, start| {
+            let end = (start + CHUNK_POINTS).min(coords_arc.len());
+            let mut chunk = Vec::with_capacity((end - start) * centroids_arc.len());
+            for i in start..end {
+                if let Some(coord) = coords_arc.get(i) {
+                    for (c, centroid) in centroids_arc.iter().enumerate() {
+                        chunk.push((coord.distance(centroid), i, c));
+                    }
+                }
+            }
+            chunk
+        })
+    };
     let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(n * k);
-    for (i, coord) in coords.iter().enumerate() {
-        for (c, centroid) in centroids.iter().enumerate() {
-            pairs.push((coord.distance(centroid), i, c));
-        }
+    for chunk in pairs_by_chunk {
+        pairs.extend(chunk);
     }
     pairs.sort_by(|a, b| {
         a.0.partial_cmp(&b.0)
@@ -286,6 +360,18 @@ mod tests {
         let topo = wan(80, 1);
         let cfg = KMeansConfig::with_k(4, 9);
         assert_eq!(kmeans(&topo, &cfg), kmeans(&topo, &cfg));
+    }
+
+    #[test]
+    fn kmeans_is_thread_count_invariant() {
+        // Wide enough that the parallel chunking engages (> CHUNK_POINTS).
+        let topo = wan(2500, 13);
+        let cfg = KMeansConfig::with_k(8, 21);
+        ici_par::set_threads(1);
+        let serial = balanced_kmeans(&topo, &cfg);
+        ici_par::set_threads(4);
+        let parallel = balanced_kmeans(&topo, &cfg);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

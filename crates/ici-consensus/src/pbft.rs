@@ -12,6 +12,7 @@
 //! `2f+1`-th commit vote.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use ici_net::metrics::MessageKind;
 use ici_net::network::Network;
@@ -171,6 +172,11 @@ pub fn run_vote_rounds(
 /// Each member in `send_times` broadcasts a vote at its send time; returns,
 /// for every member that collects `q` votes (its own included), the arrival
 /// time of the `q`-th.
+///
+/// Voters broadcast through per-voter network forks (stream = voter id) so
+/// the all-to-all exchange parallelises over voters while the jitter each
+/// vote draws — and therefore every arrival time — is a function of the
+/// voter alone, byte-identical at any `ICI_PAR_THREADS`.
 fn vote_round(
     net: &mut Network,
     members: &[NodeId],
@@ -178,20 +184,38 @@ fn vote_round(
     q: usize,
 ) -> BTreeMap<NodeId, SimTime> {
     let _span = ici_telemetry::span!("consensus/vote_round");
-    let mut arrivals: BTreeMap<NodeId, Vec<SimTime>> = BTreeMap::new();
-    for &voter in members {
-        let Some(&at) = send_times.get(&voter) else {
-            continue;
-        };
-        for &dest in members {
+    let work: Vec<(NodeId, SimTime, Network)> = members
+        .iter()
+        .filter_map(|&voter| {
+            send_times
+                .get(&voter)
+                .map(|&at| (voter, at, net.fork(voter.index() as u64)))
+        })
+        .collect();
+    net.advance_stream();
+    let dests: Arc<Vec<NodeId>> = Arc::new(members.to_vec());
+    let broadcasts = ici_par::par_map(work, move |_, (voter, at, mut fork)| {
+        let mut sent: Vec<(NodeId, SimTime)> = Vec::with_capacity(dests.len());
+        for &dest in dests.iter() {
             if dest == voter {
-                arrivals.entry(dest).or_default().push(at);
+                sent.push((dest, at));
                 continue;
             }
-            if let Some(delay) = net.send(voter, dest, MessageKind::Vote, VOTE_BYTES).delay() {
-                arrivals.entry(dest).or_default().push(at + delay);
+            if let Some(delay) = fork
+                .send(voter, dest, MessageKind::Vote, VOTE_BYTES)
+                .delay()
+            {
+                sent.push((dest, at + delay));
             }
         }
+        (sent, fork)
+    });
+    let mut arrivals: BTreeMap<NodeId, Vec<SimTime>> = BTreeMap::new();
+    for (sent, fork) in broadcasts {
+        for (dest, at) in sent {
+            arrivals.entry(dest).or_default().push(at);
+        }
+        net.absorb(fork);
     }
     let mut out = BTreeMap::new();
     for (dest, mut times) in arrivals {
@@ -355,6 +379,24 @@ mod tests {
             o.saturating_since(b),
             Duration::from_millis(1_000),
             "jitter-free run should shift exactly"
+        );
+    }
+
+    #[test]
+    fn commit_times_are_thread_count_invariant_under_jitter() {
+        let m = members(12);
+        let mut run_with = |threads: usize| {
+            ici_par::set_threads(threads);
+            let topo = Topology::generate(12, &Placement::Uniform { side: 20.0 }, 3);
+            let mut net = Network::new(topo, LinkModel::default());
+            let report = run(&mut net, &m, NodeId::new(0));
+            (report.commit_times, net.meter().total().messages)
+        };
+        let serial = run_with(1);
+        let parallel = run_with(4);
+        assert_eq!(
+            serial, parallel,
+            "jittery commit must not depend on threads"
         );
     }
 

@@ -255,10 +255,13 @@ mod tests {
     #[test]
     fn crash_degrades_then_repair_restores() {
         let mut net = network_with_blocks(8);
-        let victim = NodeId::new(0);
+        // Pick the first node actually holding bodies so the test is not
+        // sensitive to how the owner lottery falls for a given seed.
+        let victim = (0..32)
+            .map(NodeId::new)
+            .find(|&n| net.holdings(n).is_some_and(|h| h.body_count() > 0))
+            .expect("some node holds a body");
         let cluster = net.membership().cluster_of(victim);
-        let held = net.holdings(victim).expect("known").body_count();
-        assert!(held > 0, "victim holds nothing; pick another seed");
 
         net.crash_node(victim).expect("known node");
         let degraded = net.audit(cluster);

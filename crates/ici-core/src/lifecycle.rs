@@ -33,6 +33,7 @@ use ici_consensus::leader::elect_live_leader;
 use ici_consensus::pbft::{run_pbft_commit, PbftInputs};
 use ici_crypto::lottery::lottery_score;
 use ici_net::metrics::MessageKind;
+use ici_net::network::Network;
 use ici_net::node::NodeId;
 use ici_net::time::{Duration, SimTime};
 
@@ -183,65 +184,86 @@ impl IciNetwork {
         let cert_bytes = report.quorum as u64 * CERT_ENTRY_BYTES;
 
         // Cross-cluster dissemination: leader → remote leader → remote
-        // cluster (collaborative verify + votes).
+        // cluster (collaborative verify + votes). Each remote cluster runs
+        // against a network fork keyed by its cluster id, so the clusters
+        // execute in parallel yet draw jitter independently of both thread
+        // count and sibling clusters.
         let mut cluster_commits = BTreeMap::new();
         cluster_commits.insert(home, home_commit);
         let mut missed = Vec::new();
-        for other in self.clusters() {
-            if other == home {
-                continue;
-            }
-            let _cluster_span = ici_telemetry::span!("core/remote_commit", cluster = other.get());
-            let remote_members = self.membership.active_members(other);
-            let remote_leader = {
-                let net = &self.net;
-                elect_live_leader(&parent_id, height, &remote_members, |n| net.is_up(n))
-            };
-            let Some(remote_leader) = remote_leader else {
-                missed.push(other);
-                continue;
-            };
-            let Some(delay) = self
-                .net
-                .send(
-                    leader,
-                    remote_leader,
-                    MessageKind::BlockFull,
-                    header_bytes + body_bytes + cert_bytes,
-                )
-                .delay()
-            else {
-                missed.push(other);
-                continue;
-            };
-            // The remote leader checks the commit certificate before
-            // re-proposing locally.
-            let arrival = home_commit + delay + cost.verify_signatures(report.quorum);
-
-            let remote_owners: BTreeSet<NodeId> = self
-                .dispatch_owners(&block_id, height, &remote_members)
-                .into_iter()
-                .collect();
-            let c_remote = remote_members.len();
-            let remote_report = run_pbft_commit(
-                &mut self.net,
-                PbftInputs {
-                    members: &remote_members,
-                    leader: remote_leader,
-                    start: arrival,
-                    payload: |m| {
-                        if remote_owners.contains(&m) {
-                            (MessageKind::BlockBody, header_bytes + body_bytes)
-                        } else {
-                            (MessageKind::BlockHeader, header_bytes)
-                        }
+        let work: Vec<(
+            ClusterId,
+            Vec<NodeId>,
+            Option<NodeId>,
+            BTreeSet<NodeId>,
+            Network,
+        )> = self
+            .clusters()
+            .into_iter()
+            .filter(|&other| other != home)
+            .map(|other| {
+                let remote_members = self.membership.active_members(other);
+                let remote_leader = {
+                    let net = &self.net;
+                    elect_live_leader(&parent_id, height, &remote_members, |n| net.is_up(n))
+                };
+                let remote_owners: BTreeSet<NodeId> = self
+                    .dispatch_owners(&block_id, height, &remote_members)
+                    .into_iter()
+                    .collect();
+                let fork = self.net.fork(u64::from(other.get()));
+                (other, remote_members, remote_leader, remote_owners, fork)
+            })
+            .collect();
+        self.net.advance_stream();
+        let quorum = report.quorum;
+        let remote_results = ici_par::par_map(
+            work,
+            move |_, (other, remote_members, remote_leader, remote_owners, mut fork)| {
+                let _cluster_span =
+                    ici_telemetry::span!("core/remote_commit", cluster = other.get());
+                let Some(remote_leader) = remote_leader else {
+                    return (other, None, fork);
+                };
+                let Some(delay) = fork
+                    .send(
+                        leader,
+                        remote_leader,
+                        MessageKind::BlockFull,
+                        header_bytes + body_bytes + cert_bytes,
+                    )
+                    .delay()
+                else {
+                    return (other, None, fork);
+                };
+                // The remote leader checks the commit certificate before
+                // re-proposing locally.
+                let arrival = home_commit + delay + cost.verify_signatures(quorum);
+                let c_remote = remote_members.len();
+                let remote_report = run_pbft_commit(
+                    &mut fork,
+                    PbftInputs {
+                        members: &remote_members,
+                        leader: remote_leader,
+                        start: arrival,
+                        payload: |m| {
+                            if remote_owners.contains(&m) {
+                                (MessageKind::BlockBody, header_bytes + body_bytes)
+                            } else {
+                                (MessageKind::BlockHeader, header_bytes)
+                            }
+                        },
+                        validation: |_| {
+                            cost.collaborative_member_validation(n_txs, body_bytes, c_remote)
+                        },
                     },
-                    validation: |_| {
-                        cost.collaborative_member_validation(n_txs, body_bytes, c_remote)
-                    },
-                },
-            );
-            match remote_report.quorum_commit() {
+                );
+                (other, remote_report.quorum_commit(), fork)
+            },
+        );
+        for (other, commit, fork) in remote_results {
+            self.net.absorb(fork);
+            match commit {
                 Some(t) => {
                     cluster_commits.insert(other, t);
                 }

@@ -71,19 +71,22 @@ impl IciNetwork {
         }
 
         // One contiguous height slice per live member, exactly like the
-        // signature split in collaborative verification.
+        // signature split in collaborative verification. The slices are
+        // walked on the main thread (cheap holder lookups); the Merkle
+        // re-derivations — the expensive part — fan out per height.
+        let mut work = Vec::new();
         for (start, end) in split_ranges(chain_len, members.len()) {
             for height in start..end {
                 let height = height as Height; // lint:allow(cast) -- usize height widens losslessly
-                let holders: Vec<_> = members
+                let holders = members
                     .iter()
                     .filter(|m| {
                         self.holdings
                             .get(m.index())
                             .is_some_and(|h| h.has_body(height))
                     })
-                    .collect();
-                if holders.is_empty() {
+                    .count();
+                if holders == 0 {
                     report.missing.push(height);
                     continue;
                 }
@@ -91,32 +94,39 @@ impl IciNetwork {
                     report.missing.push(height);
                     continue;
                 };
-                report.heights_checked += 1;
-
-                // Every live replica is re-hashed: a holder whose disk
-                // diverged from the commitment would fail here.
-                let tree = block.tx_tree();
-                report.shards_verified += holders.len();
-                if tree.root() != block.header().tx_root {
-                    report.root_mismatches.push(height);
-                    continue;
-                }
-
-                // Spot-check one inclusion proof per non-empty block, the
-                // height-keyed representative transaction.
-                let tx_count = block.transactions().len();
-                if tx_count > 0 {
-                    let index = (height as usize) % tx_count; // lint:allow(cast) -- modulo keeps it in range
-                    let proved = tree.prove(index).is_some_and(|proof| {
-                        let tx = &block.transactions()[index];
-                        proof.verify(&tx.to_bytes(), block.header().tx_root)
-                    });
-                    if proved {
-                        report.proofs_checked += 1;
-                    } else {
-                        report.root_mismatches.push(height);
-                    }
-                }
+                work.push((height, holders, block.clone()));
+            }
+        }
+        let outcomes = ici_par::par_map(work, |_, (height, holders, block)| {
+            // Every live replica is re-hashed: a holder whose disk
+            // diverged from the commitment would fail here.
+            let tree = block.tx_tree();
+            if tree.root() != block.header().tx_root {
+                return (height, holders, false, false);
+            }
+            // Spot-check one inclusion proof per non-empty block, the
+            // height-keyed representative transaction.
+            let tx_count = block.transactions().len();
+            if tx_count == 0 {
+                return (height, holders, true, false);
+            }
+            let index = (height as usize) % tx_count; // lint:allow(cast) -- modulo keeps it in range
+            let proved = tree.prove(index).is_some_and(|proof| {
+                block
+                    .transactions()
+                    .get(index)
+                    .is_some_and(|tx| proof.verify(&tx.to_bytes(), block.header().tx_root))
+            });
+            (height, holders, proved, proved)
+        });
+        for (height, holders, clean, proved) in outcomes {
+            report.heights_checked += 1;
+            report.shards_verified += holders;
+            if !clean {
+                report.root_mismatches.push(height);
+            }
+            if proved {
+                report.proofs_checked += 1;
             }
         }
         report.root_mismatches.sort_unstable();

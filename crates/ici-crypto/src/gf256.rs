@@ -20,6 +20,29 @@ struct Tables {
 
 const TABLES: Tables = build_tables();
 
+/// Full multiplication table: `MUL[a][b] = a · b` in GF(2^8).
+///
+/// Row `a` is the image of the whole field under multiplication by `a`,
+/// so slice kernels ([`mul_slice`], [`mul_acc`]) borrow one row per
+/// scalar and do a single 1-D lookup per byte instead of two log/exp
+/// lookups plus an add. 64 KiB, built at compile time.
+static MUL: [[u8; 256]; 256] = build_mul_table();
+
+const fn build_mul_table() -> [[u8; 256]; 256] {
+    let mut table = [[0u8; 256]; 256];
+    let mut a = 1usize; // row 0 and column 0 stay zero
+    while a < 256 {
+        let log_a = TABLES.log[a] as usize;
+        let mut b = 1usize;
+        while b < 256 {
+            table[a][b] = TABLES.exp[log_a + TABLES.log[b] as usize];
+            b += 1;
+        }
+        a += 1;
+    }
+    table
+}
+
 const fn build_tables() -> Tables {
     let mut exp = [0u8; 512];
     let mut log = [0u8; 256];
@@ -152,11 +175,35 @@ pub fn mul_acc(acc: &mut [u8], src: &[u8], scalar: Gf256) {
         }
         return;
     }
-    let log_s = TABLES.log[scalar.0 as usize] as usize;
+    let row = &MUL[scalar.0 as usize];
     for (a, s) in acc.iter_mut().zip(src) {
-        if *s != 0 {
-            *a ^= TABLES.exp[log_s + TABLES.log[*s as usize] as usize];
+        *a ^= row[*s as usize];
+    }
+}
+
+/// Multiplies a byte slice by a scalar into `dst`: `dst[i] = scalar * src[i]`,
+/// overwriting `dst`. Only the overlapping prefix (`min` of the two lengths)
+/// is processed, so the function has no panic path.
+///
+/// Like [`mul_acc`] this borrows one [`MUL`] table row per call and does a
+/// single 1-D lookup per byte — the shape the Reed–Solomon inner loop wants
+/// when it writes a fresh output stripe.
+pub fn mul_slice(scalar: Gf256, src: &[u8], dst: &mut [u8]) {
+    if scalar.0 == 0 {
+        for d in dst.iter_mut().take(src.len()) {
+            *d = 0;
         }
+        return;
+    }
+    if scalar.0 == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = *s;
+        }
+        return;
+    }
+    let row = &MUL[scalar.0 as usize];
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = row[*s as usize];
     }
 }
 
@@ -258,6 +305,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mul_table_rows_match_reference_exhaustively() {
+        for a in 0..=255u8 {
+            let row = &MUL[a as usize];
+            for b in 0..=255u8 {
+                assert_eq!(row[b as usize], slow_mul(a, b), "MUL[{a}][{b}]");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_slice_matches_naive_per_byte_for_every_scalar() {
+        let src: Vec<u8> = (0..256).map(|i| (i * 13 + 5) as u8).collect();
+        for scalar in 0..=255u8 {
+            let mut dst = vec![0x5Au8; src.len()];
+            mul_slice(Gf256(scalar), &src, &mut dst);
+            let naive: Vec<u8> = src.iter().map(|&s| slow_mul(scalar, s)).collect();
+            assert_eq!(dst, naive, "scalar {scalar}");
+        }
+    }
+
+    #[test]
+    fn mul_slice_stops_at_the_shorter_slice() {
+        let src = [2u8, 3, 4];
+        let mut dst = [0xFFu8; 5];
+        mul_slice(Gf256(2), &src, &mut dst);
+        assert_eq!(&dst[..3], &[4, 6, 8]);
+        assert_eq!(&dst[3..], &[0xFF, 0xFF], "tail untouched");
+        let mut short = [0u8; 2];
+        mul_slice(Gf256(1), &src, &mut short);
+        assert_eq!(short, [2, 3]);
     }
 
     #[test]

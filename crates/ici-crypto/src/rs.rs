@@ -29,8 +29,14 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::gf256::{mul_acc, Gf256};
+
+/// Byte-stripe width for intra-shard parallelism. The stripe geometry
+/// depends only on the shard length (never the thread count), so
+/// striped and unstriped encodings are byte-identical.
+const STRIPE_BYTES: usize = 8192;
 
 /// Errors produced by Reed–Solomon operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -166,24 +172,65 @@ impl ReedSolomon {
         if shard_len == 0 || data.iter().any(|s| s.len() != shard_len) {
             return Err(RsError::InconsistentShardLength);
         }
-        Ok(self.parity_for(data, shard_len))
+        Ok(self.parity_for(Arc::new(data.to_vec()), shard_len))
     }
 
     /// Parity computation core; callers have already validated that `data`
     /// holds exactly `k` shards of `shard_len > 0` bytes each.
-    fn parity_for(&self, data: &[Vec<u8>], shard_len: usize) -> Vec<Vec<u8>> {
-        let xs: Vec<u8> = (0..self.data_shards as u16).map(|x| x as u8).collect();
-        let mut parity = Vec::with_capacity(self.parity_shards);
-        for p in 0..self.parity_shards {
-            let target = (self.data_shards + p) as u8;
-            let row = ReedSolomon::lagrange_row(&xs, target);
-            let mut shard = vec![0u8; shard_len];
-            for (j, coeff) in row.iter().enumerate() {
-                mul_acc(&mut shard, &data[j], *coeff);
+    ///
+    /// Runs on the `ici-par` pool. Two work decompositions, both
+    /// byte-identical to the serial row loop: one task per parity shard
+    /// when there are enough rows to fill the pool, otherwise one task
+    /// per [`STRIPE_BYTES`]-wide byte stripe (each computing every
+    /// parity row for its stripe). XOR accumulation is per-byte
+    /// independent, so stripe boundaries never change the output.
+    fn parity_for(&self, data: Arc<Vec<Vec<u8>>>, shard_len: usize) -> Vec<Vec<u8>> {
+        let k = self.data_shards;
+        let m = self.parity_shards;
+        let xs: Vec<u8> = (0..k as u16).map(|x| x as u8).collect();
+        let rows: Arc<Vec<Vec<Gf256>>> = Arc::new(
+            (0..m)
+                .map(|p| ReedSolomon::lagrange_row(&xs, (k + p) as u8))
+                .collect(),
+        );
+        if m < ici_par::threads() && shard_len >= 2 * STRIPE_BYTES {
+            let starts: Vec<usize> = (0..shard_len).step_by(STRIPE_BYTES).collect();
+            let stripes: Vec<Vec<Vec<u8>>> = ici_par::par_map(starts, move |_, start| {
+                let end = (start + STRIPE_BYTES).min(shard_len);
+                rows.iter()
+                    .map(|row| {
+                        let mut out = vec![0u8; end - start];
+                        for (j, coeff) in row.iter().enumerate() {
+                            if let Some(src) = data.get(j).and_then(|s| s.get(start..end)) {
+                                mul_acc(&mut out, src, *coeff);
+                            }
+                        }
+                        out
+                    })
+                    .collect()
+            });
+            let mut parity: Vec<Vec<u8>> = (0..m).map(|_| Vec::with_capacity(shard_len)).collect();
+            for stripe in stripes {
+                for (p, part) in stripe.into_iter().enumerate() {
+                    if let Some(shard) = parity.get_mut(p) {
+                        shard.extend_from_slice(&part);
+                    }
+                }
             }
-            parity.push(shard);
+            parity
+        } else {
+            ici_par::par_map((0..m).collect(), move |_, p| {
+                let mut shard = vec![0u8; shard_len];
+                if let Some(row) = rows.get(p) {
+                    for (j, coeff) in row.iter().enumerate() {
+                        if let Some(src) = data.get(j) {
+                            mul_acc(&mut shard, src, *coeff);
+                        }
+                    }
+                }
+                shard
+            })
         }
-        parity
     }
 
     /// Splits `payload` into `k` equal data shards (zero-padded) and appends
@@ -207,8 +254,16 @@ impl ReedSolomon {
             shards.push(shard);
         }
         // The shards built above are k equal-length non-empty rows, so the
-        // parity core's precondition holds by construction.
-        let parity = self.parity_for(&shards, shard_len);
+        // parity core's precondition holds by construction. The Arc shares
+        // the data shards with pool workers; by the time `parity_for`
+        // returns every worker clone is dropped, so `try_unwrap` recovers
+        // them without a copy (the clone branch is a cold safety net).
+        let shards = Arc::new(shards);
+        let parity = self.parity_for(Arc::clone(&shards), shard_len);
+        let mut shards = match Arc::try_unwrap(shards) {
+            Ok(shards) => shards,
+            Err(arc) => (*arc).clone(),
+        };
         shards.extend(parity);
         shards
     }
@@ -257,17 +312,55 @@ impl ReedSolomon {
         let missing: Vec<usize> = (0..self.total_shards())
             .filter(|i| shards[*i].is_none())
             .collect();
-        for target in missing {
-            let row = ReedSolomon::lagrange_row(&xs, target as u8);
+        if missing.is_empty() {
+            return Ok(());
+        }
+        // Move (not copy) the basis shards into shared storage for the
+        // workers; they are restored unchanged below. Basis indices come
+        // from `present` and are never erased, so every take hits.
+        let mut basis_data: Vec<Vec<u8>> = Vec::with_capacity(basis.len());
+        for &idx in &basis {
+            basis_data.push(
+                shards
+                    .get_mut(idx)
+                    .and_then(|slot| slot.take())
+                    .unwrap_or_default(),
+            );
+        }
+        let basis_data = Arc::new(basis_data);
+        let rows: Arc<Vec<Vec<Gf256>>> = Arc::new(
+            missing
+                .iter()
+                .map(|&target| ReedSolomon::lagrange_row(&xs, target as u8))
+                .collect(),
+        );
+        let data = Arc::clone(&basis_data);
+        // One task per missing shard, gathered in `missing` order —
+        // byte-identical to the serial target loop.
+        let rebuilt: Vec<Vec<u8>> = ici_par::par_map(missing.clone(), move |idx, _target| {
             let mut out = vec![0u8; shard_len];
-            for (j, &src_idx) in basis.iter().enumerate() {
-                // Basis indices come from `present` and are never erased
-                // (targets are drawn from `missing`), so this always hits.
-                if let Some(src) = &shards[src_idx] {
-                    mul_acc(&mut out, src, row[j]);
+            if let Some(row) = rows.get(idx) {
+                for (j, coeff) in row.iter().enumerate() {
+                    if let Some(src) = data.get(j) {
+                        mul_acc(&mut out, src, *coeff);
+                    }
                 }
             }
-            shards[target] = Some(out);
+            out
+        });
+        let basis_data = match Arc::try_unwrap(basis_data) {
+            Ok(data) => data,
+            Err(arc) => (*arc).clone(),
+        };
+        for (&idx, shard) in basis.iter().zip(basis_data) {
+            if let Some(slot) = shards.get_mut(idx) {
+                *slot = Some(shard);
+            }
+        }
+        for (&target, shard) in missing.iter().zip(rebuilt) {
+            if let Some(slot) = shards.get_mut(target) {
+                *slot = Some(shard);
+            }
         }
         Ok(())
     }

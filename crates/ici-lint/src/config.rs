@@ -32,6 +32,7 @@ impl Default for Config {
                 "ici-storage",
                 "ici-crypto",
                 "ici-net",
+                "ici-par",
                 "ici-telemetry",
                 "ici-faults",
             ]

@@ -6,6 +6,7 @@
 //! delivery event.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use crate::faults::{FaultConfig, SendFault};
 use crate::link::LinkModel;
@@ -41,9 +42,13 @@ impl SendOutcome {
 }
 
 /// A simulated network over `n` nodes.
+///
+/// The topology is shared behind an [`Arc`] so [`Network::fork`] is
+/// cheap enough to call per protocol actor (no per-fork copy of the
+/// node placement).
 #[derive(Clone, Debug)]
 pub struct Network {
-    topology: Topology,
+    topology: Arc<Topology>,
     link: LinkModel,
     meter: TrafficMeter,
     down: HashSet<NodeId>,
@@ -51,11 +56,19 @@ pub struct Network {
     seq: u64,
 }
 
+/// SplitMix64 finalizer: decorrelates forked sequence streams.
+fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl Network {
     /// Builds a network over `topology` with the given link model.
     pub fn new(topology: Topology, link: LinkModel) -> Network {
         Network {
-            topology,
+            topology: Arc::new(topology),
             link,
             meter: TrafficMeter::new(),
             down: HashSet::new(),
@@ -204,7 +217,42 @@ impl Network {
 
     /// Adds a node at `coord` (e.g. a bootstrapping joiner). Returns its id.
     pub fn join(&mut self, coord: Coord) -> NodeId {
-        self.topology.push(coord)
+        Arc::make_mut(&mut self.topology).push(coord)
+    }
+
+    /// Forks a child network for an independent protocol actor (e.g. one
+    /// PBFT voter), sharing the topology and carrying the parent's
+    /// liveness and fault state, with a fresh meter and a sequence
+    /// stream derived from `(parent seq, stream)`.
+    ///
+    /// The derivation depends only on the parent's sequence position and
+    /// the caller-chosen `stream` id, so a batch of forks taken at one
+    /// protocol point is deterministic no matter how many threads later
+    /// execute them. Call [`Network::advance_stream`] once after taking
+    /// a batch so subsequent parent traffic draws fresh randomness, and
+    /// fold each child's traffic back with [`Network::absorb`].
+    pub fn fork(&mut self, stream: u64) -> Network {
+        Network {
+            topology: Arc::clone(&self.topology),
+            link: self.link.clone(),
+            meter: TrafficMeter::new(),
+            down: self.down.clone(),
+            faults: self.faults.clone(),
+            seq: mix(self.seq ^ mix(stream.wrapping_add(1))),
+        }
+    }
+
+    /// Merges a forked child's traffic meter back into this network.
+    /// Absorb children in a deterministic order (e.g. stream id) so the
+    /// aggregate meter is scheduling-independent.
+    pub fn absorb(&mut self, child: Network) {
+        self.meter.merge(&child.meter);
+    }
+
+    /// Advances the sequence stream past a fork batch so traffic after
+    /// the batch is decorrelated from traffic inside it.
+    pub fn advance_stream(&mut self) {
+        self.seq = mix(self.seq);
     }
 }
 
@@ -285,6 +333,48 @@ mod tests {
             .send(id, NodeId::new(0), MessageKind::Bootstrap, 10)
             .delay()
             .is_some());
+    }
+
+    #[test]
+    fn forks_are_stream_deterministic_and_independent() {
+        let mut jittery = {
+            let topo = Topology::generate(6, &Placement::Uniform { side: 50.0 }, 7);
+            Network::new(topo, LinkModel::default())
+        };
+        let replay = |net: &mut Network| {
+            let mut delays = Vec::new();
+            let mut children: Vec<Network> = (0..4).map(|s| net.fork(s)).collect();
+            net.advance_stream();
+            for child in &mut children {
+                for dest in 1..6 {
+                    let out = child.send(NodeId::new(0), NodeId::new(dest), MessageKind::Vote, 8);
+                    delays.push(out.delay());
+                }
+            }
+            for child in children {
+                net.absorb(child);
+            }
+            delays
+        };
+        let first = replay(&mut jittery.fork(99));
+        let again = replay(&mut jittery.fork(99));
+        assert_eq!(first, again, "same stream id must replay identically");
+        let other = replay(&mut jittery.fork(100));
+        assert_ne!(first, other, "distinct streams should decorrelate jitter");
+    }
+
+    #[test]
+    fn absorb_folds_child_traffic_into_the_parent_meter() {
+        let mut parent = net(4);
+        parent.send(NodeId::new(0), NodeId::new(1), MessageKind::Vote, 10);
+        let mut child = parent.fork(0);
+        parent.advance_stream();
+        child.send(NodeId::new(1), NodeId::new(2), MessageKind::Vote, 20);
+        child.send(NodeId::new(2), NodeId::new(3), MessageKind::BlockFull, 30);
+        assert_eq!(child.meter().total().messages, 2);
+        parent.absorb(child);
+        assert_eq!(parent.meter().total().messages, 3);
+        assert_eq!(parent.meter().total().bytes, 60);
     }
 
     #[test]

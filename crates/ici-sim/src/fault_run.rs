@@ -344,6 +344,24 @@ mod tests {
     }
 
     #[test]
+    fn fault_summary_is_thread_count_invariant_under_jitter() {
+        let jittery = IciConfig::builder()
+            .nodes(24)
+            .cluster_size(8)
+            .replication(2)
+            .seed(7)
+            .build()
+            .expect("valid");
+        ici_par::set_threads(1);
+        let (_, serial) =
+            run_ici_under_faults(jittery.clone(), 4, workload(), profile(11)).expect("plan");
+        ici_par::set_threads(4);
+        let (_, parallel) =
+            run_ici_under_faults(jittery, 4, workload(), profile(11)).expect("plan");
+        assert_eq!(serial, parallel, "fault run must not depend on threads");
+    }
+
+    #[test]
     fn guaranteed_cycles_cover_every_cluster() {
         let (_, summary) = run_ici_under_faults(config(), 4, workload(), profile(5)).expect("plan");
         assert_eq!(summary.cycles_per_cluster.len(), summary.clusters);

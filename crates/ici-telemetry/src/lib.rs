@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flame;
 pub mod hist;
 pub mod registry;
 pub mod snapshot;
@@ -55,8 +56,11 @@ pub mod span;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+pub use flame::render_flamegraph;
 pub use hist::Histogram;
-pub use registry::{counter_add, gauge_set, observe, EVENT_CAPACITY};
+pub use registry::{
+    counter_add, drain_delta, gauge_set, merge_delta, observe, TelemetryDelta, EVENT_CAPACITY,
+};
 pub use snapshot::{
     reset, snapshot, CounterEntry, EventEntry, GaugeEntry, HistogramEntry, SpanEntry,
     TelemetrySnapshot,

@@ -12,8 +12,11 @@ cargo fmt --all -- --check
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test"
-cargo test -q --workspace
+echo "==> cargo test (serial pool, ICI_PAR_THREADS=1)"
+ICI_PAR_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test (4-wide pool, ICI_PAR_THREADS=4)"
+ICI_PAR_THREADS=4 cargo test -q --workspace
 
 echo "==> ici-lint"
 cargo run -q -p ici-lint
@@ -71,5 +74,47 @@ print(f"    fault telemetry OK: {len(gauges)} live-node gauge rows")
 EOF
 # Restore the deterministic (telemetry-free) record the repo commits.
 cargo run -q --release -p ici-bench --bin e_fault -- --seed 42 >/dev/null
+
+echo "==> thread-count determinism (E-fault, pinned seed, 1 vs 4 threads)"
+ICI_PAR_THREADS=1 cargo run -q --release -p ici-bench --bin e_fault -- --seed 42 >/dev/null
+cp results/e_fault.json results/e_fault.serial.json
+ICI_PAR_THREADS=4 cargo run -q --release -p ici-bench --bin e_fault -- --seed 42 >/dev/null
+cmp results/e_fault.serial.json results/e_fault.json
+rm results/e_fault.serial.json
+echo "    determinism OK: e_fault.json byte-identical at 1 and 4 threads"
+
+echo "==> parallel speedup bench (E1 + E7, 1 vs 4 threads)"
+bench_wall() { # bench_wall <bin> <threads> -> seconds (wall clock)
+    local start end
+    start=$(python3 -c 'import time; print(time.monotonic())')
+    ICI_PAR_THREADS="$2" cargo run -q --release -p ici-bench --bin "$1" >/dev/null
+    end=$(python3 -c 'import time; print(time.monotonic())')
+    python3 -c "print(f'{$end - $start:.3f}')"
+}
+E1_SERIAL=$(bench_wall e1_storage 1)
+E1_PAR=$(bench_wall e1_storage 4)
+E7_SERIAL=$(bench_wall e7_throughput 1)
+E7_PAR=$(bench_wall e7_throughput 4)
+python3 - "$E1_SERIAL" "$E1_PAR" "$E7_SERIAL" "$E7_PAR" <<'EOF'
+import json, os, sys
+e1s, e1p, e7s, e7p = map(float, sys.argv[1:5])
+record = {
+    "id": "BENCH_par",
+    "title": "ici-par wall-clock: serial vs 4-wide pool",
+    "host_cpus": os.cpu_count(),
+    "runs": [
+        {"bin": "e1_storage", "serial_s": e1s, "parallel_s": e1p,
+         "speedup": round(e1s / e1p, 3) if e1p > 0 else None},
+        {"bin": "e7_throughput", "serial_s": e7s, "parallel_s": e7p,
+         "speedup": round(e7s / e7p, 3) if e7p > 0 else None},
+    ],
+}
+with open("results/BENCH_par.json", "w") as f:
+    json.dump(record, f, indent=2)
+    f.write("\n")
+for run in record["runs"]:
+    print(f"    {run['bin']}: {run['serial_s']:.2f}s serial, "
+          f"{run['parallel_s']:.2f}s at 4 threads ({run['speedup']}x)")
+EOF
 
 echo "==> all green"
