@@ -169,62 +169,134 @@ impl RapidChainNetwork {
         shard: usize,
         pending: Vec<Transaction>,
     ) -> Option<&BaselineCommitRecord> {
-        let committee: Vec<NodeId> = self.committee(shard).to_vec();
-        let parent = *self.shard_chains[shard].last().expect("genesis").header();
+        match self.propose_round(vec![(shard, pending)]).first() {
+            Some(Some(_)) => self.commit_log.last(),
+            _ => None,
+        }
+    }
+
+    /// Commits one block per entry of `batches` (shard id, pending txs),
+    /// with every shard's proposal running concurrently on the `ici-par`
+    /// pool — committees are disjoint, so shards only meet at the meter.
+    ///
+    /// Each proposal runs on a [`Network::fork`] (stream = shard id), which
+    /// doubles as its **per-record traffic meter**: the fork starts at zero,
+    /// so its totals are exactly the commit's messages/bytes, with no
+    /// before/after diff against the shared meter — the coupling that used
+    /// to force shards to commit one at a time. Forks are absorbed and
+    /// results applied in `batches` order, so the commit log and aggregate
+    /// meter are identical at any `ICI_PAR_THREADS`.
+    ///
+    /// Entries must name distinct shards: a duplicate builds on the parent
+    /// snapshotted before the round, fails the apply-time parent check, and
+    /// reports `None`. Returns each entry's committed height.
+    pub fn propose_round(
+        &mut self,
+        batches: Vec<(usize, Vec<Transaction>)>,
+    ) -> Vec<Option<Height>> {
+        struct ShardJob {
+            shard: usize,
+            committee: Vec<NodeId>,
+            parent: BlockHeader,
+            state: WorldState,
+            clock: SimTime,
+            pending: Vec<Transaction>,
+            fork: Network,
+        }
+        let jobs: Vec<ShardJob> = batches
+            .into_iter()
+            .map(|(shard, pending)| ShardJob {
+                committee: self.committee(shard).to_vec(),
+                parent: *self.shard_chains[shard].last().expect("genesis").header(),
+                state: self.shard_states[shard].clone(),
+                clock: self.shard_clocks[shard],
+                fork: self.net.fork(shard as u64),
+                shard,
+                pending,
+            })
+            .collect();
+        self.net.advance_stream();
+        let cost = self.config.cost.clone();
+        let ida = self.config.ida.clone();
+        let outcomes = ici_par::par_map(jobs, move |_, job| {
+            let mut fork = job.fork;
+            let result = RapidChainNetwork::propose_in(
+                &mut fork,
+                &cost,
+                &ida,
+                &job.committee,
+                job.parent,
+                &job.state,
+                job.clock,
+                job.pending,
+            );
+            (job.shard, result, fork)
+        });
+        let mut heights = Vec::with_capacity(outcomes.len());
+        for (shard, result, fork) in outcomes {
+            self.net.absorb(fork);
+            let applied = result.and_then(|(block, post, record)| {
+                let tip = self.shard_chains[shard].last().expect("genesis").id();
+                (block.header().parent == tip).then(|| {
+                    let height = record.height;
+                    self.shard_states[shard] = post;
+                    self.shard_chains[shard].push(block);
+                    self.shard_clocks[shard] = record.network_commit;
+                    self.clock = self.clock.max(record.network_commit);
+                    self.commit_log.push(record);
+                    height
+                })
+            });
+            heights.push(applied);
+        }
+        heights
+    }
+
+    /// One shard's proposal against its forked network; `net`'s meter
+    /// starts empty, so its totals become the commit record's traffic.
+    #[allow(clippy::too_many_arguments)]
+    fn propose_in(
+        net: &mut Network,
+        cost: &CostModel,
+        ida: &IdaConfig,
+        committee: &[NodeId],
+        parent: BlockHeader,
+        state: &WorldState,
+        clock: SimTime,
+        pending: Vec<Transaction>,
+    ) -> Option<(Block, WorldState, BaselineCommitRecord)> {
         let parent_id = parent.id();
         let height = parent.height + 1;
-        let leader = {
-            let net = &self.net;
-            elect_live_leader(&parent_id, height, &committee, |n| net.is_up(n))?
-        };
+        let leader = elect_live_leader(&parent_id, height, committee, |n| net.is_up(n))?;
 
-        let timestamp_ms = (parent.timestamp_ms + 1).max(self.shard_clocks[shard].as_millis());
-        let mut builder = BlockBuilder::new(
-            &parent,
-            self.shard_states[shard].clone(),
-            leader.get(),
-            timestamp_ms,
-        );
+        let timestamp_ms = (parent.timestamp_ms + 1).max(clock.as_millis());
+        let mut builder = BlockBuilder::new(&parent, state.clone(), leader.get(), timestamp_ms);
         builder.fill(pending);
         let block = builder.seal();
         let n_txs = block.transactions().len();
         let body_bytes = block.body_len() as u64;
 
-        let meter_before = self.net.meter().total();
-        let build_cost =
-            self.config.cost.apply_transactions(n_txs) + self.config.cost.hash(body_bytes);
-        let start = self.shard_clocks[shard] + build_cost;
+        let build_cost = cost.apply_transactions(n_txs) + cost.hash(body_bytes);
+        let start = clock + build_cost;
 
         // IDA-gossip dissemination, then full solo validation per member.
-        let reconstruct = run_ida_dissemination(
-            &mut self.net,
-            &committee,
-            leader,
-            start,
-            body_bytes,
-            &self.config.ida,
-        );
-        let validation = self.config.cost.solo_block_validation(n_txs, body_bytes);
+        let reconstruct = run_ida_dissemination(net, committee, leader, start, body_bytes, ida);
+        let validation = cost.solo_block_validation(n_txs, body_bytes);
         let ready: std::collections::BTreeMap<NodeId, SimTime> = reconstruct
             .into_iter()
             .map(|(n, t)| (n, t + validation))
             .collect();
 
         let q = quorum(committee.len());
-        let committed = run_vote_rounds(&mut self.net, &committee, &ready, q, 2);
+        let committed = run_vote_rounds(net, committee, &ready, q, 2);
         if committed.len() < q {
             return None;
         }
         let network_commit = committed.values().max().copied()?;
 
-        let post = validate_block(&block, &parent, &self.shard_states[shard]).ok()?;
-        self.shard_states[shard] = post;
-        self.shard_chains[shard].push(block);
-        self.shard_clocks[shard] = network_commit;
-        self.clock = self.clock.max(network_commit);
-
-        let meter_after = self.net.meter().total();
-        self.commit_log.push(BaselineCommitRecord {
+        let post = validate_block(&block, &parent, state).ok()?;
+        let traffic = net.meter().total();
+        let record = BaselineCommitRecord {
             height,
             proposer: leader,
             proposed_at: start,
@@ -232,10 +304,10 @@ impl RapidChainNetwork {
             reached: committed.len(),
             tx_count: n_txs as u32,
             body_bytes,
-            messages: meter_after.messages - meter_before.messages,
-            bytes: meter_after.bytes - meter_before.bytes,
-        });
-        self.commit_log.last()
+            messages: traffic.messages,
+            bytes: traffic.bytes,
+        };
+        Some((block, post, record))
     }
 
     /// Charges the relay traffic of a cross-shard transaction of

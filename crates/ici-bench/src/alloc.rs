@@ -1,0 +1,125 @@
+//! Opt-in allocation accounting for the experiment binaries.
+//!
+//! Linking `ici-bench` installs [`CountingAlloc`] as the process global
+//! allocator: a zero-configuration wrapper around [`System`] that
+//! counts every allocation and requested byte in two relaxed atomics.
+//! The counters always run (two uncontended atomic adds per
+//! allocation); *reporting* is opt-in via `ICI_ALLOC_STATS=1`, which
+//! makes [`crate::emit`] print a machine-readable `ALLOC_STATS` line
+//! after the tables. The line goes to stdout only — it never enters the
+//! archived `results/*.json`, so committed experiment records stay
+//! byte-identical whether or not accounting is enabled.
+//!
+//! This is the one file in the workspace allowed to use `unsafe`:
+//! implementing [`GlobalAlloc`] is impossible without it, and the
+//! wrapper adds no invariants of its own — every call forwards verbatim
+//! to [`System`]. The carve-out is explicit in `lint.toml`
+//! (`unsafe_files`), and the crate root still carries
+//! `#![deny(unsafe_code)]` so nothing outside this file can follow.
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// [`System`] wrapper that counts allocations and requested bytes.
+///
+/// `dealloc` is deliberately uncounted: the interesting signal for the
+/// zero-copy work is how much the process *asks for*, not its live set.
+/// `realloc` counts as one allocation of the new size (the common grow
+/// path allocates-and-copies under the hood).
+pub struct CountingAlloc;
+
+// SAFETY: pure pass-through to `System`; the atomics touch no
+// allocator state.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A snapshot of the process-wide allocation counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Allocations since process start (alloc + alloc_zeroed + realloc).
+    pub count: u64,
+    /// Bytes requested across those allocations.
+    pub bytes: u64,
+}
+
+/// Reads the counters. Monotonic within a process; never reset.
+pub fn stats() -> AllocStats {
+    AllocStats {
+        count: ALLOC_COUNT.load(Ordering::Relaxed),
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Whether `ICI_ALLOC_STATS=1` is set for this process.
+pub fn enabled() -> bool {
+    std::env::var("ICI_ALLOC_STATS").is_ok_and(|v| v == "1")
+}
+
+/// Prints the `ALLOC_STATS` line for experiment `id` when enabled.
+///
+/// Format (one line, stdout): `ALLOC_STATS id=<id> count=<n> bytes=<n>`.
+/// `scripts/ci.sh` parses this into `results/BENCH_alloc.json`.
+pub fn report(id: &str) {
+    if !enabled() {
+        return;
+    }
+    let s = stats();
+    println!("ALLOC_STATS id={id} count={} bytes={}", s.count, s.bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_observe_heap_traffic() {
+        let before = stats();
+        let v: Vec<u64> = Vec::with_capacity(1024);
+        let after = stats();
+        drop(v);
+        assert!(after.count > before.count, "allocation was not counted");
+        assert!(
+            after.bytes - before.bytes >= 8 * 1024,
+            "byte counter missed the 8 KiB buffer: {} -> {}",
+            before.bytes,
+            after.bytes
+        );
+    }
+
+    #[test]
+    fn stats_are_monotonic() {
+        let a = stats();
+        let _touch = vec![0u8; 64];
+        let b = stats();
+        assert!(b.count >= a.count && b.bytes >= a.bytes);
+    }
+}

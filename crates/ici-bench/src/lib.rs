@@ -13,9 +13,13 @@
 //! Results print as ASCII tables and are archived as JSON under
 //! `results/`.
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the `alloc` module can carve out the one
+// `GlobalAlloc` impl the counting allocator needs; see lint.toml
+// `unsafe_files`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod harness;
 
 use std::path::PathBuf;
@@ -133,6 +137,7 @@ pub fn emit(id: &str, title: &str, params: &str, tables: &[&Table]) {
         Ok(()) => println!("[saved {}]\n", path.display()),
         Err(e) => eprintln!("[warn: could not save {}: {e}]", path.display()),
     }
+    alloc::report(id);
 }
 
 /// Prints the `n` spans with the largest self time, one line each.

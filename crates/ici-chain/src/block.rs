@@ -8,11 +8,14 @@
 //! later.
 
 use std::fmt;
+use std::sync::Arc;
+use std::sync::OnceLock;
 
 use ici_crypto::merkle::MerkleTree;
-use ici_crypto::sha256::{double_sha256, Digest};
+use ici_crypto::sha256::Digest;
 
 use crate::codec::{CodecError, Decode, Encode, Reader, Writer};
+use crate::hashing;
 use crate::transaction::Transaction;
 
 /// A block identifier: the double-SHA-256 of the header encoding.
@@ -49,9 +52,10 @@ impl BlockHeader {
     /// Encoded size of a header in bytes.
     pub const ENCODED_LEN: usize = 8 + 32 + 32 + 32 + 8 + 8 + 8 + 4 + 4;
 
-    /// The header id (double-SHA-256 of the encoding).
+    /// The header id (double-SHA-256 of the encoding), computed by
+    /// streaming the encoding into the hasher — no intermediate buffer.
     pub fn id(&self) -> BlockId {
-        double_sha256(&self.to_bytes())
+        hashing::double_sha256_encodable(self)
     }
 }
 
@@ -90,11 +94,28 @@ impl Decode for BlockHeader {
 }
 
 /// A full block: header plus transaction body.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// The body lives behind an `Arc<[Transaction]>` so store reads, PBFT
+/// dissemination, and storage assignment share one allocation instead
+/// of cloning; cloning a `Block` is a reference-count bump. The block
+/// id is computed once on first use and cached (construction-only
+/// immutability: no method mutates the header after assembly).
+#[derive(Clone)]
 pub struct Block {
     header: BlockHeader,
-    transactions: Vec<Transaction>,
+    transactions: Arc<[Transaction]>,
+    /// Lazily computed header id. Cloning carries the cache along;
+    /// deliberately excluded from `PartialEq` (it is derived state).
+    id_cache: OnceLock<BlockId>,
 }
+
+impl PartialEq for Block {
+    fn eq(&self, other: &Block) -> bool {
+        self.header == other.header && self.transactions == other.transactions
+    }
+}
+
+impl Eq for Block {}
 
 impl Block {
     /// Assembles a block, computing `tx_root`, `tx_count`, and `body_len`
@@ -114,7 +135,8 @@ impl Block {
             .sum::<usize>() as u32;
         Block {
             header,
-            transactions,
+            transactions: transactions.into(),
+            id_cache: OnceLock::new(),
         }
     }
 
@@ -128,6 +150,20 @@ impl Block {
     pub fn from_parts(
         header: BlockHeader,
         transactions: Vec<Transaction>,
+    ) -> Result<Block, BlockIntegrityError> {
+        Block::from_shared_parts(header, transactions.into())
+    }
+
+    /// [`Block::from_parts`] over an already-shared body: validates the
+    /// commitments without taking ownership of (or copying) the
+    /// transactions.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Block::from_parts`].
+    pub fn from_shared_parts(
+        header: BlockHeader,
+        transactions: Arc<[Transaction]>,
     ) -> Result<Block, BlockIntegrityError> {
         // lint:allow(cast) -- u32 → usize widens on every supported platform
         if header.tx_count as usize != transactions.len() {
@@ -157,19 +193,68 @@ impl Block {
         Ok(Block {
             header,
             transactions,
+            id_cache: OnceLock::new(),
         })
     }
 
-    /// Computes the Merkle root over transaction encodings.
+    /// Reassembles a block from parts whose consistency was already
+    /// established (the header and body came out of [`Block::into_parts`]
+    /// or a validated store entry together). Skips the Merkle-root
+    /// recomputation that [`Block::from_shared_parts`] performs — callers
+    /// must only pass pairs that provably belong together.
+    pub(crate) fn from_trusted_parts(
+        header: BlockHeader,
+        transactions: Arc<[Transaction]>,
+    ) -> Block {
+        debug_assert_eq!(
+            // lint:allow(cast) -- u32 → usize widens on every supported platform
+            header.tx_count as usize,
+            transactions.len(),
+            "trusted parts disagree on tx count"
+        );
+        Block {
+            header,
+            transactions,
+            id_cache: OnceLock::new(),
+        }
+    }
+
+    /// Computes the Merkle root over transaction encodings, streaming
+    /// each leaf into its hasher (no per-transaction encoding buffers).
     pub fn compute_tx_root(transactions: &[Transaction]) -> Digest {
-        let encodings: Vec<Vec<u8>> = transactions.iter().map(|tx| tx.to_bytes()).collect();
-        MerkleTree::from_owned_leaves(encodings).root()
+        MerkleTree::from_leaf_hashes(Block::tx_leaf_hashes(transactions)).root()
     }
 
     /// Builds the Merkle tree over this block's transactions (for proofs).
     pub fn tx_tree(&self) -> MerkleTree {
-        let encodings: Vec<Vec<u8>> = self.transactions.iter().map(|tx| tx.to_bytes()).collect();
-        MerkleTree::from_owned_leaves(encodings)
+        MerkleTree::from_leaf_hashes(Block::tx_leaf_hashes(&self.transactions))
+    }
+
+    /// Streams every transaction encoding into a leaf hasher, on the
+    /// `ici-par` pool for wide blocks. Byte-identical to hashing
+    /// materialized encodings at any thread count.
+    fn tx_leaf_hashes(transactions: &[Transaction]) -> Vec<Digest> {
+        /// Below this many leaves the pool overhead exceeds the hashing.
+        const PAR_THRESHOLD_LEAVES: usize = 256;
+        /// Leaves per parallel task (data-derived geometry).
+        const CHUNK_LEAVES: usize = 64;
+        if transactions.len() >= PAR_THRESHOLD_LEAVES && ici_par::threads() > 1 {
+            let owned: Vec<Transaction> = transactions.to_vec();
+            ici_par::par_chunks(owned, CHUNK_LEAVES, |_, chunk| {
+                chunk
+                    .iter()
+                    .map(hashing::leaf_hash_encodable)
+                    .collect::<Vec<Digest>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            transactions
+                .iter()
+                .map(hashing::leaf_hash_encodable)
+                .collect()
+        }
     }
 
     /// The block header.
@@ -177,9 +262,9 @@ impl Block {
         &self.header
     }
 
-    /// The block id (== header id).
+    /// The block id (== header id), computed once and cached.
     pub fn id(&self) -> BlockId {
-        self.header.id()
+        *self.id_cache.get_or_init(|| self.header.id())
     }
 
     /// Height shortcut.
@@ -192,9 +277,17 @@ impl Block {
         &self.transactions
     }
 
-    /// Consumes the block, returning header and body.
+    /// The shared body handle (a reference-count bump, no copy).
+    pub fn transactions_shared(&self) -> Arc<[Transaction]> {
+        Arc::clone(&self.transactions)
+    }
+
+    /// Consumes the block, returning header and an owned copy of the
+    /// body. Callers that only read should prefer
+    /// [`Block::transactions_shared`]; this copies when the body is
+    /// still shared (it is the mutation escape hatch).
     pub fn into_parts(self) -> (BlockHeader, Vec<Transaction>) {
-        (self.header, self.transactions)
+        (self.header, self.transactions.to_vec())
     }
 
     /// Encoded size of the body alone (what a responsible node stores on

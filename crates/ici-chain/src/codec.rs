@@ -28,7 +28,7 @@
 use std::error::Error;
 use std::fmt;
 
-use ici_crypto::sha256::Digest;
+use ici_crypto::sha256::{Digest, Sha256};
 use ici_crypto::sig::{PublicKey, Signature, PUBLIC_KEY_LEN, SIGNATURE_LEN};
 
 /// Maximum length accepted for a single byte-string field (16 MiB), a guard
@@ -71,43 +71,77 @@ impl fmt::Display for CodecError {
 
 impl Error for CodecError {}
 
-/// Growable output buffer for encoding.
+/// Where a [`Writer`] sends its bytes: a growable buffer (the default),
+/// or a streaming hasher for callers that only need a digest of the
+/// encoding and never the bytes themselves.
+#[derive(Clone, Debug)]
+enum Sink {
+    Buf(Vec<u8>),
+    Hash { hasher: Sha256, written: usize },
+}
+
+impl Default for Sink {
+    fn default() -> Sink {
+        Sink::Buf(Vec::new())
+    }
+}
+
+/// Output sink for encoding: a growable buffer, or a streaming hasher
+/// (see [`Writer::hashing`]) that digests the encoding without ever
+/// materializing it.
 #[derive(Clone, Debug, Default)]
 pub struct Writer {
-    buf: Vec<u8>,
+    sink: Sink,
 }
 
 impl Writer {
-    /// Creates an empty writer.
+    /// Creates an empty buffering writer.
     pub fn new() -> Writer {
         Writer::default()
     }
 
-    /// Creates a writer with pre-allocated capacity.
+    /// Creates a buffering writer with pre-allocated capacity.
     pub fn with_capacity(capacity: usize) -> Writer {
         Writer {
-            buf: Vec::with_capacity(capacity),
+            sink: Sink::Buf(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Creates a writer that streams every byte into `hasher` instead of
+    /// buffering. Pass a fresh [`Sha256`] — or one pre-seeded with a
+    /// domain prefix — and finish with [`Writer::into_digest`]. The
+    /// digest is byte-identical to hashing [`Encode::to_bytes`] output,
+    /// with no intermediate allocation.
+    pub fn hashing(hasher: Sha256) -> Writer {
+        Writer {
+            sink: Sink::Hash { hasher, written: 0 },
         }
     }
 
     /// Appends raw bytes.
     pub fn put_bytes(&mut self, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
+        match &mut self.sink {
+            Sink::Buf(buf) => buf.extend_from_slice(bytes),
+            Sink::Hash { hasher, written } => {
+                hasher.update(bytes);
+                *written += bytes.len();
+            }
+        }
     }
 
     /// Appends a single byte.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.push(v);
+        self.put_bytes(&[v]);
     }
 
     /// Appends a big-endian `u32`.
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
+        self.put_bytes(&v.to_be_bytes());
     }
 
     /// Appends a big-endian `u64`.
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
+        self.put_bytes(&v.to_be_bytes());
     }
 
     /// Appends a `u32`-length-prefixed byte string.
@@ -119,24 +153,49 @@ impl Writer {
         self.put_bytes(bytes);
     }
 
-    /// Current encoded length.
+    /// Bytes written so far (buffered or streamed).
     pub fn len(&self) -> usize {
-        self.buf.len()
+        match &self.sink {
+            Sink::Buf(buf) => buf.len(),
+            Sink::Hash { written, .. } => *written,
+        }
     }
 
     /// Whether nothing has been written.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len() == 0
     }
 
-    /// Consumes the writer, returning the encoded bytes.
+    /// Consumes the writer, returning the encoded bytes. A hashing
+    /// writer has no bytes to return (that is the point); use
+    /// [`Writer::into_digest`] on that path.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
+        debug_assert!(
+            matches!(self.sink, Sink::Buf(_)),
+            "into_bytes on a hashing writer discards the stream"
+        );
+        match self.sink {
+            Sink::Buf(buf) => buf,
+            Sink::Hash { .. } => Vec::new(),
+        }
     }
 
-    /// Borrows the bytes written so far.
+    /// Consumes the writer, returning the SHA-256 of everything written.
+    /// For a hashing writer this finalizes the stream; for a buffering
+    /// writer it hashes the buffer (same digest, one copy later).
+    pub fn into_digest(self) -> Digest {
+        match self.sink {
+            Sink::Buf(buf) => Sha256::digest(&buf),
+            Sink::Hash { hasher, .. } => hasher.finalize(),
+        }
+    }
+
+    /// Borrows the bytes written so far; empty for a hashing writer.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.buf
+        match &self.sink {
+            Sink::Buf(buf) => buf,
+            Sink::Hash { .. } => &[],
+        }
     }
 }
 
@@ -360,9 +419,12 @@ impl Decode for Signature {
     }
 }
 
-impl<T: Encode> Encode for Vec<T> {
+impl<T: Encode> Encode for [T] {
     fn encode(&self, w: &mut Writer) {
-        debug_assert!(self.len() <= MAX_FIELD_LEN, "vector exceeds MAX_FIELD_LEN");
+        debug_assert!(
+            self.len() <= MAX_FIELD_LEN,
+            "sequence exceeds MAX_FIELD_LEN"
+        );
         // lint:allow(cast) -- element counts are in-process and bounded
         // by MAX_FIELD_LEN (enforced on decode; debug-asserted here)
         w.put_u32(self.len() as u32);
@@ -372,6 +434,15 @@ impl<T: Encode> Encode for Vec<T> {
     }
     fn encoded_len(&self) -> usize {
         4 + self.iter().map(Encode::encoded_len).sum::<usize>()
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        self.as_slice().encode(w);
+    }
+    fn encoded_len(&self) -> usize {
+        self.as_slice().encoded_len()
     }
 }
 

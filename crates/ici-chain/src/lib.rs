@@ -3,6 +3,8 @@
 //! This crate provides the ledger the storage strategies operate on:
 //!
 //! * [`codec`] — the canonical, deterministic binary wire format;
+//! * [`hashing`] — streaming digests of encodable values (no
+//!   intermediate buffers);
 //! * [`transaction`] — signed account-model transfers;
 //! * [`block`] — blocks and fixed-size headers with body commitments;
 //! * [`state`] — the replicated account state and its root commitment;
@@ -53,6 +55,7 @@ pub mod block;
 pub mod builder;
 pub mod codec;
 pub mod genesis;
+pub mod hashing;
 pub mod mempool;
 pub mod state;
 pub mod store;

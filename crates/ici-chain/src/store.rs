@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use ici_crypto::sha256::Digest;
 
@@ -59,8 +60,12 @@ impl Error for StoreError {}
 #[derive(Clone, Debug, Default)]
 pub struct ChainStore {
     headers: Vec<BlockHeader>,
-    /// Bodies held locally, keyed by height. Sparse under ICIStrategy.
-    bodies: HashMap<Height, Vec<Transaction>>,
+    /// Header ids, parallel to `headers`. Computed once on append so
+    /// linkage checks and tip reads never re-hash a header.
+    ids: Vec<BlockId>,
+    /// Bodies held locally, keyed by height. Sparse under ICIStrategy;
+    /// shared handles so reads and block reassembly never copy.
+    bodies: HashMap<Height, Arc<[Transaction]>>,
     /// Block id → height index.
     by_id: HashMap<BlockId, Height>,
     /// Running total of stored body bytes (headers are counted separately).
@@ -93,6 +98,11 @@ impl ChainStore {
         self.tip().map(|h| h.height)
     }
 
+    /// Id of the tip header, from the append-time cache (no re-hash).
+    pub fn tip_id(&self) -> Option<BlockId> {
+        self.ids.last().copied()
+    }
+
     /// Header at `height`.
     pub fn header(&self, height: Height) -> Option<&BlockHeader> {
         self.headers.get(height as usize)
@@ -115,15 +125,23 @@ impl ChainStore {
 
     /// The body at `height`, if held.
     pub fn body(&self, height: Height) -> Option<&[Transaction]> {
-        self.bodies.get(&height).map(Vec::as_slice)
+        self.bodies.get(&height).map(|b| &b[..])
+    }
+
+    /// The shared body handle at `height`, if held — a reference-count
+    /// bump, never a copy of the transactions.
+    pub fn body_shared(&self, height: Height) -> Option<Arc<[Transaction]>> {
+        self.bodies.get(&height).map(Arc::clone)
     }
 
     /// Reassembles the full block at `height` if both header and body are
-    /// held.
+    /// held. The body was validated against the header when it was
+    /// attached, so this is a shared-handle read: no body copy and no
+    /// Merkle recomputation.
     pub fn block(&self, height: Height) -> Option<Block> {
         let header = *self.header(height)?;
-        let body = self.bodies.get(&height)?.clone();
-        Block::from_parts(header, body).ok()
+        let body = self.body_shared(height)?;
+        Some(Block::from_trusted_parts(header, body))
     }
 
     /// Appends a header, enforcing height/parent linkage.
@@ -139,8 +157,7 @@ impl ChainStore {
                 actual: header.height,
             });
         }
-        if let Some(tip) = self.tip() {
-            let tip_id = tip.id();
+        if let Some(tip_id) = self.tip_id() {
             if header.parent != tip_id {
                 return Err(StoreError::ParentMismatch {
                     tip: tip_id,
@@ -153,7 +170,9 @@ impl ChainStore {
                 claimed: header.parent,
             });
         }
-        self.by_id.insert(header.id(), header.height);
+        let id = header.id();
+        self.by_id.insert(id, header.height);
+        self.ids.push(id);
         self.headers.push(header);
         Ok(())
     }
@@ -171,10 +190,13 @@ impl ChainStore {
         body: Vec<Transaction>,
     ) -> Result<(), StoreError> {
         let header = *self.header(height).ok_or(StoreError::NoHeader(height))?;
-        let block =
-            Block::from_parts(header, body).map_err(|_| StoreError::BodyMismatch(height))?;
-        let (_, body) = block.into_parts();
-        if self.bodies.insert(height, body).is_none() {
+        let block = Block::from_shared_parts(header, body.into())
+            .map_err(|_| StoreError::BodyMismatch(height))?;
+        if self
+            .bodies
+            .insert(height, block.transactions_shared())
+            .is_none()
+        {
             self.body_bytes += header.body_len as u64;
         }
         Ok(())
@@ -190,7 +212,7 @@ impl ChainStore {
         let height = block.height();
         if self
             .bodies
-            .insert(height, block.transactions().to_vec())
+            .insert(height, block.transactions_shared())
             .is_none()
         {
             self.body_bytes += block.header().body_len as u64;
@@ -250,6 +272,14 @@ impl Encode for ChainStore {
             h.encode(w);
             self.bodies[&h].encode(w);
         }
+    }
+
+    fn encoded_len(&self) -> usize {
+        let mut len = self.headers.encoded_len() + 4;
+        for body in self.bodies.values() {
+            len += 8 + body.encoded_len();
+        }
+        len
     }
 }
 

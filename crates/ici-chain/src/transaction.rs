@@ -8,10 +8,11 @@
 
 use std::fmt;
 
-use ici_crypto::sha256::{double_sha256, Digest, Sha256};
+use ici_crypto::sha256::{Digest, Sha256};
 use ici_crypto::sig::{Keypair, PublicKey, Signature};
 
 use crate::codec::{CodecError, Decode, Encode, Reader, Writer};
+use crate::hashing;
 
 /// A transaction identifier: the double-SHA-256 of the full encoding.
 pub type TxId = Digest;
@@ -149,9 +150,10 @@ impl Transaction {
         &self.signature
     }
 
-    /// The transaction id: double-SHA-256 over the full encoding.
+    /// The transaction id: double-SHA-256 over the full encoding,
+    /// streamed into the hasher without materializing the bytes.
     pub fn id(&self) -> TxId {
-        double_sha256(&self.to_bytes())
+        hashing::double_sha256_encodable(self)
     }
 
     /// The byte string the signature covers (everything but the signature,

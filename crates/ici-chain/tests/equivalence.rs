@@ -1,0 +1,163 @@
+//! Equivalence suite for the zero-copy block pipeline.
+//!
+//! Every optimization in the pipeline — streaming digests, cached header
+//! ids, `Arc`-shared bodies, `encoded_len` size hints — is pinned here
+//! against the plain two-pass reference it replaced: materialize the
+//! canonical encoding, then hash or measure it. A divergence anywhere in
+//! these tests means the fast path changed wire bytes or identities.
+
+use std::sync::Arc;
+
+use ici_chain::block::{Block, BlockHeader};
+use ici_chain::codec::Encode;
+use ici_chain::genesis::GenesisConfig;
+use ici_chain::hashing;
+use ici_chain::store::ChainStore;
+use ici_chain::transaction::{Address, Transaction};
+use ici_crypto::merkle;
+use ici_crypto::sha256::{double_sha256, Sha256};
+use ici_crypto::sig::Keypair;
+use ici_rng::Xoshiro256;
+
+fn arb_tx(rng: &mut Xoshiro256) -> Transaction {
+    Transaction::signed(
+        &Keypair::from_seed(rng.gen_range(0u64..64)),
+        Address::from_seed(rng.gen_range(0u64..64)),
+        rng.next_u64(),
+        rng.gen_range(0u64..1_000),
+        rng.gen_range(0u64..10),
+        rng.gen_bytes_in(0usize..200),
+    )
+}
+
+fn arb_block(rng: &mut Xoshiro256, height: u64) -> Block {
+    let txs: Vec<Transaction> = (0..rng.gen_range(1usize..12))
+        .map(|_| arb_tx(rng))
+        .collect();
+    let template = BlockHeader {
+        height,
+        parent: hashing::digest_encodable(&height),
+        tx_root: ici_crypto::sha256::Digest::ZERO,
+        state_root: hashing::digest_encodable(&rng.next_u64()),
+        timestamp_ms: rng.gen_range(1u64..1 << 40),
+        proposer: rng.gen_range(0u64..512),
+        pow_nonce: 0,
+        tx_count: 0,
+        body_len: 0,
+    };
+    Block::new(template, txs)
+}
+
+/// Streaming digests equal hashing the materialized encoding, for real
+/// protocol values (not just synthetic byte strings).
+#[test]
+fn streaming_digests_match_two_pass_reference() {
+    let mut rng = Xoshiro256::seed_from_u64(0xE1);
+    for i in 0..64u64 {
+        let tx = arb_tx(&mut rng);
+        let block = arb_block(&mut rng, i);
+        let header = *block.header();
+        assert_eq!(
+            hashing::digest_encodable(&tx),
+            Sha256::digest(&tx.to_bytes())
+        );
+        assert_eq!(
+            hashing::digest_encodable(&header),
+            Sha256::digest(&header.to_bytes())
+        );
+        assert_eq!(
+            hashing::double_sha256_encodable(&tx),
+            double_sha256(&tx.to_bytes())
+        );
+        assert_eq!(
+            hashing::double_sha256_encodable(&header),
+            double_sha256(&header.to_bytes())
+        );
+        assert_eq!(
+            hashing::leaf_hash_encodable(&tx),
+            merkle::hash_leaf(&tx.to_bytes())
+        );
+        assert_eq!(hashing::double_sha256_of_bytes(&tx), tx.id());
+    }
+}
+
+/// `encoded_len` is byte-exact against the materialized encoding for
+/// every wire type the pipeline pre-sizes buffers with.
+#[test]
+fn encoded_len_is_exact() {
+    let mut rng = Xoshiro256::seed_from_u64(0xE2);
+    let mut store = ChainStore::new();
+    let genesis = GenesisConfig::default().genesis_block();
+    store.append_block(&genesis).expect("genesis appends");
+    for i in 0..32u64 {
+        let tx = arb_tx(&mut rng);
+        assert_eq!(tx.to_bytes().len(), tx.encoded_len(), "tx {i}");
+        let block = arb_block(&mut rng, i + 1);
+        assert_eq!(
+            block.header().to_bytes().len(),
+            block.header().encoded_len(),
+            "header {i}"
+        );
+        assert_eq!(block.to_bytes().len(), block.encoded_len(), "block {i}");
+        let body: Vec<Transaction> = block.transactions().to_vec();
+        assert_eq!(body.to_bytes().len(), body.encoded_len(), "body {i}");
+    }
+    assert_eq!(store.to_bytes().len(), store.encoded_len(), "chain store");
+}
+
+/// The cached block id equals a fresh double-SHA-256 of the header
+/// encoding, across every construction path a block can take.
+#[test]
+fn cached_block_id_matches_fresh_header_hash() {
+    let mut rng = Xoshiro256::seed_from_u64(0xE3);
+    for i in 0..32u64 {
+        let block = arb_block(&mut rng, i);
+        let fresh = double_sha256(&block.header().to_bytes());
+        assert_eq!(block.id(), fresh, "first (caching) read");
+        assert_eq!(block.id(), fresh, "cached re-read");
+        assert_eq!(block.header().id(), fresh, "header-direct hash");
+
+        // Reconstruction from shared parts preserves the identity.
+        let shared = Block::from_shared_parts(*block.header(), block.transactions_shared())
+            .expect("intact parts");
+        assert_eq!(shared.id(), fresh);
+        let (header, body) = block.into_parts();
+        assert_eq!(Block::new(header, body).id(), fresh, "rebuilt block");
+    }
+}
+
+/// Store bodies are shared, not copied: `body_shared` aliases the block's
+/// own body allocation, and the accessors agree with each other.
+#[test]
+fn store_bodies_are_shared_not_copied() {
+    let mut rng = Xoshiro256::seed_from_u64(0xE4);
+    let mut store = ChainStore::new();
+    let genesis = GenesisConfig::default().genesis_block();
+    store.append_block(&genesis).expect("genesis appends");
+    let mut parent = *genesis.header();
+    for height in 1..6u64 {
+        let txs: Vec<Transaction> = (0..4).map(|_| arb_tx(&mut rng)).collect();
+        let template = BlockHeader {
+            height,
+            parent: parent.id(),
+            timestamp_ms: parent.timestamp_ms + 1,
+            ..parent
+        };
+        let block = Block::new(template, txs);
+        store.append_block(&block).expect("appends");
+        parent = *block.header();
+
+        let shared = store.body_shared(height).expect("body present");
+        assert!(
+            Arc::ptr_eq(&shared, &block.transactions_shared()),
+            "height {height}: body was copied, not shared"
+        );
+        assert_eq!(store.body(height).expect("body"), block.transactions());
+        let rebuilt = store.block(height).expect("block");
+        assert_eq!(rebuilt.id(), block.id());
+        assert!(Arc::ptr_eq(
+            &rebuilt.transactions_shared(),
+            &block.transactions_shared()
+        ));
+    }
+}

@@ -52,6 +52,9 @@ pub fn gossip_flood(
     let mut queue: EventQueue<NodeId> = EventQueue::new();
     queue.schedule(start, origin);
 
+    // Sampling scratch, refilled per forwarding node — reusing one buffer
+    // instead of allocating a population-sized Vec per hop.
+    let mut candidates: Vec<NodeId> = Vec::with_capacity(peers.len());
     while let Some((now, node)) = queue.pop() {
         if first_receipt.contains_key(&node) {
             continue; // duplicate delivery
@@ -66,7 +69,8 @@ pub fn gossip_flood(
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(node.get()),
         );
-        let mut candidates: Vec<NodeId> = peers.iter().copied().filter(|p| *p != node).collect();
+        candidates.clear();
+        candidates.extend(peers.iter().copied().filter(|p| *p != node));
         let picks = config.fanout.min(candidates.len());
         for _ in 0..picks {
             let idx = rng.gen_range(0..candidates.len());

@@ -169,14 +169,25 @@ pub fn run_vote_rounds(
     times
 }
 
+/// Voters per network fork in a vote round. Fixed (not thread-derived) so
+/// the chunking — and therefore every jitter stream — is identical at any
+/// `ICI_PAR_THREADS`.
+const VOTERS_PER_FORK: usize = 16;
+
 /// Each member in `send_times` broadcasts a vote at its send time; returns,
 /// for every member that collects `q` votes (its own included), the arrival
 /// time of the `q`-th.
 ///
-/// Voters broadcast through per-voter network forks (stream = voter id) so
-/// the all-to-all exchange parallelises over voters while the jitter each
-/// vote draws — and therefore every arrival time — is a function of the
-/// voter alone, byte-identical at any `ICI_PAR_THREADS`.
+/// Voters broadcast through network forks so the all-to-all exchange
+/// parallelises and stays byte-identical at any `ICI_PAR_THREADS`. On a
+/// jitter-free, fault-free network no send consumes randomness, so voters
+/// are batched [`VOTERS_PER_FORK`] to a fork (stream = chunk index) to
+/// amortise the per-fork meter; otherwise each voter keeps its own fork
+/// (stream = voter id) so the jitter and fault draws each vote makes are a
+/// function of the voter alone. Each fork sorts its own arrivals in
+/// parallel; the merge walks the sorted chunks destination by destination
+/// with one reusable scratch buffer, so no committee-squared flat copy is
+/// made.
 fn vote_round(
     net: &mut Network,
     members: &[NodeId],
@@ -184,46 +195,79 @@ fn vote_round(
     q: usize,
 ) -> BTreeMap<NodeId, SimTime> {
     let _span = ici_telemetry::span!("consensus/vote_round");
-    let work: Vec<(NodeId, SimTime, Network)> = members
+    let voters: Vec<(NodeId, SimTime)> = members
         .iter()
-        .filter_map(|&voter| {
-            send_times
-                .get(&voter)
-                .map(|&at| (voter, at, net.fork(voter.index() as u64)))
-        })
+        .filter_map(|&voter| send_times.get(&voter).map(|&at| (voter, at)))
         .collect();
+    let work: Vec<(Vec<(NodeId, SimTime)>, Network)> = if net.sends_are_stream_independent() {
+        voters
+            .chunks(VOTERS_PER_FORK)
+            .enumerate()
+            .map(|(i, chunk)| (chunk.to_vec(), net.fork(i as u64)))
+            .collect()
+    } else {
+        voters
+            .iter()
+            .map(|&(voter, at)| (vec![(voter, at)], net.fork(voter.index() as u64)))
+            .collect()
+    };
     net.advance_stream();
     let dests: Arc<Vec<NodeId>> = Arc::new(members.to_vec());
-    let broadcasts = ici_par::par_map(work, move |_, (voter, at, mut fork)| {
-        let mut sent: Vec<(NodeId, SimTime)> = Vec::with_capacity(dests.len());
-        for &dest in dests.iter() {
-            if dest == voter {
-                sent.push((dest, at));
-                continue;
-            }
-            if let Some(delay) = fork
-                .send(voter, dest, MessageKind::Vote, VOTE_BYTES)
-                .delay()
-            {
-                sent.push((dest, at + delay));
+    let broadcasts = ici_par::par_map(work, move |_, (chunk, mut fork)| {
+        let mut sent: Vec<(NodeId, SimTime)> = Vec::with_capacity(chunk.len() * dests.len());
+        for &(voter, at) in &chunk {
+            for &dest in dests.iter() {
+                if dest == voter {
+                    sent.push((dest, at));
+                    continue;
+                }
+                if let Some(delay) = fork
+                    .send(voter, dest, MessageKind::Vote, VOTE_BYTES)
+                    .delay()
+                {
+                    sent.push((dest, at + delay));
+                }
             }
         }
+        sent.sort_unstable();
         (sent, fork)
     });
-    let mut arrivals: BTreeMap<NodeId, Vec<SimTime>> = BTreeMap::new();
+    let mut sorted: Vec<Vec<(NodeId, SimTime)>> = Vec::with_capacity(broadcasts.len());
     for (sent, fork) in broadcasts {
-        for (dest, at) in sent {
-            arrivals.entry(dest).or_default().push(at);
-        }
         net.absorb(fork);
+        sorted.push(sent);
     }
+    // Destination-ordered merge over the sorted chunks: gather each
+    // destination's arrival times into the scratch buffer, take the q-th
+    // smallest — the same value a per-destination sort would produce.
+    let mut cursors = vec![0usize; sorted.len()];
+    let mut scratch: Vec<SimTime> = Vec::with_capacity(members.len());
     let mut out = BTreeMap::new();
-    for (dest, mut times) in arrivals {
-        if !net.is_up(dest) || times.len() < q {
-            continue;
+    loop {
+        let mut dest: Option<NodeId> = None;
+        for (ci, chunk) in sorted.iter().enumerate() {
+            if let Some(&(d, _)) = chunk.get(cursors[ci]) {
+                dest = Some(match dest {
+                    Some(cur) if cur <= d => cur,
+                    _ => d,
+                });
+            }
         }
-        times.sort_unstable();
-        out.insert(dest, times[q - 1]);
+        let Some(d) = dest else { break };
+        scratch.clear();
+        for (ci, chunk) in sorted.iter().enumerate() {
+            while let Some(&(dd, t)) = chunk.get(cursors[ci]) {
+                if dd != d {
+                    break;
+                }
+                scratch.push(t);
+                cursors[ci] += 1;
+            }
+        }
+        if net.is_up(d) && scratch.len() >= q {
+            scratch.sort_unstable();
+            out.insert(d, scratch[q - 1]);
+        }
     }
     out
 }

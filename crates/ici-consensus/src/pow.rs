@@ -25,6 +25,8 @@ pub fn mine(mut header: BlockHeader, difficulty_bits: u32) -> (BlockHeader, u64)
     let mut attempts = 0u64;
     loop {
         attempts += 1;
+        // lint:allow(rehash) -- the nonce search mutates the header every
+        // attempt, so no cached or streamed digest can be reused here
         let digest = double_sha256(&header.to_bytes());
         if digest.leading_zero_bits() >= difficulty_bits {
             return (header, attempts);

@@ -36,6 +36,16 @@ pub fn hash_leaf(data: &[u8]) -> Digest {
     Sha256::digest(first.as_bytes())
 }
 
+/// A hasher pre-seeded with the leaf domain prefix, for callers that
+/// stream a leaf payload instead of materializing it. Finish with
+/// `Sha256::digest(h.finalize().as_bytes())`; the result equals
+/// [`hash_leaf`] over the same payload bytes.
+pub fn leaf_hasher() -> Sha256 {
+    let mut h = Sha256::new();
+    h.update(&[LEAF_PREFIX]);
+    h
+}
+
 /// Hashes an interior node from its two children.
 pub fn hash_node(left: &Digest, right: &Digest) -> Digest {
     let mut h = Sha256::new();

@@ -29,7 +29,7 @@
 
 use std::error::Error;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::gf256::{mul_acc, Gf256};
 
@@ -96,10 +96,36 @@ impl fmt::Display for RsError {
 impl Error for RsError {}
 
 /// A Reed–Solomon coder with a fixed `(data, parity)` geometry.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// The encode-side Lagrange rows depend only on the geometry, so they are
+/// computed once and cached for the coder's lifetime (clones share the
+/// cache state at clone time).
+#[derive(Clone, Debug)]
 pub struct ReedSolomon {
     data_shards: usize,
     parity_shards: usize,
+    parity_rows: OnceLock<Arc<Vec<Vec<Gf256>>>>,
+}
+
+impl PartialEq for ReedSolomon {
+    /// Coders are equal when their geometries are: the row cache is a
+    /// pure function of the geometry.
+    fn eq(&self, other: &ReedSolomon) -> bool {
+        self.data_shards == other.data_shards && self.parity_shards == other.parity_shards
+    }
+}
+
+impl Eq for ReedSolomon {}
+
+/// Reusable workspace for repeated [`ReedSolomon::reconstruct_with`]
+/// calls: retains the index bookkeeping buffers between calls so
+/// steady-state reconstruction allocates only the rebuilt shards and the
+/// erasure-pattern-dependent Lagrange rows.
+#[derive(Clone, Debug, Default)]
+pub struct RsScratch {
+    present: Vec<usize>,
+    missing: Vec<usize>,
+    xs: Vec<u8>,
 }
 
 impl ReedSolomon {
@@ -117,6 +143,7 @@ impl ReedSolomon {
         Ok(ReedSolomon {
             data_shards: data,
             parity_shards: parity,
+            parity_rows: OnceLock::new(),
         })
     }
 
@@ -185,14 +212,8 @@ impl ReedSolomon {
     /// parity row for its stripe). XOR accumulation is per-byte
     /// independent, so stripe boundaries never change the output.
     fn parity_for(&self, data: Arc<Vec<Vec<u8>>>, shard_len: usize) -> Vec<Vec<u8>> {
-        let k = self.data_shards;
         let m = self.parity_shards;
-        let xs: Vec<u8> = (0..k as u16).map(|x| x as u8).collect();
-        let rows: Arc<Vec<Vec<Gf256>>> = Arc::new(
-            (0..m)
-                .map(|p| ReedSolomon::lagrange_row(&xs, (k + p) as u8))
-                .collect(),
-        );
+        let rows = self.encode_rows();
         if m < ici_par::threads() && shard_len >= 2 * STRIPE_BYTES {
             let starts: Vec<usize> = (0..shard_len).step_by(STRIPE_BYTES).collect();
             let stripes: Vec<Vec<Vec<u8>>> = ici_par::par_map(starts, move |_, start| {
@@ -233,11 +254,36 @@ impl ReedSolomon {
         }
     }
 
+    /// The cached encode-side Lagrange rows (parity targets `k..k+m` over
+    /// evaluation points `0..k`), computed on first use.
+    fn encode_rows(&self) -> Arc<Vec<Vec<Gf256>>> {
+        Arc::clone(self.parity_rows.get_or_init(|| {
+            let k = self.data_shards;
+            let xs: Vec<u8> = (0..k as u16).map(|x| x as u8).collect();
+            Arc::new(
+                (0..self.parity_shards)
+                    .map(|p| ReedSolomon::lagrange_row(&xs, (k + p) as u8))
+                    .collect(),
+            )
+        }))
+    }
+
     /// Splits `payload` into `k` equal data shards (zero-padded) and appends
     /// the `m` parity shards, returning all `n` shards.
     ///
     /// Use [`ReedSolomon::join_payload`] with the original length to invert.
     pub fn encode_payload(&self, payload: &[u8]) -> Vec<Vec<u8>> {
+        let mut shards = Vec::with_capacity(self.total_shards());
+        self.encode_payload_into(payload, &mut shards);
+        shards
+    }
+
+    /// [`ReedSolomon::encode_payload`] with caller-owned output storage:
+    /// the data-shard buffers already in `shards` are reused (cleared and
+    /// refilled), so steady-state encoding of same-sized payloads does not
+    /// reallocate the data rows. Parity rows are produced fresh by the
+    /// pool workers and appended.
+    pub fn encode_payload_into(&self, payload: &[u8], shards: &mut Vec<Vec<u8>>) {
         let _span = ici_telemetry::span!("crypto/rs_encode");
         ici_telemetry::observe(
             "crypto/rs_payload_bytes",
@@ -245,27 +291,28 @@ impl ReedSolomon {
             payload.len() as u64,
         );
         let shard_len = payload.len().div_ceil(self.data_shards).max(1);
-        let mut shards: Vec<Vec<u8>> = Vec::with_capacity(self.total_shards());
-        for i in 0..self.data_shards {
+        shards.truncate(self.data_shards);
+        shards.resize_with(self.data_shards, Vec::new);
+        for (i, shard) in shards.iter_mut().enumerate() {
             let start = (i * shard_len).min(payload.len());
             let end = ((i + 1) * shard_len).min(payload.len());
-            let mut shard = payload[start..end].to_vec();
+            shard.clear();
+            shard.extend_from_slice(&payload[start..end]);
             shard.resize(shard_len, 0);
-            shards.push(shard);
         }
-        // The shards built above are k equal-length non-empty rows, so the
+        // The rows built above are k equal-length non-empty shards, so the
         // parity core's precondition holds by construction. The Arc shares
         // the data shards with pool workers; by the time `parity_for`
         // returns every worker clone is dropped, so `try_unwrap` recovers
-        // them without a copy (the clone branch is a cold safety net).
-        let shards = Arc::new(shards);
-        let parity = self.parity_for(Arc::clone(&shards), shard_len);
-        let mut shards = match Arc::try_unwrap(shards) {
-            Ok(shards) => shards,
+        // them — buffers intact for the next call — without a copy (the
+        // clone branch is a cold safety net).
+        let data = Arc::new(std::mem::take(shards));
+        let parity = self.parity_for(Arc::clone(&data), shard_len);
+        *shards = match Arc::try_unwrap(data) {
+            Ok(data) => data,
             Err(arc) => (*arc).clone(),
         };
         shards.extend(parity);
-        shards
     }
 
     /// Reconstructs all missing shards in place.
@@ -278,6 +325,21 @@ impl ReedSolomon {
     /// Fails if fewer than `k` shards are present, the count is wrong, or
     /// present shards disagree on length.
     pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), RsError> {
+        self.reconstruct_with(shards, &mut RsScratch::default())
+    }
+
+    /// [`ReedSolomon::reconstruct`] with a caller-owned [`RsScratch`]:
+    /// repeated calls (e.g. a recovery loop over many blocks) reuse the
+    /// index bookkeeping buffers instead of reallocating them per call.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReedSolomon::reconstruct`].
+    pub fn reconstruct_with(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        scratch: &mut RsScratch,
+    ) -> Result<(), RsError> {
         let _span = ici_telemetry::span!("crypto/rs_reconstruct");
         if shards.len() != self.total_shards() {
             return Err(RsError::WrongShardCount {
@@ -285,15 +347,17 @@ impl ReedSolomon {
                 actual: shards.len(),
             });
         }
-        let present: Vec<usize> = shards
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.is_some().then_some(i))
-            .collect();
-        if present.len() < self.data_shards {
+        scratch.present.clear();
+        scratch.present.extend(
+            shards
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.is_some().then_some(i)),
+        );
+        if scratch.present.len() < self.data_shards {
             return Err(RsError::TooFewShards {
                 needed: self.data_shards,
-                present: present.len(),
+                present: scratch.present.len(),
             });
         }
         let mut shard_len = 0usize;
@@ -307,11 +371,15 @@ impl ReedSolomon {
         }
 
         // Any k present shards determine the polynomial.
-        let basis: Vec<usize> = present[..self.data_shards].to_vec();
-        let xs: Vec<u8> = basis.iter().map(|&i| i as u8).collect();
-        let missing: Vec<usize> = (0..self.total_shards())
-            .filter(|i| shards[*i].is_none())
-            .collect();
+        let basis = &scratch.present[..self.data_shards];
+        scratch.xs.clear();
+        scratch.xs.extend(basis.iter().map(|&i| i as u8));
+        let xs = &scratch.xs;
+        scratch.missing.clear();
+        scratch
+            .missing
+            .extend((0..self.total_shards()).filter(|i| shards[*i].is_none()));
+        let missing = &scratch.missing;
         if missing.is_empty() {
             return Ok(());
         }
@@ -319,7 +387,7 @@ impl ReedSolomon {
         // workers; they are restored unchanged below. Basis indices come
         // from `present` and are never erased, so every take hits.
         let mut basis_data: Vec<Vec<u8>> = Vec::with_capacity(basis.len());
-        for &idx in &basis {
+        for &idx in basis {
             basis_data.push(
                 shards
                     .get_mut(idx)
@@ -331,7 +399,7 @@ impl ReedSolomon {
         let rows: Arc<Vec<Vec<Gf256>>> = Arc::new(
             missing
                 .iter()
-                .map(|&target| ReedSolomon::lagrange_row(&xs, target as u8))
+                .map(|&target| ReedSolomon::lagrange_row(xs, target as u8))
                 .collect(),
         );
         let data = Arc::clone(&basis_data);
@@ -539,6 +607,51 @@ mod tests {
     fn error_display_is_informative() {
         let err = ReedSolomon::new(0, 0).expect_err("invalid");
         assert!(err.to_string().contains("invalid shard counts"));
+    }
+
+    #[test]
+    fn encode_into_reused_buffers_match_fresh_encoding() {
+        let rs = ReedSolomon::new(6, 3).expect("valid geometry");
+        let mut reused: Vec<Vec<u8>> = Vec::new();
+        for len in [1usize, 10, 97, 100, 1000, 64] {
+            let payload = sample_payload(len);
+            rs.encode_payload_into(&payload, &mut reused);
+            assert_eq!(reused, rs.encode_payload(&payload), "payload len {len}");
+        }
+    }
+
+    #[test]
+    fn reconstruct_with_reused_scratch_matches_fresh_calls() {
+        let rs = ReedSolomon::new(5, 3).expect("valid geometry");
+        let encoded = rs.encode_payload(&sample_payload(200));
+        let mut scratch = RsScratch::default();
+        for erasures in [[0usize, 4, 6], [1, 2, 7], [5, 6, 7]] {
+            let mut with_scratch: Vec<Option<Vec<u8>>> =
+                encoded.iter().cloned().map(Some).collect();
+            let mut fresh = with_scratch.clone();
+            for e in erasures {
+                with_scratch[e] = None;
+                fresh[e] = None;
+            }
+            rs.reconstruct_with(&mut with_scratch, &mut scratch)
+                .expect("within budget");
+            rs.reconstruct(&mut fresh).expect("within budget");
+            assert_eq!(with_scratch, fresh, "erasures {erasures:?}");
+        }
+    }
+
+    #[test]
+    fn cached_parity_rows_survive_clone_and_equality_is_geometric() {
+        let rs = ReedSolomon::new(4, 2).expect("valid geometry");
+        let payload = sample_payload(64);
+        let before_first_encode = rs.clone();
+        let expected = rs.encode_payload(&payload);
+        let after_first_encode = rs.clone();
+        assert_eq!(before_first_encode.encode_payload(&payload), expected);
+        assert_eq!(after_first_encode.encode_payload(&payload), expected);
+        assert_eq!(rs, before_first_encode);
+        assert_eq!(rs, after_first_encode);
+        assert_ne!(rs, ReedSolomon::new(4, 3).expect("valid geometry"));
     }
 
     #[test]

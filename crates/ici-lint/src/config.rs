@@ -19,6 +19,13 @@ pub struct Config {
     /// dependencies are always allowed; this list covers registry
     /// dependencies and is empty under the hermetic-build policy.
     pub deps_allow: Vec<String>,
+    /// Path substrings (forward slashes) exempt from the `unsafe`
+    /// keyword ban. A crate owning an entry here may carry
+    /// `#![deny(unsafe_code)]` in its root instead of `forbid`, so the
+    /// listed file can opt back in with `#![allow(unsafe_code)]`.
+    /// Reserved for code that is impossible in safe Rust (the counting
+    /// `GlobalAlloc` in ici-bench).
+    pub unsafe_files: Vec<String>,
 }
 
 impl Default for Config {
@@ -48,6 +55,7 @@ impl Default for Config {
             .map(|s| s.to_string())
             .collect(),
             deps_allow: Vec::new(),
+            unsafe_files: vec!["ici-bench/src/alloc.rs".to_string()],
         }
     }
 }
@@ -72,6 +80,9 @@ impl Config {
         }
         if let Some(v) = doc.get("deps", "allow") {
             config.deps_allow = str_list(v, "deps.allow")?;
+        }
+        if let Some(v) = doc.get("lint", "unsafe_files") {
+            config.unsafe_files = str_list(v, "lint.unsafe_files")?;
         }
         Ok(config)
     }

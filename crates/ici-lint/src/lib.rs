@@ -63,10 +63,11 @@ pub fn run(root: &Path, update_baseline: bool) -> Result<Outcome, String> {
 
     let (panic_findings, panic_sites) = rules::check_panic(&files, &config);
     let mut findings = panic_findings;
-    findings.extend(rules::check_unsafe(&files));
+    findings.extend(rules::check_unsafe(&files, &config));
     findings.extend(rules::check_casts(&files, &config));
     findings.extend(rules::check_error_discipline(&files, &config));
     findings.extend(rules::check_deps(&manifests, &config));
+    findings.extend(rules::check_rehash(&files, &config));
     findings.extend(rules::check_waivers(&files));
 
     let mut stats = BTreeMap::new();

@@ -1,17 +1,23 @@
 //! The rule set.
 //!
-//! Five rules over the scanned workspace:
+//! Six rules over the scanned workspace:
 //!
 //! * `panic` — protocol crates must not contain panic paths outside
 //!   `#[cfg(test)]` code (waivable per-site).
 //! * `unsafe` — every crate root carries `#![forbid(unsafe_code)]` and
-//!   no source uses the `unsafe` keyword (never waivable).
+//!   no source uses the `unsafe` keyword (never waivable). Files on
+//!   the `unsafe_files` allowlist are exempt from the keyword ban, and
+//!   a crate owning such a file may use `#![deny(unsafe_code)]` in its
+//!   root instead of `forbid`.
 //! * `cast` — lossy `as` narrowing in codec/wire paths (waivable).
 //! * `error` — public fallible APIs must return typed errors, not
 //!   stringly `Result<_, String>` or `Option` dressed as failure
 //!   (waivable).
 //! * `deps` — every Cargo.toml dependency is either a `path`
 //!   dependency or on the allowlist (never waivable).
+//! * `rehash` — `double_sha256(&x.to_bytes())` in protocol crates
+//!   re-encodes into a throwaway `Vec` just to hash it; use the
+//!   streaming sink (`ici_chain::hashing`) instead (waivable).
 
 use crate::config::Config;
 use crate::report::Finding;
@@ -31,7 +37,7 @@ pub struct SourceFile {
 }
 
 /// Rule names that a `lint:allow(..)` waiver may reference.
-pub const WAIVABLE_RULES: &[&str] = &["panic", "cast", "error"];
+pub const WAIVABLE_RULES: &[&str] = &["panic", "cast", "error", "rehash"];
 
 /// Tokens that open a panic path. `debug_assert*` is deliberately
 /// absent: it compiles out of release builds and is the sanctioned way
@@ -93,7 +99,13 @@ pub fn check_panic(files: &[SourceFile], config: &Config) -> (Vec<Finding>, usiz
 
 /// `unsafe` rule: crate roots must forbid unsafe code, and the keyword
 /// must not appear anywhere (including tests — `forbid` covers them).
-pub fn check_unsafe(files: &[SourceFile]) -> Vec<Finding> {
+///
+/// The one escape hatch is `config.unsafe_files`: a file on that list
+/// skips the keyword ban, and a crate owning such a file may carry
+/// `#![deny(unsafe_code)]` in its root instead of `forbid` (deny is
+/// overridable at inner scope, which is exactly what lets the listed
+/// file opt back in with `#![allow(unsafe_code)]`).
+pub fn check_unsafe(files: &[SourceFile], config: &Config) -> Vec<Finding> {
     let mut findings = Vec::new();
     for file in files {
         let is_crate_root = file.rel_path.ends_with("/src/lib.rs") || file.rel_path == "src/lib.rs";
@@ -103,7 +115,17 @@ pub fn check_unsafe(files: &[SourceFile]) -> Vec<Finding> {
                 .lines
                 .iter()
                 .any(|l| l.code.contains("#![forbid(unsafe_code)]"));
-            if !has_forbid {
+            let has_deny = file
+                .scanned
+                .lines
+                .iter()
+                .any(|l| l.code.contains("#![deny(unsafe_code)]"));
+            let crate_has_carveout = !file.crate_name.is_empty()
+                && config
+                    .unsafe_files
+                    .iter()
+                    .any(|p| p.starts_with(&format!("{}/", file.crate_name)));
+            if !has_forbid && !(crate_has_carveout && has_deny) {
                 findings.push(Finding::new(
                     "unsafe",
                     &file.rel_path,
@@ -111,6 +133,13 @@ pub fn check_unsafe(files: &[SourceFile]) -> Vec<Finding> {
                     "crate root is missing `#![forbid(unsafe_code)]`",
                 ));
             }
+        }
+        if config
+            .unsafe_files
+            .iter()
+            .any(|p| file.rel_path.contains(p.as_str()))
+        {
+            continue;
         }
         for line in &file.scanned.lines {
             if line.code.contains("#![forbid(unsafe_code)]")
@@ -124,6 +153,37 @@ pub fn check_unsafe(files: &[SourceFile]) -> Vec<Finding> {
                     &file.rel_path,
                     line.number,
                     "`unsafe` keyword (this workspace is 100% safe Rust)",
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// `rehash` rule: hashing a value by materializing its encoding first
+/// (`double_sha256(&x.to_bytes())`) allocates a throwaway `Vec` on
+/// every call. Protocol code should stream the encoding into the
+/// hasher via `ici_chain::hashing::double_sha256_encodable` instead.
+/// Waivable: a couple of call sites (the PoW nonce search, the
+/// two-pass reference implementation) are intentionally left on the
+/// materializing path.
+pub fn check_rehash(files: &[SourceFile], config: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if !config.protocol_crates.contains(&file.crate_name) {
+            continue;
+        }
+        for line in &file.scanned.lines {
+            if line.in_test || file.scanned.is_waived(line.number, "rehash") {
+                continue;
+            }
+            if line.code.contains("double_sha256(&") && line.code.contains(".to_bytes()") {
+                findings.push(Finding::new(
+                    "rehash",
+                    &file.rel_path,
+                    line.number,
+                    "`double_sha256(&x.to_bytes())` re-encodes into a Vec just to hash it \
+                     — stream via `hashing::double_sha256_encodable`",
                 ));
             }
         }
@@ -452,10 +512,89 @@ mod tests {
                 "#![forbid(unsafe_code)]\npub fn g() { unsafe { std::hint::unreachable_unchecked() } }\n",
             ),
         ];
-        let findings = check_unsafe(&files);
+        let findings = check_unsafe(&files, &proto_config());
         assert_eq!(findings.len(), 2);
         assert!(findings[0].message.contains("missing"));
         assert!(findings[1].message.contains("`unsafe` keyword"));
+    }
+
+    #[test]
+    fn unsafe_rule_honors_the_allowlist_carveout() {
+        let files = vec![
+            file(
+                "ici-bench",
+                "crates/ici-bench/src/lib.rs",
+                "#![deny(unsafe_code)]\npub mod alloc;\n",
+            ),
+            file(
+                "ici-bench",
+                "crates/ici-bench/src/alloc.rs",
+                "#![allow(unsafe_code)]\nunsafe impl GlobalAlloc for C {}\n",
+            ),
+        ];
+        let findings = check_unsafe(&files, &proto_config());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unsafe_rule_keeps_deny_insufficient_without_carveout() {
+        let files = vec![file(
+            "ici-core",
+            "crates/ici-core/src/lib.rs",
+            "#![deny(unsafe_code)]\npub fn f() {}\n",
+        )];
+        let findings = check_unsafe(&files, &proto_config());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("missing"));
+    }
+
+    #[test]
+    fn unsafe_rule_still_bans_keyword_outside_allowlisted_files() {
+        let files = vec![file(
+            "ici-bench",
+            "crates/ici-bench/src/harness.rs",
+            "pub fn f() { unsafe { core::hint::unreachable_unchecked() } }\n",
+        )];
+        let findings = check_unsafe(&files, &proto_config());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`unsafe` keyword"));
+    }
+
+    #[test]
+    fn rehash_rule_flags_materialized_hashing_in_protocol_crates() {
+        let files = vec![
+            file(
+                "ici-chain",
+                "crates/ici-chain/src/block.rs",
+                "fn id() -> Digest { double_sha256(&self.to_bytes()) }\n",
+            ),
+            file(
+                "ici-sim",
+                "crates/ici-sim/src/x.rs",
+                "fn id() -> Digest { double_sha256(&self.to_bytes()) }\n",
+            ),
+        ];
+        let findings = check_rehash(&files, &proto_config());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].file, "crates/ici-chain/src/block.rs");
+    }
+
+    #[test]
+    fn rehash_rule_skips_waived_sites_and_tests() {
+        let src = "\
+fn pow() -> Digest { double_sha256(&h.to_bytes()) } // lint:allow(rehash) -- nonce search mutates h per attempt
+#[cfg(test)]
+mod tests {
+    fn t() { let _ = double_sha256(&x.to_bytes()); }
+}
+";
+        let files = vec![file(
+            "ici-consensus",
+            "crates/ici-consensus/src/pow.rs",
+            src,
+        )];
+        let findings = check_rehash(&files, &proto_config());
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

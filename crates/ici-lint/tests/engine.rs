@@ -81,10 +81,12 @@ fn violations_fixture_trips_every_rule() {
     let outcome = ici_lint::run(&fixture("violations"), false).expect("runs");
     assert!(!outcome.clean());
     let rules = rule_set(&outcome);
-    let expected: BTreeSet<String> = ["panic", "unsafe", "cast", "error", "deps", "waiver"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let expected: BTreeSet<String> = [
+        "panic", "unsafe", "cast", "error", "deps", "waiver", "rehash",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     assert_eq!(rules, expected, "{:?}", outcome.ratchet.new_violations);
 
     // Findings carry file:line spans.

@@ -32,3 +32,8 @@ pub fn third(input: &[u8]) -> u8 {
     // lint:allow(deps) -- deps waivers are not a thing
     input[2]
 }
+
+/// Materialized hashing: the `rehash` rule wants the streaming sink.
+pub fn header_id(header: &Header) -> Digest {
+    double_sha256(&header.to_bytes())
+}

@@ -156,6 +156,17 @@ impl Network {
         self.down.len()
     }
 
+    /// Whether [`Network::send`] outcomes are independent of the rng
+    /// stream position: no fault config is installed (inert configs are
+    /// normalized to `None`) and the link draws zero jitter, so `send`
+    /// consumes a sequence number but never turns it into randomness.
+    /// Protocols may then batch actors onto shared forks without
+    /// changing any delivered byte; jittery or faulty networks must keep
+    /// per-actor forks to preserve their committed traces.
+    pub fn sends_are_stream_independent(&self) -> bool {
+        self.faults.is_none() && self.link.max_jitter_ms <= 0.0
+    }
+
     /// Attempts to transmit `bytes` of `kind` from `from` to `to`.
     ///
     /// Returns the transit delay on success; the caller schedules delivery

@@ -178,10 +178,15 @@ pub fn run_rapidchain(
         })
         .collect();
     for _ in 0..rounds {
-        for shard in 0..network.shard_count() {
-            let batch = generators[shard].batch(txs_per_block);
-            network.propose_block(shard, batch).expect("shard commits");
-        }
+        // One batch per shard, committed as a single parallel round: every
+        // committee runs its proposal concurrently on the `ici-par` pool.
+        let batches: Vec<_> = generators
+            .iter_mut()
+            .enumerate()
+            .map(|(shard, generator)| (shard, generator.batch(txs_per_block)))
+            .collect();
+        let heights = network.propose_round(batches);
+        assert!(heights.iter().all(Option::is_some), "shard commits");
     }
 
     let log = network.commit_log();
