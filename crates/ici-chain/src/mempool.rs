@@ -7,7 +7,7 @@
 //! standard behaviour of deployed nodes, which the lifecycle's
 //! "signatures are checked on admission" assumption rests on.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
 use crate::transaction::{Address, Transaction, TxId};
@@ -73,8 +73,12 @@ struct Entry {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Mempool {
-    /// Per sender: nonce → entry (BTreeMap keeps nonce order).
-    by_sender: HashMap<Address, BTreeMap<u64, Entry>>,
+    /// Per sender: nonce → entry. Both maps are BTreeMaps so iteration
+    /// (eviction scans, block selection, `iter`) visits (sender, nonce)
+    /// in a defined order — a HashMap here would make tie-breaks and
+    /// `iter()` output depend on hasher state across runs.
+    by_sender: BTreeMap<Address, BTreeMap<u64, Entry>>,
+    /// Membership check only — never iterated.
     ids: HashSet<TxId>,
     capacity: usize,
     len: usize,
@@ -91,7 +95,7 @@ impl Mempool {
         // is a construction-time constant, never attacker-controlled
         assert!(capacity > 0, "capacity must be positive");
         Mempool {
-            by_sender: HashMap::new(),
+            by_sender: BTreeMap::new(),
             ids: HashSet::new(),
             capacity,
             len: 0,
@@ -261,7 +265,7 @@ impl Mempool {
         stale.len()
     }
 
-    /// Iterates pending transactions in arbitrary order.
+    /// Iterates pending transactions in (sender, nonce) order.
     pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
         self.by_sender
             .values()

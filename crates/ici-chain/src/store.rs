@@ -5,7 +5,7 @@
 //! models exactly that: an append-only header chain plus a partial body map,
 //! with byte-accurate storage accounting used by the E1/E2 experiments.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -64,9 +64,11 @@ pub struct ChainStore {
     /// linkage checks and tip reads never re-hash a header.
     ids: Vec<BlockId>,
     /// Bodies held locally, keyed by height. Sparse under ICIStrategy;
-    /// shared handles so reads and block reassembly never copy.
-    bodies: HashMap<Height, Arc<[Transaction]>>,
-    /// Block id → height index.
+    /// shared handles so reads and block reassembly never copy. Ordered
+    /// by height so traversals (snapshot encoding, `body_heights`) are
+    /// deterministic — the `unordered-iter` lint gates this crate.
+    bodies: BTreeMap<Height, Arc<[Transaction]>>,
+    /// Block id → height index. Point lookups only — never iterated.
     by_id: HashMap<BlockId, Height>,
     /// Running total of stored body bytes (headers are counted separately).
     body_bytes: u64,
@@ -232,11 +234,10 @@ impl ChainStore {
         }
     }
 
-    /// Heights whose bodies are held, in ascending order.
+    /// Heights whose bodies are held, in ascending order (the map is
+    /// height-ordered, so no sort is needed).
     pub fn body_heights(&self) -> Vec<Height> {
-        let mut heights: Vec<Height> = self.bodies.keys().copied().collect();
-        heights.sort_unstable();
-        heights
+        self.bodies.keys().copied().collect()
     }
 
     /// Number of bodies held.

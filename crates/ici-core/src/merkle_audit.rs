@@ -56,7 +56,7 @@ impl IciNetwork {
     pub fn merkle_audit(&self, cluster: ClusterId) -> MerkleAuditReport {
         let _span = ici_telemetry::span!("core/merkle_audit", cluster = cluster.get());
         let members = self.live_members(cluster);
-        let chain_len = self.chain_len() as usize; // lint:allow(cast) -- chain length bounded by memory
+        let chain_len = self.chain_len() as usize; // chain length bounded by memory
         let mut report = MerkleAuditReport {
             cluster: cluster.get(),
             heights_checked: 0,
@@ -77,7 +77,7 @@ impl IciNetwork {
         let mut work = Vec::new();
         for (start, end) in split_ranges(chain_len, members.len()) {
             for height in start..end {
-                let height = height as Height; // lint:allow(cast) -- usize height widens losslessly
+                let height = height as Height; // usize height widens losslessly
                 let holders = members
                     .iter()
                     .filter(|m| {
@@ -110,7 +110,7 @@ impl IciNetwork {
             if tx_count == 0 {
                 return (height, holders, true, false);
             }
-            let index = (height as usize) % tx_count; // lint:allow(cast) -- modulo keeps it in range
+            let index = (height as usize) % tx_count; // modulo keeps it in range
             let proved = tree.prove(index).is_some_and(|proof| {
                 block
                     .transactions()
@@ -134,7 +134,7 @@ impl IciNetwork {
         ici_telemetry::counter_add(
             "core/merkle_audit_shards",
             Label::Cluster(u64::from(cluster.get())),
-            report.shards_verified as u64, // lint:allow(cast) -- counter magnitude
+            report.shards_verified as u64, // counter magnitude
         );
         report
     }

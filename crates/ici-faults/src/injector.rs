@@ -38,7 +38,7 @@ pub fn round_fault_config(
 /// round index. Distinct rounds land in distinct SplitMix64 streams.
 pub fn round_seed(plan_seed: u64, round: usize) -> u64 {
     let mut sm = SplitMix64::new(
-        plan_seed ^ (round as u64).wrapping_mul(0xA076_1D64_78BD_642F), // lint:allow(cast) -- usize round widens losslessly
+        plan_seed ^ (round as u64).wrapping_mul(0xA076_1D64_78BD_642F), // usize round widens losslessly
     );
     sm.next_u64()
 }

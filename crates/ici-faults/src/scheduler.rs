@@ -122,7 +122,7 @@ impl FaultScheduler {
         for (c, live) in live_per_cluster.iter().enumerate() {
             ici_telemetry::gauge_set(
                 "faults/live_nodes",
-                Label::Cluster(c as u64), // lint:allow(cast) -- cluster index widens losslessly
+                Label::Cluster(c as u64), // cluster index widens losslessly
                 *live as f64,
             );
         }

@@ -32,11 +32,35 @@ pub struct Baseline {
 pub struct RatchetOutcome {
     /// Findings not covered by the baseline — these fail the gate.
     pub new_violations: Vec<Finding>,
-    /// Count of findings suppressed as pre-existing debt.
-    pub baselined: usize,
+    /// Findings suppressed as pre-existing debt.
+    pub baselined: Vec<Finding>,
     /// Keys whose current count undershoots the baseline — the ratchet
     /// can be tightened with `--update-baseline`.
     pub improvements: Vec<String>,
+}
+
+/// One changed count between the committed baseline and a rewrite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineChange {
+    /// The `rule:file` key.
+    pub key: String,
+    /// Tolerated count before.
+    pub old: i64,
+    /// Count after the rewrite.
+    pub new: i64,
+}
+
+impl BaselineChange {
+    /// True when the rewrite would loosen the ratchet.
+    pub fn is_raise(&self) -> bool {
+        self.new > self.old
+    }
+}
+
+impl std::fmt::Display for BaselineChange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {} -> {}", self.key, self.old, self.new)
+    }
 }
 
 impl Baseline {
@@ -93,7 +117,7 @@ impl Baseline {
                 // span is more actionable than showing none.
                 outcome.new_violations.extend(group.iter().cloned());
             } else {
-                outcome.baselined += group.len();
+                outcome.baselined.extend(group.iter().cloned());
                 if current < allowed {
                     outcome
                         .improvements
@@ -112,6 +136,35 @@ impl Baseline {
         outcome
     }
 
+    /// Count findings per baseline key.
+    pub fn counts_of(findings: &[Finding]) -> BTreeMap<String, i64> {
+        let mut counts: BTreeMap<String, i64> = BTreeMap::new();
+        for finding in findings {
+            *counts.entry(finding.baseline_key()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Every key whose count would change if the baseline were
+    /// rewritten with `new_counts` (absent keys count as 0 on either
+    /// side), in key order.
+    pub fn diff(&self, new_counts: &BTreeMap<String, i64>) -> Vec<BaselineChange> {
+        let mut keys: Vec<&String> = self.counts.keys().chain(new_counts.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        keys.into_iter()
+            .filter_map(|key| {
+                let old = self.counts.get(key).copied().unwrap_or(0);
+                let new = new_counts.get(key).copied().unwrap_or(0);
+                (old != new).then(|| BaselineChange {
+                    key: key.clone(),
+                    old,
+                    new,
+                })
+            })
+            .collect()
+    }
+
     /// Render baseline text from the current findings and stats.
     /// `previous` stats keys are preserved unless overridden — this
     /// keeps historical markers like `seed_panic_sites` intact across
@@ -121,10 +174,7 @@ impl Baseline {
         stats: &BTreeMap<String, i64>,
         previous: &Baseline,
     ) -> String {
-        let mut counts: BTreeMap<String, i64> = BTreeMap::new();
-        for finding in findings {
-            *counts.entry(finding.baseline_key()).or_insert(0) += 1;
-        }
+        let counts = Baseline::counts_of(findings);
         let mut merged = previous.stats.clone();
         for (k, v) in stats {
             merged.insert(k.clone(), *v);
@@ -161,7 +211,7 @@ mod tests {
         let b = Baseline::default();
         let out = b.apply(vec![f("panic", "a.rs", 1), f("panic", "a.rs", 2)]);
         assert_eq!(out.new_violations.len(), 2);
-        assert_eq!(out.baselined, 0);
+        assert!(out.baselined.is_empty());
     }
 
     #[test]
@@ -169,7 +219,7 @@ mod tests {
         let b = Baseline::parse("[counts]\n\"panic:a.rs\" = 2\n").expect("parses");
         let out = b.apply(vec![f("panic", "a.rs", 1), f("panic", "a.rs", 2)]);
         assert!(out.new_violations.is_empty());
-        assert_eq!(out.baselined, 2);
+        assert_eq!(out.baselined.len(), 2);
         assert!(out.improvements.is_empty());
     }
 
@@ -178,7 +228,26 @@ mod tests {
         let b = Baseline::parse("[counts]\n\"panic:a.rs\" = 1\n").expect("parses");
         let out = b.apply(vec![f("panic", "a.rs", 1), f("panic", "a.rs", 2)]);
         assert_eq!(out.new_violations.len(), 2);
-        assert_eq!(out.baselined, 0);
+        assert!(out.baselined.is_empty());
+    }
+
+    #[test]
+    fn diff_covers_raises_drops_and_disappearances() {
+        let b =
+            Baseline::parse("[counts]\n\"panic:a.rs\" = 3\n\"cast:b.rs\" = 1\n").expect("parses");
+        let new_counts = Baseline::counts_of(&[
+            f("panic", "a.rs", 1),
+            f("error", "c.rs", 4),
+            f("error", "c.rs", 9),
+        ]);
+        let changes = b.diff(&new_counts);
+        assert_eq!(changes.len(), 3, "{changes:?}");
+        assert_eq!(changes[0].to_string(), "cast:b.rs: 1 -> 0");
+        assert!(!changes[0].is_raise());
+        assert_eq!(changes[1].to_string(), "error:c.rs: 0 -> 2");
+        assert!(changes[1].is_raise());
+        assert_eq!(changes[2].to_string(), "panic:a.rs: 3 -> 1");
+        assert!(b.diff(&b.counts.clone()).is_empty(), "no change, no diff");
     }
 
     #[test]

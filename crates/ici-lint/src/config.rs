@@ -26,6 +26,15 @@ pub struct Config {
     /// Reserved for code that is impossible in safe Rust (the counting
     /// `GlobalAlloc` in ici-bench).
     pub unsafe_files: Vec<String>,
+    /// Crates gated by `unordered-iter` (protocol crates plus anything
+    /// whose output feeds byte-compared artifacts, e.g. ici-workload).
+    pub determinism_crates: Vec<String>,
+    /// Path substrings (forward slashes) sanctioned to read the process
+    /// environment (`env-read` rule). Reserved for configuration entry
+    /// points like the ici-par thread-count override.
+    pub env_read_files: Vec<String>,
+    /// Crates allowed to spawn OS threads (`rogue-thread` rule).
+    pub thread_crates: Vec<String>,
 }
 
 impl Default for Config {
@@ -56,6 +65,32 @@ impl Default for Config {
             .collect(),
             deps_allow: Vec::new(),
             unsafe_files: vec!["ici-bench/src/alloc.rs".to_string()],
+            determinism_crates: [
+                "ici-core",
+                "ici-consensus",
+                "ici-chain",
+                "ici-cluster",
+                "ici-storage",
+                "ici-crypto",
+                "ici-net",
+                "ici-par",
+                "ici-telemetry",
+                "ici-faults",
+                "ici-workload",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            env_read_files: [
+                "ici-par/src/lib.rs",
+                "ici-telemetry/src/lib.rs",
+                "ici-bench/src/alloc.rs",
+                "ici-bench/src/harness.rs",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            thread_crates: vec!["ici-par".to_string()],
         }
     }
 }
@@ -84,6 +119,15 @@ impl Config {
         if let Some(v) = doc.get("lint", "unsafe_files") {
             config.unsafe_files = str_list(v, "lint.unsafe_files")?;
         }
+        if let Some(v) = doc.get("determinism", "crates") {
+            config.determinism_crates = str_list(v, "determinism.crates")?;
+        }
+        if let Some(v) = doc.get("determinism", "env_read_files") {
+            config.env_read_files = str_list(v, "determinism.env_read_files")?;
+        }
+        if let Some(v) = doc.get("determinism", "thread_crates") {
+            config.thread_crates = str_list(v, "determinism.thread_crates")?;
+        }
         Ok(config)
     }
 }
@@ -105,6 +149,20 @@ mod tests {
         assert!(c.protocol_crates.iter().any(|s| s == "ici-core"));
         assert!(c.protocol_crates.iter().any(|s| s == "ici-crypto"));
         assert!(c.deps_allow.is_empty());
+    }
+
+    #[test]
+    fn determinism_defaults_extend_protocol_scope() {
+        let c = Config::default();
+        for p in &c.protocol_crates {
+            assert!(
+                c.determinism_crates.contains(p),
+                "{p} must be determinism-gated"
+            );
+        }
+        assert!(c.determinism_crates.iter().any(|s| s == "ici-workload"));
+        assert_eq!(c.thread_crates, vec!["ici-par".to_string()]);
+        assert!(c.env_read_files.iter().any(|s| s == "ici-par/src/lib.rs"));
     }
 
     #[test]

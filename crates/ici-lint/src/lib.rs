@@ -1,21 +1,26 @@
 //! `ici-lint` — the workspace's zero-dependency static-analysis gate.
 //!
 //! Run as `cargo run -p ici-lint` (CI does this via `scripts/ci.sh`).
-//! The engine walks every workspace crate's sources and manifests,
-//! applies the rule set in [`rules`], subtracts the committed ratchet
-//! (`lint-baseline.toml`, see [`baseline`]), and reports any *new*
-//! violations with `file:line` spans. Exit status: `0` clean, `1` new
-//! violations, `2` usage or I/O failure.
+//! The engine lexes every workspace source file into a token stream
+//! ([`lexer`]), applies the general rule set ([`rules`]) and the
+//! determinism rule family ([`determinism`]), subtracts the committed
+//! ratchet (`lint-baseline.toml`, see [`baseline`]), and reports any
+//! *new* violations with `file:line` spans. Exit status: `0` clean,
+//! `1` new violations, `2` usage or I/O failure.
 //!
 //! Policy lives in `lint.toml` at the repo root ([`config`]); per-site
 //! exemptions use inline `// lint:allow(rule) -- reason` waivers
-//! ([`scanner`]).
+//! ([`scanner`]). Waived sites are still counted: the engine reports
+//! them in the JSON output (`--format json`) and flags waivers that no
+//! longer suppress anything as stale.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod config;
+pub mod determinism;
+pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scanner;
@@ -23,15 +28,35 @@ pub mod toml;
 
 use baseline::{Baseline, RatchetOutcome, BASELINE_FILE};
 use config::Config;
+use report::{json_escape, Finding, StaleWaiver};
 use rules::SourceFile;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+/// How a lint run behaves beyond plain checking.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Options {
+    /// Rewrite `lint-baseline.toml` from the current findings. The
+    /// rewrite prints every changed count and refuses to *raise* one
+    /// unless `allow_regress` is set.
+    pub update_baseline: bool,
+    /// Permit `update_baseline` to raise counts.
+    pub allow_regress: bool,
+}
+
 /// Everything one lint run produced.
 #[derive(Debug)]
 pub struct Outcome {
-    /// Ratchet verdict: new violations, suppressed debt, improvements.
+    /// Ratchet verdict over unwaived findings: new violations,
+    /// suppressed debt, improvements.
     pub ratchet: RatchetOutcome,
+    /// Findings suppressed by an inline waiver (never gate-failing).
+    pub waived: Vec<Finding>,
+    /// Waivers that no longer suppress anything (report-only).
+    pub stale_waivers: Vec<StaleWaiver>,
+    /// Changed counts from an `--update-baseline` rewrite, rendered as
+    /// `key: old -> new`; empty otherwise.
+    pub baseline_diff: Vec<String>,
     /// Number of source files scanned.
     pub files_scanned: usize,
     /// Number of manifests checked by the `deps` rule.
@@ -47,11 +72,20 @@ impl Outcome {
     }
 }
 
+/// Per-rule site-count stats recorded in the baseline. Each counts
+/// every non-test site, waived or not, so the baseline shows total
+/// debt per rule even when waivers keep the gate green.
+const SITE_STATS: &[(&str, &str)] = &[
+    ("protocol_panic_sites", "panic"),
+    ("unordered_iter_sites", "unordered-iter"),
+    ("wall_clock_sites", "wall-clock"),
+    ("rogue_thread_sites", "rogue-thread"),
+    ("env_read_sites", "env-read"),
+    ("entropy_sites", "entropy"),
+];
+
 /// Run the lint over the workspace rooted at `root`.
-///
-/// With `update_baseline` the ratchet file is rewritten from the
-/// current findings (and the run always passes).
-pub fn run(root: &Path, update_baseline: bool) -> Result<Outcome, String> {
+pub fn run(root: &Path, options: Options) -> Result<Outcome, String> {
     let config = Config::load(root)?;
     let files = collect_sources(root)?;
     let manifests = collect_manifests(root)?;
@@ -61,37 +95,97 @@ pub fn run(root: &Path, update_baseline: bool) -> Result<Outcome, String> {
         return Err(format!("nothing to lint under {}", root.display()));
     }
 
-    let (panic_findings, panic_sites) = rules::check_panic(&files, &config);
-    let mut findings = panic_findings;
+    let mut findings = rules::check_panic(&files, &config);
     findings.extend(rules::check_unsafe(&files, &config));
     findings.extend(rules::check_casts(&files, &config));
     findings.extend(rules::check_error_discipline(&files, &config));
     findings.extend(rules::check_deps(&manifests, &config));
     findings.extend(rules::check_rehash(&files, &config));
     findings.extend(rules::check_waivers(&files));
+    findings.extend(determinism::check_unordered_iter(&files, &config));
+    findings.extend(determinism::check_wall_clock(&files, &config));
+    findings.extend(determinism::check_rogue_thread(&files, &config));
+    findings.extend(determinism::check_env_read(&files, &config));
+    findings.extend(determinism::check_entropy(&files, &config));
 
     let mut stats = BTreeMap::new();
-    stats.insert("protocol_panic_sites".to_string(), panic_sites as i64);
+    for (stat, rule) in SITE_STATS {
+        let sites = findings.iter().filter(|f| f.rule == *rule).count();
+        stats.insert(stat.to_string(), sites as i64);
+    }
 
+    let (waived, active): (Vec<Finding>, Vec<Finding>) =
+        findings.into_iter().partition(|f| f.waived);
+    let stale_waivers = find_stale_waivers(&files, &waived);
+    stats.insert("stale_waivers".to_string(), stale_waivers.len() as i64);
+
+    let baseline_existed = root.join(BASELINE_FILE).is_file();
     let previous = Baseline::load(root)?;
-    if update_baseline {
-        let text = Baseline::render(&findings, &stats, &previous);
+    let mut baseline_diff = Vec::new();
+    if options.update_baseline {
+        let changes = previous.diff(&Baseline::counts_of(&active));
+        let raises: Vec<String> = changes
+            .iter()
+            .filter(|c| c.is_raise())
+            .map(|c| format!("  {c}"))
+            .collect();
+        // Creating the very first baseline is not a regression — the
+        // refusal guards an *existing* ratchet from loosening.
+        if baseline_existed && !raises.is_empty() && !options.allow_regress {
+            return Err(format!(
+                "--update-baseline would raise {} count(s) — the ratchet only goes down.\n\
+                 Re-run with --allow-regress to accept the regression:\n{}",
+                raises.len(),
+                raises.join("\n")
+            ));
+        }
+        baseline_diff = changes.iter().map(|c| c.to_string()).collect();
+        let text = Baseline::render(&active, &stats, &previous);
         let path = root.join(BASELINE_FILE);
         std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
     }
-    let effective = if update_baseline {
+    let effective = if options.update_baseline {
         Baseline::load(root)?
     } else {
         previous
     };
-    let ratchet = effective.apply(findings);
+    let ratchet = effective.apply(active);
 
     Ok(Outcome {
         ratchet,
+        waived,
+        stale_waivers,
+        baseline_diff,
         files_scanned: files.len(),
         manifests_checked: manifests.len(),
         stats,
     })
+}
+
+/// Waivers that no longer suppress anything: every parsed waiver
+/// naming a waivable rule must correspond to a waived finding on its
+/// line. (Waivers naming unknown rules are already violations via the
+/// `waiver` rule and are not double-reported here.)
+fn find_stale_waivers(files: &[SourceFile], waived: &[Finding]) -> Vec<StaleWaiver> {
+    let mut out = Vec::new();
+    for file in files {
+        for (line, waiver) in file.scanned.all_waivers() {
+            if !rules::WAIVABLE_RULES.contains(&waiver.rule.as_str()) {
+                continue;
+            }
+            let used = waived
+                .iter()
+                .any(|f| f.file == file.rel_path && f.line == line && f.rule == waiver.rule);
+            if !used {
+                out.push(StaleWaiver {
+                    file: file.rel_path.clone(),
+                    line,
+                    rule: waiver.rule.clone(),
+                });
+            }
+        }
+    }
+    out
 }
 
 /// Render the human report for an outcome. Returns the text rather
@@ -102,6 +196,22 @@ pub fn render_report(outcome: &Outcome) -> String {
         out.push_str(&finding.to_string());
         out.push('\n');
     }
+    if !outcome.stale_waivers.is_empty() {
+        out.push_str("\nstale waivers (report-only — delete them):\n");
+        for stale in &outcome.stale_waivers {
+            out.push_str("  ");
+            out.push_str(&stale.to_string());
+            out.push('\n');
+        }
+    }
+    if !outcome.baseline_diff.is_empty() {
+        out.push_str("\nbaseline counts rewritten:\n");
+        for change in &outcome.baseline_diff {
+            out.push_str("  ");
+            out.push_str(change);
+            out.push('\n');
+        }
+    }
     if !outcome.ratchet.improvements.is_empty() {
         out.push_str("\nratchet can be tightened (run with --update-baseline):\n");
         for improvement in &outcome.ratchet.improvements {
@@ -111,11 +221,91 @@ pub fn render_report(outcome: &Outcome) -> String {
         }
     }
     out.push_str(&format!(
-        "\nici-lint: {} file(s), {} manifest(s); {} new violation(s), {} baselined\n",
+        "\nici-lint: {} file(s), {} manifest(s); {} new violation(s), {} baselined, \
+         {} waived, {} stale waiver(s)\n",
         outcome.files_scanned,
         outcome.manifests_checked,
         outcome.ratchet.new_violations.len(),
-        outcome.ratchet.baselined,
+        outcome.ratchet.baselined.len(),
+        outcome.waived.len(),
+        outcome.stale_waivers.len(),
+    ));
+    out
+}
+
+/// Render the machine-readable report (`--format json`).
+///
+/// One JSON object with every finding (new, baselined, and waived),
+/// stale waivers, per-rule stats, and a summary block. Ordering is
+/// fully deterministic — findings sort by (file, line, rule, message),
+/// stats by key — so CI can byte-compare the output against the
+/// committed `results/LINT.json` snapshot.
+pub fn render_json(outcome: &Outcome) -> String {
+    let mut rows: Vec<(&Finding, bool)> = Vec::new();
+    rows.extend(outcome.ratchet.new_violations.iter().map(|f| (f, false)));
+    rows.extend(outcome.ratchet.baselined.iter().map(|f| (f, true)));
+    rows.extend(outcome.waived.iter().map(|f| (f, false)));
+    rows.sort_by(|(a, _), (b, _)| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
+
+    let mut out = String::from("{\n  \"findings\": [\n");
+    let finding_rows: Vec<String> = rows
+        .iter()
+        .map(|(f, baselined)| {
+            format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"waived\": {}, \
+                 \"baselined\": {}, \"message\": \"{}\"}}",
+                json_escape(&f.rule),
+                json_escape(&f.file),
+                f.line,
+                f.waived,
+                baselined,
+                json_escape(&f.message),
+            )
+        })
+        .collect();
+    out.push_str(&finding_rows.join(",\n"));
+    if !finding_rows.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"stale_waivers\": [\n");
+    let stale_rows: Vec<String> = outcome
+        .stale_waivers
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\"}}",
+                json_escape(&s.file),
+                s.line,
+                json_escape(&s.rule),
+            )
+        })
+        .collect();
+    out.push_str(&stale_rows.join(",\n"));
+    if !stale_rows.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"stats\": {\n");
+    let stat_rows: Vec<String> = outcome
+        .stats
+        .iter()
+        .map(|(k, v)| format!("    \"{}\": {}", json_escape(k), v))
+        .collect();
+    out.push_str(&stat_rows.join(",\n"));
+    if !stat_rows.is_empty() {
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "  }},\n  \"summary\": {{\n    \"files_scanned\": {},\n    \"manifests_checked\": {},\n    \
+         \"new_violations\": {},\n    \"baselined\": {},\n    \"waived\": {},\n    \
+         \"stale_waivers\": {}\n  }}\n}}\n",
+        outcome.files_scanned,
+        outcome.manifests_checked,
+        outcome.ratchet.new_violations.len(),
+        outcome.ratchet.baselined.len(),
+        outcome.waived.len(),
+        outcome.stale_waivers.len(),
     ));
     out
 }

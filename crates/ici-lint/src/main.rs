@@ -2,18 +2,22 @@
 //!
 //! ```text
 //! cargo run -p ici-lint                        # gate the workspace
+//! cargo run -p ici-lint -- --format json       # machine-readable report
 //! cargo run -p ici-lint -- --update-baseline   # rewrite the ratchet
 //! cargo run -p ici-lint -- --root path/to/tree # lint another tree
 //! ```
 //!
-//! Exit status: `0` clean, `1` new violations, `2` usage or I/O error.
+//! Exit status: `0` clean, `1` new violations, `2` usage or I/O error
+//! (including an `--update-baseline` that would raise a count without
+//! `--allow-regress`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
-    let mut update_baseline = false;
+    let mut options = ici_lint::Options::default();
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,14 +28,26 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
-            "--update-baseline" => update_baseline = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!("ici-lint: --format must be `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--update-baseline" => options.update_baseline = true,
+            "--allow-regress" => options.allow_regress = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: ici-lint [--root <path>] [--update-baseline]\n\
+                    "usage: ici-lint [--root <path>] [--format text|json]\n\
+                     \x20               [--update-baseline [--allow-regress]]\n\
                      \n\
                      Static-analysis gate for the icistrategy workspace.\n\
                      Policy: lint.toml; ratchet: lint-baseline.toml;\n\
-                     per-site waivers: `// lint:allow(rule) -- reason`."
+                     per-site waivers: `// lint:allow(rule) -- reason`.\n\
+                     --update-baseline prints every changed count and refuses\n\
+                     to raise one unless --allow-regress is also given."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -42,9 +58,13 @@ fn main() -> ExitCode {
         }
     }
 
-    match ici_lint::run(&root, update_baseline) {
+    match ici_lint::run(&root, options) {
         Ok(outcome) => {
-            print!("{}", ici_lint::render_report(&outcome));
+            if json {
+                print!("{}", ici_lint::render_json(&outcome));
+            } else {
+                print!("{}", ici_lint::render_report(&outcome));
+            }
             if outcome.clean() {
                 ExitCode::SUCCESS
             } else {

@@ -1,6 +1,7 @@
-//! The rule set.
+//! The general rule set (the determinism family lives in
+//! [`crate::determinism`]).
 //!
-//! Six rules over the scanned workspace:
+//! Seven rules over the scanned workspace:
 //!
 //! * `panic` — protocol crates must not contain panic paths outside
 //!   `#[cfg(test)]` code (waivable per-site).
@@ -18,10 +19,17 @@
 //! * `rehash` — `double_sha256(&x.to_bytes())` in protocol crates
 //!   re-encodes into a throwaway `Vec` just to hash it; use the
 //!   streaming sink (`ici_chain::hashing`) instead (waivable).
+//! * `waiver` — waiver hygiene: malformed waivers and waivers naming
+//!   unknown or non-waivable rules.
+//!
+//! Waivable rules no longer skip waived sites — they emit them with
+//! `Finding::waived` set, so the engine can count every site, detect
+//! stale waivers, and report waived debt in the JSON output. Only
+//! unwaived findings ever reach the ratchet.
 
 use crate::config::Config;
 use crate::report::Finding;
-use crate::scanner::{token_positions, ScannedFile};
+use crate::scanner::{token_seq_positions, ScannedFile};
 use crate::toml::{self, Value};
 
 /// A scanned source file plus its workspace location.
@@ -37,64 +45,73 @@ pub struct SourceFile {
 }
 
 /// Rule names that a `lint:allow(..)` waiver may reference.
-pub const WAIVABLE_RULES: &[&str] = &["panic", "cast", "error", "rehash"];
+pub const WAIVABLE_RULES: &[&str] = &[
+    "panic",
+    "cast",
+    "error",
+    "rehash",
+    "unordered-iter",
+    "wall-clock",
+    "rogue-thread",
+    "env-read",
+    "entropy",
+];
 
-/// Tokens that open a panic path. `debug_assert*` is deliberately
-/// absent: it compiles out of release builds and is the sanctioned way
-/// to state internal invariants.
-const PANIC_TOKENS: &[&str] = &[
-    "panic!",
-    "unreachable!",
-    "todo!",
-    "unimplemented!",
-    ".unwrap()",
-    ".expect(",
-    "assert!",
-    "assert_eq!",
-    "assert_ne!",
+/// Token sequences that open a panic path, with the display name used
+/// in messages. `debug_assert*` is deliberately absent: it compiles
+/// out of release builds and is the sanctioned way to state internal
+/// invariants.
+const PANIC_SEQS: &[(&[&str], &str)] = &[
+    (&["panic", "!"], "panic!"),
+    (&["unreachable", "!"], "unreachable!"),
+    (&["todo", "!"], "todo!"),
+    (&["unimplemented", "!"], "unimplemented!"),
+    (&[".", "unwrap", "(", ")"], ".unwrap()"),
+    (&[".", "expect", "("], ".expect("),
+    (&["assert", "!"], "assert!"),
+    (&["assert_eq", "!"], "assert_eq!"),
+    (&["assert_ne", "!"], "assert_ne!"),
 ];
 
 /// Lossy narrowing targets flagged in codec/wire paths.
-const NARROWING_CASTS: &[&str] = &["as u8", "as u16", "as u32", "as usize"];
+const NARROWING_SEQS: &[(&[&str], &str)] = &[
+    (&["as", "u8"], "as u8"),
+    (&["as", "u16"], "as u16"),
+    (&["as", "u32"], "as u32"),
+    (&["as", "usize"], "as usize"),
+];
 
-/// `panic` rule. Returns the findings (unwaived sites) and the total
-/// number of panic sites found (including waived ones) — the latter
-/// feeds the `protocol_panic_sites` stat in the baseline.
-pub fn check_panic(files: &[SourceFile], config: &Config) -> (Vec<Finding>, usize) {
+/// `panic` rule, matched on the token stream. Waived sites are
+/// included with `waived` set; the total (waived or not) feeds the
+/// `protocol_panic_sites` stat.
+pub fn check_panic(files: &[SourceFile], config: &Config) -> Vec<Finding> {
     let mut findings = Vec::new();
-    let mut sites = 0usize;
     for file in files {
         if !config.protocol_crates.contains(&file.crate_name) {
             continue;
         }
-        for line in &file.scanned.lines {
-            if line.in_test {
-                continue;
-            }
-            for token in PANIC_TOKENS {
-                let hits = token_positions(&line.code, token).len();
-                if hits == 0 {
+        for (seq, display) in PANIC_SEQS {
+            for at in token_seq_positions(&file.scanned.tokens, seq) {
+                let line = file.scanned.tokens[at].line;
+                if file.scanned.line_in_test(line) {
                     continue;
                 }
-                sites += hits;
-                if file.scanned.is_waived(line.number, "panic") {
-                    continue;
-                }
-                for _ in 0..hits {
-                    findings.push(Finding::new(
+                findings.push(
+                    Finding::new(
                         "panic",
                         &file.rel_path,
-                        line.number,
+                        line,
                         format!(
-                            "panic path `{token}` in protocol crate `{}`",
+                            "panic path `{display}` in protocol crate `{}`",
                             file.crate_name
                         ),
-                    ));
-                }
+                    )
+                    .waived(file.scanned.is_waived(line, "panic")),
+                );
             }
         }
     }
-    (findings, sites)
+    findings
 }
 
 /// `unsafe` rule: crate roots must forbid unsafe code, and the keyword
@@ -106,20 +123,14 @@ pub fn check_panic(files: &[SourceFile], config: &Config) -> (Vec<Finding>, usiz
 /// overridable at inner scope, which is exactly what lets the listed
 /// file opt back in with `#![allow(unsafe_code)]`).
 pub fn check_unsafe(files: &[SourceFile], config: &Config) -> Vec<Finding> {
+    const FORBID: &[&str] = &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
+    const DENY: &[&str] = &["#", "!", "[", "deny", "(", "unsafe_code", ")", "]"];
     let mut findings = Vec::new();
     for file in files {
         let is_crate_root = file.rel_path.ends_with("/src/lib.rs") || file.rel_path == "src/lib.rs";
         if is_crate_root {
-            let has_forbid = file
-                .scanned
-                .lines
-                .iter()
-                .any(|l| l.code.contains("#![forbid(unsafe_code)]"));
-            let has_deny = file
-                .scanned
-                .lines
-                .iter()
-                .any(|l| l.code.contains("#![deny(unsafe_code)]"));
+            let has_forbid = !token_seq_positions(&file.scanned.tokens, FORBID).is_empty();
+            let has_deny = !token_seq_positions(&file.scanned.tokens, DENY).is_empty();
             let crate_has_carveout = !file.crate_name.is_empty()
                 && config
                     .unsafe_files
@@ -141,20 +152,15 @@ pub fn check_unsafe(files: &[SourceFile], config: &Config) -> Vec<Finding> {
         {
             continue;
         }
-        for line in &file.scanned.lines {
-            if line.code.contains("#![forbid(unsafe_code)]")
-                || line.code.contains("#![deny(unsafe_code)]")
-            {
-                continue;
-            }
-            for _ in token_positions(&line.code, "unsafe") {
-                findings.push(Finding::new(
-                    "unsafe",
-                    &file.rel_path,
-                    line.number,
-                    "`unsafe` keyword (this workspace is 100% safe Rust)",
-                ));
-            }
+        // Exact ident matching: `unsafe_code` in the lint attributes is
+        // a different token and can never false-positive here.
+        for at in token_seq_positions(&file.scanned.tokens, &["unsafe"]) {
+            findings.push(Finding::new(
+                "unsafe",
+                &file.rel_path,
+                file.scanned.tokens[at].line,
+                "`unsafe` keyword (this workspace is 100% safe Rust)",
+            ));
         }
     }
     findings
@@ -174,24 +180,28 @@ pub fn check_rehash(files: &[SourceFile], config: &Config) -> Vec<Finding> {
             continue;
         }
         for line in &file.scanned.lines {
-            if line.in_test || file.scanned.is_waived(line.number, "rehash") {
+            if line.in_test {
                 continue;
             }
             if line.code.contains("double_sha256(&") && line.code.contains(".to_bytes()") {
-                findings.push(Finding::new(
-                    "rehash",
-                    &file.rel_path,
-                    line.number,
-                    "`double_sha256(&x.to_bytes())` re-encodes into a Vec just to hash it \
-                     — stream via `hashing::double_sha256_encodable`",
-                ));
+                findings.push(
+                    Finding::new(
+                        "rehash",
+                        &file.rel_path,
+                        line.number,
+                        "`double_sha256(&x.to_bytes())` re-encodes into a Vec just to hash it \
+                         — stream via `hashing::double_sha256_encodable`",
+                    )
+                    .waived(file.scanned.is_waived(line.number, "rehash")),
+                );
             }
         }
     }
     findings
 }
 
-/// `cast` rule: lossy `as` narrowing in configured codec/wire paths.
+/// `cast` rule: lossy `as` narrowing in configured codec/wire paths,
+/// matched on the token stream.
 pub fn check_casts(files: &[SourceFile], config: &Config) -> Vec<Finding> {
     let mut findings = Vec::new();
     for file in files {
@@ -202,21 +212,23 @@ pub fn check_casts(files: &[SourceFile], config: &Config) -> Vec<Finding> {
         {
             continue;
         }
-        for line in &file.scanned.lines {
-            if line.in_test || file.scanned.is_waived(line.number, "cast") {
-                continue;
-            }
-            for token in NARROWING_CASTS {
-                for _ in token_positions(&line.code, token) {
-                    findings.push(Finding::new(
+        for (seq, display) in NARROWING_SEQS {
+            for at in token_seq_positions(&file.scanned.tokens, seq) {
+                let line = file.scanned.tokens[at].line;
+                if file.scanned.line_in_test(line) {
+                    continue;
+                }
+                findings.push(
+                    Finding::new(
                         "cast",
                         &file.rel_path,
-                        line.number,
+                        line,
                         format!(
-                            "lossy `{token}` in a codec path — use `try_from` or mask explicitly"
+                            "lossy `{display}` in a codec path — use `try_from` or mask explicitly"
                         ),
-                    ));
-                }
+                    )
+                    .waived(file.scanned.is_waived(line, "cast")),
+                );
             }
         }
     }
@@ -236,12 +248,12 @@ pub fn check_error_discipline(files: &[SourceFile], config: &Config) -> Vec<Find
             if line.in_test || !line.code.contains("pub fn ") {
                 continue;
             }
-            if file.scanned.is_waived(line.number, "error") {
-                continue;
-            }
             let signature = collect_signature(lines, idx);
             if let Some(problem) = signature_problem(&signature) {
-                findings.push(Finding::new("error", &file.rel_path, line.number, problem));
+                findings.push(
+                    Finding::new("error", &file.rel_path, line.number, problem)
+                        .waived(file.scanned.is_waived(line.number, "error")),
+                );
             }
         }
     }
@@ -297,7 +309,9 @@ fn signature_problem(signature: &str) -> Option<String> {
 
 /// The identifier after `pub fn `.
 fn fn_name(signature: &str) -> Option<&str> {
-    let at = token_positions(signature, "pub fn ").first().copied()?;
+    let at = crate::scanner::token_positions(signature, "pub fn ")
+        .first()
+        .copied()?;
     let rest = &signature[at + "pub fn ".len()..];
     let end = rest.find(|c: char| !c.is_alphanumeric() && c != '_')?;
     if end == 0 {
@@ -467,6 +481,10 @@ mod tests {
         Config::default()
     }
 
+    fn active(findings: &[Finding]) -> Vec<&Finding> {
+        findings.iter().filter(|f| !f.waived).collect()
+    }
+
     #[test]
     fn panic_rule_flags_protocol_code_only() {
         let files = vec![
@@ -481,14 +499,14 @@ mod tests {
                 "fn g() { y.unwrap(); }\n",
             ),
         ];
-        let (findings, sites) = check_panic(&files, &proto_config());
+        let findings = check_panic(&files, &proto_config());
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].file, "crates/ici-core/src/a.rs");
-        assert_eq!(sites, 1);
+        assert!(!findings[0].waived);
     }
 
     #[test]
-    fn panic_rule_skips_tests_and_counts_waived_sites() {
+    fn panic_rule_skips_tests_and_marks_waived_sites() {
         let src = "\
 fn f() { a.expect(\"x\"); } // lint:allow(panic) -- bounded above
 #[cfg(test)]
@@ -497,9 +515,19 @@ mod tests {
 }
 ";
         let files = vec![file("ici-core", "crates/ici-core/src/a.rs", src)];
-        let (findings, sites) = check_panic(&files, &proto_config());
-        assert!(findings.is_empty(), "{findings:?}");
-        assert_eq!(sites, 1, "waived site still counted for stats");
+        let findings = check_panic(&files, &proto_config());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].waived, "waived site still emitted for stats");
+        assert!(active(&findings).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_matches_multiline_chains() {
+        let src = "fn f() {\n    x\n        .unwrap();\n}\n";
+        let files = vec![file("ici-core", "crates/ici-core/src/a.rs", src)];
+        let findings = check_panic(&files, &proto_config());
+        assert_eq!(findings.len(), 1, "token matching spans line breaks");
+        assert_eq!(findings[0].line, 3);
     }
 
     #[test]
@@ -580,7 +608,7 @@ mod tests {
     }
 
     #[test]
-    fn rehash_rule_skips_waived_sites_and_tests() {
+    fn rehash_rule_marks_waived_sites_and_skips_tests() {
         let src = "\
 fn pow() -> Digest { double_sha256(&h.to_bytes()) } // lint:allow(rehash) -- nonce search mutates h per attempt
 #[cfg(test)]
@@ -594,7 +622,8 @@ mod tests {
             src,
         )];
         let findings = check_rehash(&files, &proto_config());
-        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].waived);
     }
 
     #[test]
@@ -608,8 +637,10 @@ mod tests {
             file("ici-chain", "crates/ici-chain/src/state.rs", "fn h(x: u64) { let _ = x as u8; }\n"),
         ];
         let findings = check_casts(&files, &proto_config());
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].line, 1);
+        let active = active(&findings);
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].line, 1);
+        assert_eq!(findings.len(), 2, "waived site still emitted");
     }
 
     #[test]
@@ -691,5 +722,18 @@ z.unwrap(); // lint:allow(panic)
             .iter()
             .any(|f| f.message.contains("cannot be waived")));
         assert!(findings.iter().any(|f| f.message.contains("malformed")));
+    }
+
+    #[test]
+    fn determinism_rules_are_waivable() {
+        for rule in [
+            "unordered-iter",
+            "wall-clock",
+            "rogue-thread",
+            "env-read",
+            "entropy",
+        ] {
+            assert!(WAIVABLE_RULES.contains(&rule), "{rule} must be waivable");
+        }
     }
 }

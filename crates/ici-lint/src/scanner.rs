@@ -1,11 +1,11 @@
-//! Lexical scanner for Rust sources.
+//! Scanned-file model: the lexer's output plus workspace semantics.
 //!
-//! Turns a `.rs` file into per-line records with comments stripped and
-//! string contents blanked, so rules can match tokens without being
-//! fooled by `"panic!"` inside a string literal or a commented-out
-//! `unwrap()`. The scanner also tracks `#[cfg(test)]` regions by brace
-//! depth (rules may exempt test-only code) and parses inline waivers of
-//! the form:
+//! [`scan`] runs the token-level lexer ([`crate::lexer`]) over a `.rs`
+//! file and layers on what rules need beyond raw tokens:
+//!
+//! * `#[cfg(test)]` region tracking by brace depth over the token
+//!   stream (rules may exempt test-only code);
+//! * inline waivers parsed from line comments:
 //!
 //! ```text
 //! // lint:allow(panic) -- reason the site is acceptable
@@ -16,7 +16,8 @@
 //! mandatory — a waiver without a written justification is itself
 //! reported as a violation.
 
-use std::collections::HashMap;
+use crate::lexer::{self, Token, TokenKind};
+use std::collections::BTreeMap;
 
 /// One source line after lexical cleanup.
 #[derive(Debug, Clone)]
@@ -33,7 +34,7 @@ pub struct SourceLine {
 /// A parsed `lint:allow(..)` waiver.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Waiver {
-    /// The waived rule name, e.g. `panic`.
+    /// The waived rule name, e.g. `panic` or `unordered-iter`.
     pub rule: String,
     /// The justification after ` -- `.
     pub reason: String,
@@ -44,8 +45,12 @@ pub struct Waiver {
 pub struct ScannedFile {
     /// All lines, in order.
     pub lines: Vec<SourceLine>,
-    /// Waivers keyed by the line number they apply to.
-    pub waivers: HashMap<usize, Vec<Waiver>>,
+    /// Code tokens in source order (comments stripped, literal
+    /// contents blanked). The substrate for token-sequence rules.
+    pub tokens: Vec<Token>,
+    /// Waivers keyed by the line number they apply to. Ordered so
+    /// waiver reports are deterministic.
+    pub waivers: BTreeMap<usize, Vec<Waiver>>,
     /// Waiver comments that failed to parse: (line, problem).
     pub malformed_waivers: Vec<(usize, String)>,
 }
@@ -58,184 +63,42 @@ impl ScannedFile {
             .is_some_and(|ws| ws.iter().any(|w| w.rule == rule))
     }
 
-    /// All waivers in the file, with the line each applies to.
+    /// All waivers in the file, with the line each applies to, in
+    /// line order.
     pub fn all_waivers(&self) -> impl Iterator<Item = (usize, &Waiver)> {
         self.waivers
             .iter()
             .flat_map(|(line, ws)| ws.iter().map(move |w| (*line, w)))
     }
+
+    /// True when `line` (1-based) sits inside `#[cfg(test)]` code.
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .is_some_and(|l| l.in_test)
+    }
 }
 
-/// Cross-line lexer state.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum State {
-    Code,
-    /// Nested block comment at the given depth.
-    BlockComment(u32),
-    /// Basic (escaped) string literal.
-    Str,
-    /// Raw string awaiting `"` followed by this many `#`.
-    RawStr(u32),
-}
-
-/// Scan a Rust source file.
+/// Scan a Rust source file: lex, track test regions, extract waivers.
 pub fn scan(source: &str) -> ScannedFile {
-    let mut out = ScannedFile::default();
-    let mut state = State::Code;
-    let mut brace_depth: i64 = 0;
-    // Depths at which `#[cfg(test)]` blocks were opened.
-    let mut test_entry_depths: Vec<i64> = Vec::new();
-    // A `#[cfg(test)]` attribute was seen; its `{` has not opened yet.
-    let mut pending_cfg_test = false;
-    // Open `(`/`[` nesting, used to tell item-level `;` apart from
-    // `[u8; 32]`-style separators inside a signature.
-    let mut paren_depth: i64 = 0;
+    let lexed = lexer::lex(source);
+    let in_test = test_lines(&lexed);
+
+    let mut out = ScannedFile {
+        tokens: lexed.tokens,
+        ..ScannedFile::default()
+    };
+
     // Waivers from standalone comment lines, awaiting their code line.
     let mut pending_waivers: Vec<Waiver> = Vec::new();
-
-    for (idx, raw) in source.lines().enumerate() {
-        let number = idx + 1;
-        let chars: Vec<char> = raw.chars().collect();
-        let in_test_at_start = !test_entry_depths.is_empty();
-        let mut code = String::with_capacity(raw.len());
-        let mut comment = String::new();
-        let mut i = 0usize;
-
-        while i < chars.len() {
-            let ch = chars[i];
-            match state {
-                State::BlockComment(depth) => {
-                    if ch == '*' && chars.get(i + 1) == Some(&'/') {
-                        i += 2;
-                        state = if depth == 1 {
-                            State::Code
-                        } else {
-                            State::BlockComment(depth - 1)
-                        };
-                    } else if ch == '/' && chars.get(i + 1) == Some(&'*') {
-                        i += 2;
-                        state = State::BlockComment(depth + 1);
-                    } else {
-                        i += 1;
-                    }
-                }
-                State::Str => {
-                    if ch == '\\' {
-                        i += 2;
-                    } else if ch == '"' {
-                        code.push('"');
-                        state = State::Code;
-                        i += 1;
-                    } else {
-                        i += 1;
-                    }
-                }
-                State::RawStr(hashes) => {
-                    if ch == '"' {
-                        let mut seen = 0u32;
-                        while seen < hashes && chars.get(i + 1 + seen as usize) == Some(&'#') {
-                            seen += 1;
-                        }
-                        if seen == hashes {
-                            code.push('"');
-                            state = State::Code;
-                            i += 1 + hashes as usize;
-                        } else {
-                            i += 1;
-                        }
-                    } else {
-                        i += 1;
-                    }
-                }
-                State::Code => {
-                    if ch == '/' && chars.get(i + 1) == Some(&'/') {
-                        comment = chars[i..].iter().collect();
-                        break;
-                    }
-                    if ch == '/' && chars.get(i + 1) == Some(&'*') {
-                        state = State::BlockComment(1);
-                        i += 2;
-                        continue;
-                    }
-                    if ch == '"' {
-                        code.push('"');
-                        state = State::Str;
-                        i += 1;
-                        continue;
-                    }
-                    if let Some((hashes, consumed)) = raw_string_start(&code, &chars, i) {
-                        code.push('"');
-                        state = if hashes == u32::MAX {
-                            State::Str // plain byte string b"..."
-                        } else {
-                            State::RawStr(hashes)
-                        };
-                        i += consumed;
-                        continue;
-                    }
-                    if ch == '\'' {
-                        if let Some(consumed) = char_literal_len(&chars, i) {
-                            code.push_str("''");
-                            i += consumed;
-                        } else {
-                            code.push('\'');
-                            i += 1;
-                        }
-                        continue;
-                    }
-                    match ch {
-                        '{' => {
-                            if pending_cfg_test {
-                                test_entry_depths.push(brace_depth);
-                                pending_cfg_test = false;
-                            }
-                            brace_depth += 1;
-                            code.push('{');
-                        }
-                        '}' => {
-                            brace_depth -= 1;
-                            if test_entry_depths.last().is_some_and(|d| brace_depth <= *d) {
-                                test_entry_depths.pop();
-                            }
-                            code.push('}');
-                        }
-                        '(' | '[' => {
-                            paren_depth += 1;
-                            code.push(ch);
-                        }
-                        ')' => {
-                            paren_depth -= 1;
-                            code.push(ch);
-                        }
-                        ']' => {
-                            paren_depth -= 1;
-                            code.push(ch);
-                            if code.ends_with("#[cfg(test)]") {
-                                pending_cfg_test = true;
-                            }
-                        }
-                        ';' => {
-                            // `#[cfg(test)] use ...;` — attribute on a
-                            // braceless item; nothing to track.
-                            if pending_cfg_test && paren_depth == 0 {
-                                pending_cfg_test = false;
-                            }
-                            code.push(';');
-                        }
-                        _ => code.push(ch),
-                    }
-                    i += 1;
-                }
-            }
-        }
-
-        let in_test = in_test_at_start || !test_entry_depths.is_empty() || pending_cfg_test;
-
-        // Waiver extraction from the line comment. Doc comments are
-        // prose, not directives — a waiver spelled out in documentation
-        // (e.g. this crate's own docs) must not take effect.
+    for (idx, line) in lexed.lines.into_iter().enumerate() {
+        let number = line.number;
+        // Doc comments are prose, not directives — a waiver spelled out
+        // in documentation (e.g. this crate's own docs) must not take
+        // effect.
+        let comment = line.comment.unwrap_or_default();
         let is_doc = comment.starts_with("///") || comment.starts_with("//!");
-        let code_is_blank = code.trim().is_empty();
+        let code_is_blank = line.code.trim().is_empty();
         for parsed in if is_doc {
             Vec::new()
         } else {
@@ -261,74 +124,87 @@ pub fn scan(source: &str) -> ScannedFile {
 
         out.lines.push(SourceLine {
             number,
-            code,
-            in_test,
+            code: line.code,
+            in_test: in_test[idx],
         });
     }
     out
 }
 
-/// Detect a raw/byte string literal starting at `chars[at]`.
-///
-/// Returns `(hash_count, chars_consumed_through_opening_quote)`;
-/// `hash_count == u32::MAX` flags a plain byte string (`b"`) which uses
-/// normal escape rules. Returns `None` when `chars[at]` does not open a
-/// string literal prefix.
-fn raw_string_start(code: &str, chars: &[char], at: usize) -> Option<(u32, usize)> {
-    let ch = chars[at];
-    if ch != 'r' && ch != 'b' {
-        return None;
-    }
-    // Not a prefix when glued to an identifier (`for`, `sub`, ...).
-    if code
-        .chars()
-        .next_back()
-        .is_some_and(|c| c.is_alphanumeric() || c == '_')
-    {
-        return None;
-    }
-    let mut j = at + 1;
-    if ch == 'b' {
-        match chars.get(j) {
-            Some('"') => return Some((u32::MAX, j - at + 1)),
-            Some('r') => j += 1,
-            _ => return None,
+/// Per-line `#[cfg(test)]` membership, tracked by brace depth over the
+/// token stream. The attribute line itself counts as test-only, and a
+/// braceless attributed item (`#[cfg(test)] use ...;`) does not leak
+/// into what follows.
+fn test_lines(lexed: &lexer::Lexed) -> Vec<bool> {
+    let mut brace_depth: i64 = 0;
+    // Depths at which `#[cfg(test)]` blocks were opened.
+    let mut test_entry_depths: Vec<i64> = Vec::new();
+    // A `#[cfg(test)]` attribute was seen; its `{` has not opened yet.
+    let mut pending_cfg_test = false;
+    // Open `(`/`[` nesting, used to tell item-level `;` apart from
+    // `[u8; 32]`-style separators inside a signature.
+    let mut paren_depth: i64 = 0;
+
+    let tokens = &lexed.tokens;
+    let mut next_token = 0usize;
+    let mut out = Vec::with_capacity(lexed.lines.len());
+    for line in &lexed.lines {
+        let at_start = !test_entry_depths.is_empty();
+        while next_token < tokens.len() && tokens[next_token].line == line.number {
+            let idx = next_token;
+            let tok = &tokens[idx];
+            next_token += 1;
+            if tok.kind != TokenKind::Punct {
+                continue;
+            }
+            match tok.text.as_str() {
+                "{" => {
+                    if pending_cfg_test {
+                        test_entry_depths.push(brace_depth);
+                        pending_cfg_test = false;
+                    }
+                    brace_depth += 1;
+                }
+                "}" => {
+                    brace_depth -= 1;
+                    if test_entry_depths.last().is_some_and(|d| brace_depth <= *d) {
+                        test_entry_depths.pop();
+                    }
+                }
+                "(" | "[" => paren_depth += 1,
+                ")" => paren_depth -= 1,
+                "]" => {
+                    paren_depth -= 1;
+                    if closes_cfg_test(tokens, idx) {
+                        pending_cfg_test = true;
+                    }
+                }
+                ";" => {
+                    // `#[cfg(test)] use ...;` — attribute on a
+                    // braceless item; nothing to track.
+                    if pending_cfg_test && paren_depth == 0 {
+                        pending_cfg_test = false;
+                    }
+                }
+                _ => {}
+            }
         }
+        out.push(at_start || !test_entry_depths.is_empty() || pending_cfg_test);
     }
-    let mut hashes = 0u32;
-    while chars.get(j) == Some(&'#') {
-        hashes += 1;
-        j += 1;
-    }
-    if chars.get(j) == Some(&'"') {
-        Some((hashes, j - at + 1))
-    } else {
-        None
-    }
+    out
 }
 
-/// Length in chars of a char literal starting at `chars[at] == '\''`,
-/// or `None` when it is a lifetime.
-fn char_literal_len(chars: &[char], at: usize) -> Option<usize> {
-    match chars.get(at + 1) {
-        Some('\\') => {
-            // Escape: bounded search for the closing quote.
-            for j in (at + 3)..(at + 14).min(chars.len()) {
-                if chars[j] == '\'' {
-                    return Some(j - at + 1);
-                }
-            }
-            None
-        }
-        Some(c) if *c != '\'' => {
-            if chars.get(at + 2) == Some(&'\'') {
-                Some(3)
-            } else {
-                None // lifetime
-            }
-        }
-        _ => None,
+/// True when the `]` at `tokens[at]` closes a `#[cfg(test)]` attribute:
+/// the six preceding tokens are `# [ cfg ( test )`.
+fn closes_cfg_test(tokens: &[Token], at: usize) -> bool {
+    const PREFIX: &[&str] = &["#", "[", "cfg", "(", "test", ")"];
+    if at < PREFIX.len() {
+        return false;
     }
+    tokens[at - PREFIX.len()..at]
+        .iter()
+        .zip(PREFIX)
+        .all(|(tok, want)| tok.text == *want)
 }
 
 /// Pull every `lint:allow(rule) -- reason` out of a comment string.
@@ -350,7 +226,11 @@ fn parse_one_waiver(tail: &str) -> Result<Waiver, String> {
         .ok_or("expected `(` after lint:allow")?;
     let close = inner.find(')').ok_or("unterminated lint:allow(..)")?;
     let rule = inner[..close].trim().to_string();
-    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+    if rule.is_empty()
+        || !rule
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
         return Err(format!("invalid rule name in lint:allow: {rule:?}"));
     }
     let after = inner[close + 1..].trim_start();
@@ -396,6 +276,26 @@ pub fn token_positions(code: &str, token: &str) -> Vec<usize> {
             out.push(at);
         }
         start = at + token.len();
+    }
+    out
+}
+
+/// Positions in `tokens` where the texts `pattern` match consecutively.
+/// Whitespace- and line-break-insensitive by construction: tokens have
+/// no layout, so `Instant :: now` and `Instant::now` match alike.
+pub fn token_seq_positions(tokens: &[Token], pattern: &[&str]) -> Vec<usize> {
+    let mut out = Vec::new();
+    if pattern.is_empty() || tokens.len() < pattern.len() {
+        return out;
+    }
+    for at in 0..=(tokens.len() - pattern.len()) {
+        if tokens[at..at + pattern.len()]
+            .iter()
+            .zip(pattern)
+            .all(|(tok, want)| tok.text == *want)
+        {
+            out.push(at);
+        }
     }
     out
 }
@@ -501,6 +401,12 @@ fn real2() {}
     }
 
     #[test]
+    fn cfg_test_with_odd_spacing_still_tracks() {
+        let s = scan("#[cfg( test )]\nmod tests {\n    x.unwrap();\n}\n");
+        assert!(s.lines[2].in_test, "token matching ignores layout");
+    }
+
+    #[test]
     fn cfg_test_fn_inside_module() {
         let src = "\
 mod m {
@@ -530,6 +436,14 @@ mod m {
         );
         assert!(s.is_waived(4, "panic"));
         assert!(!s.is_waived(1, "panic"));
+    }
+
+    #[test]
+    fn dashed_rule_names_parse() {
+        let s =
+            scan("for (k, v) in &map {} // lint:allow(unordered-iter) -- sums are commutative\n");
+        assert!(s.is_waived(1, "unordered-iter"));
+        assert!(s.malformed_waivers.is_empty());
     }
 
     #[test]
@@ -568,5 +482,20 @@ mod m {
         );
         assert_eq!(token_positions("unsafe { x }", "unsafe").len(), 1);
         assert_eq!(token_positions("x as u32x4", "as u32").len(), 0);
+    }
+
+    #[test]
+    fn token_sequences_match_across_layout() {
+        let s = scan("Instant::now();\nInstant ::\n    now();\nmy_Instant::nowish();\n");
+        let hits = token_seq_positions(&s.tokens, &["Instant", "::", "now"]);
+        assert_eq!(hits.len(), 2, "layout-insensitive, ident-exact");
+    }
+
+    #[test]
+    fn token_sequences_never_match_inside_identifiers() {
+        let s = scan("let unsafe_code = 1; debug_assert!(x); my_panic!();\n");
+        assert!(token_seq_positions(&s.tokens, &["unsafe"]).is_empty());
+        assert!(token_seq_positions(&s.tokens, &["assert", "!"]).is_empty());
+        assert!(token_seq_positions(&s.tokens, &["panic", "!"]).is_empty());
     }
 }

@@ -8,10 +8,23 @@ use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use ici_lint::Options;
+
 fn fixture(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name)
+}
+
+fn check() -> Options {
+    Options::default()
+}
+
+fn update() -> Options {
+    Options {
+        update_baseline: true,
+        allow_regress: false,
+    }
 }
 
 /// A unique scratch copy of a fixture; removed on drop.
@@ -65,7 +78,7 @@ fn rule_set(outcome: &ici_lint::Outcome) -> BTreeSet<String> {
 
 #[test]
 fn clean_fixture_passes() {
-    let outcome = ici_lint::run(&fixture("clean"), false).expect("runs");
+    let outcome = ici_lint::run(&fixture("clean"), check()).expect("runs");
     assert!(
         outcome.clean(),
         "unexpected findings: {:?}",
@@ -73,12 +86,13 @@ fn clean_fixture_passes() {
     );
     assert_eq!(outcome.files_scanned, 2);
     assert_eq!(outcome.manifests_checked, 2);
-    assert_eq!(outcome.ratchet.baselined, 0);
+    assert!(outcome.ratchet.baselined.is_empty());
+    assert!(outcome.stale_waivers.is_empty(), "both waivers are live");
 }
 
 #[test]
-fn violations_fixture_trips_every_rule() {
-    let outcome = ici_lint::run(&fixture("violations"), false).expect("runs");
+fn violations_fixture_trips_every_general_rule() {
+    let outcome = ici_lint::run(&fixture("violations"), check()).expect("runs");
     assert!(!outcome.clean());
     let rules = rule_set(&outcome);
     let expected: BTreeSet<String> = [
@@ -108,33 +122,142 @@ fn violations_fixture_trips_every_rule() {
 }
 
 #[test]
+fn determinism_fixture_trips_each_rule_exactly_once() {
+    let outcome = ici_lint::run(&fixture("determinism"), check()).expect("runs");
+    assert!(!outcome.clean());
+    let expected = [
+        ("unordered-iter", "crates/demo/src/unordered.rs"),
+        ("wall-clock", "crates/demo/src/clock.rs"),
+        ("rogue-thread", "crates/demo/src/threads.rs"),
+        ("env-read", "crates/demo/src/envread.rs"),
+        ("entropy", "crates/demo/src/entropy.rs"),
+    ];
+    for (rule, file) in expected {
+        let hits: Vec<_> = outcome
+            .ratchet
+            .new_violations
+            .iter()
+            .filter(|f| f.rule == rule)
+            .collect();
+        assert_eq!(hits.len(), 1, "rule {rule}: {hits:?}");
+        assert_eq!(hits[0].file, file, "rule {rule}");
+        assert!(hits[0].line > 0, "rule {rule} carries a span");
+    }
+    assert_eq!(
+        outcome.ratchet.new_violations.len(),
+        expected.len(),
+        "nothing else fires: {:?}",
+        outcome.ratchet.new_violations
+    );
+    // Each rule's site stat counts its one finding.
+    for (stat, want) in [
+        ("unordered_iter_sites", 1),
+        ("wall_clock_sites", 1),
+        ("rogue_thread_sites", 1),
+        ("env_read_sites", 1),
+        ("entropy_sites", 1),
+        ("protocol_panic_sites", 0),
+    ] {
+        assert_eq!(outcome.stats.get(stat), Some(&want), "{stat}");
+    }
+}
+
+#[test]
+fn json_report_matches_committed_golden() {
+    let outcome = ici_lint::run(&fixture("determinism"), check()).expect("runs");
+    let rendered = ici_lint::render_json(&outcome);
+    let golden_path = fixture("determinism").join("expected.json");
+    let golden = fs::read_to_string(&golden_path).expect("committed golden expected.json");
+    assert_eq!(
+        rendered,
+        golden,
+        "JSON report drifted from {}; update the golden deliberately",
+        golden_path.display()
+    );
+}
+
+#[test]
 fn report_renders_spans_and_summary() {
-    let outcome = ici_lint::run(&fixture("violations"), false).expect("runs");
+    let outcome = ici_lint::run(&fixture("violations"), check()).expect("runs");
     let report = ici_lint::render_report(&outcome);
     assert!(report.contains("crates/demo/src/codec.rs:5: [cast]"));
     assert!(report.contains("new violation(s)"));
+    assert!(report.contains("stale waiver(s)"));
 }
 
 #[test]
 fn update_baseline_suppresses_existing_debt() {
     let scratch = Scratch::of("violations", "update");
-    let updated = ici_lint::run(&scratch.root, true).expect("runs");
+    let updated = ici_lint::run(&scratch.root, update()).expect("runs");
     assert!(
         updated.clean(),
         "--update-baseline run must pass: {:?}",
         updated.ratchet.new_violations
     );
     assert!(scratch.root.join("lint-baseline.toml").is_file());
+    assert!(
+        updated
+            .baseline_diff
+            .iter()
+            .any(|c| c.contains("cast:crates/demo/src/codec.rs: 0 -> 1")),
+        "creation prints the count diff: {:?}",
+        updated.baseline_diff
+    );
 
-    let second = ici_lint::run(&scratch.root, false).expect("runs");
+    let second = ici_lint::run(&scratch.root, check()).expect("runs");
     assert!(second.clean());
-    assert!(second.ratchet.baselined > 0, "debt is counted, not hidden");
+    assert!(
+        !second.ratchet.baselined.is_empty(),
+        "debt is counted, not hidden"
+    );
+}
+
+#[test]
+fn update_baseline_refuses_raises_without_allow_regress() {
+    let scratch = Scratch::of("violations", "regress");
+    ici_lint::run(&scratch.root, update()).expect("create baseline");
+    let before = fs::read_to_string(scratch.root.join("lint-baseline.toml")).expect("read");
+
+    // One more panic site than the baseline tolerates.
+    let lib = scratch.root.join("crates/demo/src/lib.rs");
+    let mut text = fs::read_to_string(&lib).expect("read");
+    text.push_str(
+        "\n/// Extra panic site.\npub fn extra(x: &[u8]) -> u8 {\n    *x.last().unwrap()\n}\n",
+    );
+    fs::write(&lib, text).expect("write");
+
+    let err = ici_lint::run(&scratch.root, update()).expect_err("must refuse the raise");
+    assert!(err.contains("--allow-regress"), "{err}");
+    assert!(
+        err.contains("panic:crates/demo/src/lib.rs: 1 -> 2"),
+        "refusal names the raised count: {err}"
+    );
+    let after = fs::read_to_string(scratch.root.join("lint-baseline.toml")).expect("read");
+    assert_eq!(before, after, "refused update must not touch the file");
+
+    let accepted = ici_lint::run(
+        &scratch.root,
+        Options {
+            update_baseline: true,
+            allow_regress: true,
+        },
+    )
+    .expect("allow-regress accepts");
+    assert!(accepted.clean());
+    assert!(
+        accepted
+            .baseline_diff
+            .iter()
+            .any(|c| c.contains("panic:crates/demo/src/lib.rs: 1 -> 2")),
+        "diff printed on accepted regress: {:?}",
+        accepted.baseline_diff
+    );
 }
 
 #[test]
 fn ratchet_fails_when_a_count_grows() {
     let scratch = Scratch::of("violations", "grow");
-    ici_lint::run(&scratch.root, true).expect("baseline");
+    ici_lint::run(&scratch.root, update()).expect("baseline");
 
     let lib = scratch.root.join("crates/demo/src/lib.rs");
     let mut text = fs::read_to_string(&lib).expect("read");
@@ -142,7 +265,7 @@ fn ratchet_fails_when_a_count_grows() {
     text.push_str("pub fn fourth(input: &[u8]) -> u8 {\n    *input.last().unwrap()\n}\n");
     fs::write(&lib, text).expect("write");
 
-    let outcome = ici_lint::run(&scratch.root, false).expect("runs");
+    let outcome = ici_lint::run(&scratch.root, check()).expect("runs");
     assert!(!outcome.clean(), "growth past the baseline must fail");
     assert!(outcome
         .ratchet
@@ -154,7 +277,7 @@ fn ratchet_fails_when_a_count_grows() {
 #[test]
 fn ratchet_reports_improvements_when_a_count_shrinks() {
     let scratch = Scratch::of("violations", "shrink");
-    ici_lint::run(&scratch.root, true).expect("baseline");
+    ici_lint::run(&scratch.root, update()).expect("baseline");
 
     // Fix the cast violation: the codec file's count drops 1 -> 0.
     let codec = scratch.root.join("crates/demo/src/codec.rs");
@@ -166,7 +289,7 @@ fn ratchet_reports_improvements_when_a_count_shrinks() {
     assert_ne!(text, fixed);
     fs::write(&codec, fixed).expect("write");
 
-    let outcome = ici_lint::run(&scratch.root, false).expect("runs");
+    let outcome = ici_lint::run(&scratch.root, check()).expect("runs");
     assert!(outcome.clean(), "{:?}", outcome.ratchet.new_violations);
     assert!(
         outcome
@@ -180,15 +303,43 @@ fn ratchet_reports_improvements_when_a_count_shrinks() {
 }
 
 #[test]
+fn stale_waivers_are_reported_but_do_not_fail_the_gate() {
+    let scratch = Scratch::of("clean", "stale");
+    // Remove the panic site but keep its waiver: the waiver goes stale.
+    let lib = scratch.root.join("crates/demo/src/lib.rs");
+    let text = fs::read_to_string(&lib).expect("read");
+    let without_site = text.replace(
+        "    assert!(input.len() < 1 << 20, \"bounded by construction\");",
+        "    debug_assert!(input.len() < 1 << 20);",
+    );
+    assert_ne!(text, without_site);
+    fs::write(&lib, without_site).expect("write");
+
+    let outcome = ici_lint::run(&scratch.root, check()).expect("runs");
+    assert!(outcome.clean(), "{:?}", outcome.ratchet.new_violations);
+    assert_eq!(
+        outcome.stale_waivers.len(),
+        1,
+        "{:?}",
+        outcome.stale_waivers
+    );
+    assert_eq!(outcome.stale_waivers[0].rule, "panic");
+    assert_eq!(outcome.stats.get("stale_waivers"), Some(&1));
+    let report = ici_lint::render_report(&outcome);
+    assert!(report.contains("stale `lint:allow(panic)`"), "{report}");
+}
+
+#[test]
 fn empty_root_is_an_error_not_a_vacuous_pass() {
     let err =
-        ici_lint::run(Path::new("/nonexistent-lint-root-xyz"), false).expect_err("must not pass");
+        ici_lint::run(Path::new("/nonexistent-lint-root-xyz"), check()).expect_err("must not pass");
     assert!(err.contains("nothing to lint"), "{err}");
 }
 
 #[test]
 fn stats_track_panic_sites_including_waived() {
     // The clean fixture has exactly one (waived) panic site.
-    let outcome = ici_lint::run(&fixture("clean"), false).expect("runs");
+    let outcome = ici_lint::run(&fixture("clean"), check()).expect("runs");
     assert_eq!(outcome.stats.get("protocol_panic_sites"), Some(&1));
+    assert_eq!(outcome.waived.len(), 2, "panic + cast waivers are live");
 }

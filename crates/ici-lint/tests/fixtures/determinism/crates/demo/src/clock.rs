@@ -1,0 +1,7 @@
+//! Fires `wall-clock` exactly once.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

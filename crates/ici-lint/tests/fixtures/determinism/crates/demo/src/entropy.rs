@@ -1,0 +1,7 @@
+//! Fires `entropy` exactly once: an explicit randomly-seeded hasher
+//! state. (The type is named once — path in the signature — so the
+//! rule's per-mention counting yields a single finding.)
+
+pub fn hasher_state() -> std::collections::hash_map::RandomState {
+    Default::default()
+}

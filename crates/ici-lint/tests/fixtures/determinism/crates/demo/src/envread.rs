@@ -1,0 +1,6 @@
+//! Fires `env-read` exactly once: this module is not on the
+//! sanctioned list.
+
+pub fn node_name() -> String {
+    std::env::var("NODE_NAME").unwrap_or_default()
+}

@@ -1,0 +1,11 @@
+//! Seeded fixture: every determinism rule fires exactly once, each in
+//! its own module, plus one sanctioned env read that must stay silent.
+
+#![forbid(unsafe_code)]
+
+mod clock;
+mod entropy;
+mod envread;
+mod sanctioned;
+mod threads;
+mod unordered;

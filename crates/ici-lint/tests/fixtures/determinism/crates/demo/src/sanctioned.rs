@@ -1,0 +1,7 @@
+//! Sanctioned configuration entry point (listed in lint.toml's
+//! `determinism.env_read_files`): reads the environment without
+//! tripping `env-read`.
+
+pub fn threads_override() -> Option<String> {
+    std::env::var("DEMO_THREADS").ok()
+}

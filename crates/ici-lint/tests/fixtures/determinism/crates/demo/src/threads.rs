@@ -1,0 +1,6 @@
+//! Fires `rogue-thread` exactly once.
+
+pub fn go() {
+    let handle = std::thread::spawn(|| 7);
+    let _ = handle.join();
+}

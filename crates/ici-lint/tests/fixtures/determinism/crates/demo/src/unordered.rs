@@ -1,0 +1,15 @@
+//! Fires `unordered-iter` exactly once: the sum visits entries in hash
+//! order. Point lookups stay legal.
+
+use std::collections::HashMap;
+
+pub fn sum(map: &HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    if map.contains_key(&0) {
+        total += map.get(&0).copied().unwrap_or(0);
+    }
+    for (_k, v) in map.iter() {
+        total += v;
+    }
+    total
+}

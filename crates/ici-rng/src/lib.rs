@@ -101,7 +101,7 @@ impl Xoshiro256 {
 
     /// Next 32-bit output (upper half of the 64-bit stream).
     pub fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32 // lint:allow(cast) -- intentional truncation to the high word
+        (self.next_u64() >> 32) as u32 // intentional truncation to the high word
     }
 
     /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
@@ -132,7 +132,7 @@ impl Xoshiro256 {
     ///
     /// Panics if `bound == 0`.
     pub fn bounded_u64(&mut self, bound: u64) -> u64 {
-        assert!(bound > 0, "empty range"); // lint:allow(panic) -- caller contract, mirrors rand's gen_range
+        assert!(bound > 0, "empty range"); // caller contract, mirrors rand's gen_range
                                            // Reject the (tiny) biased tail of the 64-bit stream.
         let zone = u64::MAX - u64::MAX.wrapping_rem(bound);
         loop {
@@ -215,7 +215,7 @@ macro_rules! impl_sample_range {
         impl SampleRange for Range<$ty> {
             type Output = $ty;
             fn sample(self, rng: &mut Xoshiro256) -> $ty {
-                assert!(self.start < self.end, "empty range"); // lint:allow(panic) -- caller contract, mirrors rand's gen_range
+                assert!(self.start < self.end, "empty range"); // caller contract, mirrors rand's gen_range
                 let span = (self.end - self.start) as u64;
                 self.start + rng.bounded_u64(span) as $ty
             }
@@ -224,7 +224,7 @@ macro_rules! impl_sample_range {
             type Output = $ty;
             fn sample(self, rng: &mut Xoshiro256) -> $ty {
                 let (start, end) = (*self.start(), *self.end());
-                assert!(start <= end, "empty range"); // lint:allow(panic) -- caller contract, mirrors rand's gen_range
+                assert!(start <= end, "empty range"); // caller contract, mirrors rand's gen_range
                 let span = (end - start) as u64;
                 if span == u64::MAX {
                     return rng.next_u64() as $ty;

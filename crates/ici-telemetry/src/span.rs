@@ -47,6 +47,8 @@ pub fn span_guard(name: &'static str, label: Label) -> SpanGuard {
 #[cold]
 #[inline(never)]
 fn open_span(name: &'static str, label: Label) -> SpanGuard {
+    // lint:allow(wall-clock) -- span timing measures the host, never
+    // feeds protocol state; exported metrics carry counts, not times
     let started = Instant::now();
     let open = with_collector(|c| {
         let epoch = *c.epoch.get_or_insert(started);

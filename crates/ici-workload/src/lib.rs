@@ -30,7 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ici_chain::transaction::{Address, Transaction};
 use ici_crypto::sig::Keypair;
@@ -100,7 +100,10 @@ impl Default for WorkloadConfig {
 pub struct WorkloadGenerator {
     config: WorkloadConfig,
     rng: Xoshiro256,
-    nonces: HashMap<u64, u64>,
+    /// Per-sender next nonce. BTreeMap: the generator's output feeds
+    /// byte-compared artifacts, and the `unordered-iter` lint gates
+    /// this crate, so even bookkeeping maps stay ordered.
+    nonces: BTreeMap<u64, u64>,
     /// Precomputed Zipf CDF (empty for uniform).
     zipf_cdf: Vec<f64>,
     emitted: u64,
@@ -132,7 +135,7 @@ impl WorkloadGenerator {
         WorkloadGenerator {
             rng: Xoshiro256::seed_from_u64(config.seed ^ 0x774C_0AD5),
             config,
-            nonces: HashMap::new(),
+            nonces: BTreeMap::new(),
             zipf_cdf,
             emitted: 0,
         }

@@ -21,6 +21,16 @@ ICI_PAR_THREADS=4 cargo test -q --workspace
 echo "==> ici-lint"
 cargo run -q -p ici-lint
 
+echo "==> ici-lint JSON report matches committed results/LINT.json"
+cargo run -q -p ici-lint -- --format json > results/LINT.check.json
+cmp results/LINT.check.json results/LINT.json || {
+    echo "lint JSON drifted from results/LINT.json; regenerate it with"
+    echo "  cargo run -q -p ici-lint -- --format json > results/LINT.json"
+    rm results/LINT.check.json
+    exit 1
+}
+rm results/LINT.check.json
+
 echo "==> telemetry smoke (E1 with ICI_TELEMETRY=1)"
 ICI_TELEMETRY=1 cargo run -q --release -p ici-bench --bin e1_storage >/dev/null
 python3 - <<'EOF'
