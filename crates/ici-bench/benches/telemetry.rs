@@ -66,6 +66,24 @@ fn main() {
         ici_telemetry::counter_add("bench/noop", ici_telemetry::Label::Global, 1);
     });
 
+    println!("\n== trace primitives (disabled path) ==");
+    ici_trace::set_enabled(false);
+    bench("trace/stage_disabled", || {
+        ici_trace::stage("bench/noop", 0, 0, 0, None, None, 0, 1, 0);
+    });
+    bench("trace/send_gate_disabled", || {
+        ici_trace::send("bench/noop", 0, 0, 0, 1, 0, 0, None, 1, 0);
+    });
+
+    println!("\n== trace primitives (enabled path) ==");
+    ici_trace::set_enabled(true);
+    ici_trace::reset();
+    bench("trace/stage_enabled", || {
+        ici_trace::stage("bench/noop", 0, 0, 0, None, None, 0, 1, 0);
+    });
+    ici_trace::set_enabled(false);
+    ici_trace::reset();
+
     println!("\n== telemetry primitives (enabled path) ==");
     ici_telemetry::set_enabled(true);
     ici_telemetry::reset();

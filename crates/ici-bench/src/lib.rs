@@ -41,10 +41,12 @@ pub enum Scale {
 impl Scale {
     /// Parses the process arguments: `--paper` selects [`Scale::Paper`].
     ///
-    /// Also initializes telemetry from the environment (`ICI_TELEMETRY=1`),
-    /// since every experiment binary calls this exactly once at startup.
+    /// Also initializes telemetry (`ICI_TELEMETRY=1`) and causal tracing
+    /// (`ICI_TRACE=1`) from the environment, since every experiment
+    /// binary calls this exactly once at startup.
     pub fn from_args() -> Scale {
         ici_telemetry::init_from_env();
+        ici_trace::init_from_env();
         if std::env::args().any(|a| a == "--paper") {
             Scale::Paper
         } else {
@@ -121,13 +123,22 @@ pub fn txs_per_block(scale: Scale) -> usize {
 ///
 /// When telemetry is enabled (`ICI_TELEMETRY=1`) the record gains a
 /// `telemetry` section with the run's counters, histograms, and spans,
-/// and a top-spans profile plus a flame graph over the span-event ring
-/// are printed after the tables.
+/// plus the per-round `series` the runners sampled, and a top-spans
+/// profile plus a flame graph over the span-event ring are printed
+/// after the tables.
+///
+/// When tracing is enabled (`ICI_TRACE=1`) the run's causal event log
+/// is additionally exported next to the record as
+/// `TRACE_<id>.json` (canonical event log) and
+/// `TRACE_<id>.chrome.json` (Chrome trace-event / Perfetto format),
+/// under `ICI_TRACE_OUT` (default `results/`).
 pub fn emit(id: &str, title: &str, params: &str, tables: &[&Table]) {
     for table in tables {
         println!("{table}");
     }
-    let record = ExperimentRecord::new(id, title, params, tables).with_telemetry();
+    let record = ExperimentRecord::new(id, title, params, tables)
+        .with_telemetry()
+        .with_series();
     if let Some(snapshot) = &record.telemetry {
         print_top_spans(snapshot, 5);
         println!("{}", ici_telemetry::render_flamegraph(snapshot, 40));
@@ -137,7 +148,37 @@ pub fn emit(id: &str, title: &str, params: &str, tables: &[&Table]) {
         Ok(()) => println!("[saved {}]\n", path.display()),
         Err(e) => eprintln!("[warn: could not save {}: {e}]", path.display()),
     }
+    export_trace(id);
     alloc::report(id);
+}
+
+/// Writes the trace collected so far to `ICI_TRACE_OUT` when tracing is
+/// enabled; a no-op otherwise. Resets the collector afterwards so a
+/// multi-experiment process never bleeds events across `emit` calls.
+fn export_trace(id: &str) {
+    if !ici_trace::enabled() {
+        return;
+    }
+    let snap = ici_trace::snapshot();
+    ici_trace::reset();
+    let dir = PathBuf::from(ici_trace::out_dir());
+    let lower = id.to_lowercase();
+    for (suffix, body) in [
+        (".json", ici_trace::export::canonical_json(id, &snap)),
+        (".chrome.json", ici_trace::export::chrome_json(&snap)),
+    ] {
+        let path = dir.join(format!("TRACE_{lower}{suffix}"));
+        let write = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, body));
+        match write {
+            Ok(()) => println!(
+                "[saved {} ({} events, {} dropped)]",
+                path.display(),
+                snap.events.len(),
+                snap.dropped
+            ),
+            Err(e) => eprintln!("[warn: could not save {}: {e}]", path.display()),
+        }
+    }
 }
 
 /// Prints the `n` spans with the largest self time, one line each.

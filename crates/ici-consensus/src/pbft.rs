@@ -109,11 +109,13 @@ where
 
     // Phase 1 — pre-prepare: leader ships the payload.
     let mut ready: BTreeMap<NodeId, SimTime> = BTreeMap::new();
+    let mut payload_bytes = 0u64;
     for &m in members {
         let arrival = if m == inputs.leader {
             Some(inputs.start)
         } else {
             let (kind, bytes) = (inputs.payload)(m);
+            payload_bytes += bytes;
             net.send(inputs.leader, m, kind, bytes)
                 .delay()
                 .map(|d| inputs.start + d)
@@ -121,6 +123,23 @@ where
         if let Some(at) = arrival {
             ready.insert(m, at + (inputs.validation)(m));
         }
+    }
+    if ici_trace::enabled() {
+        // Dissemination + validation stage: proposal to the last member
+        // becoming vote-ready, keyed by the network's causal context.
+        let ctx = net.trace_ctx();
+        let done = ready.values().max().copied().unwrap_or(inputs.start);
+        ici_trace::stage(
+            "consensus/preprepare",
+            inputs.start.as_micros(),
+            done.saturating_since(inputs.start).as_micros(),
+            ctx.height,
+            ctx.cluster,
+            Some(inputs.leader.get()),
+            payload_bytes,
+            ici_trace::derive_id(ctx.parent, 1),
+            ctx.parent,
+        );
     }
 
     // Phase 2 — prepare: each ready member broadcasts a vote; a member is
@@ -147,6 +166,20 @@ where
             ici_telemetry::Label::Global,
             at.saturating_since(inputs.start).as_micros(),
         );
+        if ici_trace::enabled() {
+            let ctx = net.trace_ctx();
+            ici_trace::stage(
+                "consensus/commit",
+                inputs.start.as_micros(),
+                at.saturating_since(inputs.start).as_micros(),
+                ctx.height,
+                ctx.cluster,
+                Some(inputs.leader.get()),
+                0,
+                ici_trace::derive_id(ctx.parent, 2),
+                ctx.parent,
+            );
+        }
     }
     report
 }
@@ -442,6 +475,49 @@ mod tests {
             serial, parallel,
             "jittery commit must not depend on threads"
         );
+    }
+
+    #[test]
+    fn commit_emits_causally_linked_stage_events() {
+        ici_trace::reset();
+        ici_trace::set_enabled(true);
+        let mut net = network(4);
+        net.set_trace_ctx(ici_trace::SendCtx {
+            sends: false,
+            at_us: 0,
+            height: 9,
+            cluster: Some(1),
+            parent: 4242,
+        });
+        let report = run(&mut net, &members(4), NodeId::new(0));
+        ici_trace::set_enabled(false);
+        let snap = ici_trace::snapshot();
+        ici_trace::reset();
+        assert!(report.is_committed());
+        let pre = snap
+            .events
+            .iter()
+            .find(|e| e.name == "consensus/preprepare")
+            .expect("preprepare stage");
+        let commit = snap
+            .events
+            .iter()
+            .find(|e| e.name == "consensus/commit")
+            .expect("commit stage");
+        assert_eq!((pre.height, pre.cluster, pre.parent), (9, Some(1), 4242));
+        assert_eq!(commit.parent, 4242);
+        assert_eq!(pre.id, ici_trace::derive_id(4242, 1));
+        assert_eq!(commit.id, ici_trace::derive_id(4242, 2));
+        assert!(pre.bytes > 0, "pre-prepare carries the payload bytes");
+        assert_eq!(
+            commit.dur_us,
+            report.quorum_commit().expect("commits").as_micros()
+        );
+        // Context did not opt sends in: stage summaries only.
+        assert!(snap
+            .events
+            .iter()
+            .all(|e| e.kind != ici_trace::TraceKind::Send));
     }
 
     #[test]

@@ -146,6 +146,23 @@ impl IciNetwork {
             self.config.cost.apply_transactions(n_txs) + self.config.cost.hash(body_bytes);
         let proposed_at = self.clock + build_cost;
 
+        // Causal root for this block's trace tree. The home commit and
+        // every cross-cluster hop descend from it, so the full path
+        // propose → distribute → verify → commit → store is
+        // reconstructable from the event log. Setting the context is
+        // gated on the trace flag and never touches rng, the sequence
+        // stream, or the meter, so disabled runs are byte-identical.
+        let block_tid = ici_trace::derive_id(height, proposed_at.as_micros());
+        if ici_trace::enabled() {
+            self.net.set_trace_ctx(ici_trace::SendCtx {
+                sends: false,
+                at_us: proposed_at.as_micros(),
+                height,
+                cluster: Some(u64::from(home.get())),
+                parent: block_tid,
+            });
+        }
+
         // Intra-cluster commit with collaborative verification.
         let home_owners: BTreeSet<NodeId> = self
             .dispatch_owners(&block_id, height, &home_members)
@@ -225,6 +242,21 @@ impl IciNetwork {
                 let Some(remote_leader) = remote_leader else {
                     return (other, None, fork);
                 };
+                // Trace the leader → remote-leader hop: the send event
+                // descends from the block root, and everything the
+                // remote cluster does descends from the send, giving
+                // the receiver side the sender-minted causal id.
+                let tracing = ici_trace::enabled();
+                if tracing {
+                    fork.set_trace_ctx(ici_trace::SendCtx {
+                        sends: true,
+                        at_us: home_commit.as_micros(),
+                        height,
+                        cluster: Some(u64::from(other.get())),
+                        parent: block_tid,
+                    });
+                }
+                let hop_tid = fork.next_send_trace_id();
                 let Some(delay) = fork
                     .send(
                         leader,
@@ -239,6 +271,15 @@ impl IciNetwork {
                 // The remote leader checks the commit certificate before
                 // re-proposing locally.
                 let arrival = home_commit + delay + cost.verify_signatures(quorum);
+                if tracing {
+                    fork.set_trace_ctx(ici_trace::SendCtx {
+                        sends: false,
+                        at_us: arrival.as_micros(),
+                        height,
+                        cluster: Some(u64::from(other.get())),
+                        parent: hop_tid,
+                    });
+                }
                 let c_remote = remote_members.len();
                 let remote_report = run_pbft_commit(
                     &mut fork,
@@ -320,6 +361,33 @@ impl IciNetwork {
             network_commit.saturating_since(proposed_at).as_micros(),
         );
         ici_telemetry::observe("core/body_bytes", ici_telemetry::Label::Global, body_bytes);
+        if ici_trace::enabled() {
+            ici_trace::stage(
+                "core/block",
+                proposed_at.as_micros(),
+                network_commit.saturating_since(proposed_at).as_micros(),
+                height,
+                Some(u64::from(home.get())),
+                Some(leader.get()),
+                body_bytes,
+                block_tid,
+                0,
+            );
+            ici_trace::stage(
+                "core/store",
+                network_commit.as_micros(),
+                0,
+                height,
+                None,
+                None,
+                body_bytes,
+                ici_trace::derive_id(block_tid, 3),
+                block_tid,
+            );
+            // Drop the block-scoped context so later traffic (queries,
+            // repair) is not misattributed to this block.
+            self.net.set_trace_ctx(ici_trace::SendCtx::default());
+        }
         missed.sort_unstable_by_key(|c| c.get());
         self.commit_log.push(BlockCommitRecord {
             height,
@@ -495,6 +563,58 @@ mod tests {
         let body_msgs = meter.kind(MessageKind::BlockBody).messages;
         assert!((5..=8).contains(&body_msgs), "body messages {body_msgs}");
         assert!(record.messages > 0 && record.bytes > 0);
+    }
+
+    #[test]
+    fn trace_reconstructs_block_path_across_clusters() {
+        ici_trace::reset();
+        ici_trace::set_enabled(true);
+        let mut net = network(32, 8, 2);
+        let record = net.propose_block(transfers(4, 0)).expect("commits").clone();
+        ici_trace::set_enabled(false);
+        let snap = ici_trace::snapshot();
+        ici_trace::reset();
+
+        let block = snap
+            .events
+            .iter()
+            .find(|e| e.name == "core/block")
+            .expect("block stage");
+        assert_eq!(block.parent, 0, "the block stage is the causal root");
+        assert_eq!(block.height, 1);
+        assert_eq!(block.dur_us, record.commit_latency().as_micros());
+        let store = snap
+            .events
+            .iter()
+            .find(|e| e.name == "core/store")
+            .expect("store stage");
+        assert_eq!(store.parent, block.id);
+        assert_eq!(store.at_us, record.network_commit.as_micros());
+
+        // Home commit descends directly from the block root.
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.name == "consensus/commit" && e.parent == block.id));
+        // Three remote clusters: each a traced block-full hop rooted at
+        // the block, whose id the remote commit stages inherit.
+        let hops: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.kind == ici_trace::TraceKind::Send)
+            .collect();
+        assert_eq!(hops.len(), 3, "one traced hop per remote cluster");
+        for hop in hops {
+            assert_eq!(hop.parent, block.id);
+            assert_eq!(hop.node, Some(record.proposer.get()));
+            assert!(
+                snap.events
+                    .iter()
+                    .any(|e| e.name == "consensus/commit" && e.parent == hop.id),
+                "no commit stage descends from hop {:016x}",
+                hop.id
+            );
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@ impl Default for Config {
                 "ici-net",
                 "ici-par",
                 "ici-telemetry",
+                "ici-trace",
                 "ici-faults",
             ]
             .iter()
@@ -75,6 +76,7 @@ impl Default for Config {
                 "ici-net",
                 "ici-par",
                 "ici-telemetry",
+                "ici-trace",
                 "ici-faults",
                 "ici-workload",
             ]
@@ -84,6 +86,7 @@ impl Default for Config {
             env_read_files: [
                 "ici-par/src/lib.rs",
                 "ici-telemetry/src/lib.rs",
+                "ici-trace/src/lib.rs",
                 "ici-bench/src/alloc.rs",
                 "ici-bench/src/harness.rs",
             ]

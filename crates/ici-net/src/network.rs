@@ -54,6 +54,7 @@ pub struct Network {
     down: HashSet<NodeId>,
     faults: Option<FaultConfig>,
     seq: u64,
+    trace: ici_trace::SendCtx,
 }
 
 /// SplitMix64 finalizer: decorrelates forked sequence streams.
@@ -74,7 +75,29 @@ impl Network {
             down: HashSet::new(),
             faults: None,
             seq: 0,
+            trace: ici_trace::SendCtx::default(),
         }
+    }
+
+    /// Installs the causal context stamped onto traced sends. Protocol
+    /// code sets this before a traced operation (and only when
+    /// [`ici_trace::enabled`]); the context is plain data and never
+    /// perturbs delivery, metering, or the sequence stream.
+    pub fn set_trace_ctx(&mut self, ctx: ici_trace::SendCtx) {
+        self.trace = ctx;
+    }
+
+    /// The causal context currently stamped onto traced sends.
+    pub fn trace_ctx(&self) -> ici_trace::SendCtx {
+        self.trace
+    }
+
+    /// The trace id the next send from this network will carry: a pure
+    /// function of the fork-stable sequence counter, so the sender can
+    /// compute it up front and hand it to the receiver's handler as a
+    /// causal parent without any shared mutable state.
+    pub fn next_send_trace_id(&self) -> u64 {
+        ici_trace::send_id(self.seq)
     }
 
     /// Number of nodes (including crashed ones).
@@ -184,46 +207,83 @@ impl Network {
         }
         let seq = self.seq;
         self.seq += 1;
-        if !self.is_up(to) {
+        let outcome = if !self.is_up(to) {
             // Bytes still leave the sender's uplink.
             self.meter.record(from, to, kind, bytes);
-            return SendOutcome::ReceiverDown;
-        }
-        let fault = match &self.faults {
-            Some(config) => config.decide(from, to, seq),
-            None => SendFault::Deliver {
-                extra_delay: Duration::ZERO,
-                copies: 1,
-            },
-        };
-        match fault {
-            SendFault::Drop => {
-                self.meter.record(from, to, kind, bytes);
-                ici_telemetry::counter_add("net/fault_drops", ici_telemetry::Label::Global, 1);
-                SendOutcome::Dropped
-            }
-            SendFault::Deliver {
-                extra_delay,
-                copies,
-            } => {
-                for _ in 0..copies.max(1) {
+            SendOutcome::ReceiverDown
+        } else {
+            let fault = match &self.faults {
+                Some(config) => config.decide(from, to, seq),
+                None => SendFault::Deliver {
+                    extra_delay: Duration::ZERO,
+                    copies: 1,
+                },
+            };
+            match fault {
+                SendFault::Drop => {
                     self.meter.record(from, to, kind, bytes);
+                    ici_telemetry::counter_add("net/fault_drops", ici_telemetry::Label::Global, 1);
+                    SendOutcome::Dropped
                 }
-                if copies > 1 {
-                    ici_telemetry::counter_add(
-                        "net/fault_duplicates",
-                        ici_telemetry::Label::Global,
-                        u64::from(copies - 1),
-                    );
+                SendFault::Deliver {
+                    extra_delay,
+                    copies,
+                } => {
+                    for _ in 0..copies.max(1) {
+                        self.meter.record(from, to, kind, bytes);
+                    }
+                    if copies > 1 {
+                        ici_telemetry::counter_add(
+                            "net/fault_duplicates",
+                            ici_telemetry::Label::Global,
+                            u64::from(copies - 1),
+                        );
+                    }
+                    if extra_delay > Duration::ZERO {
+                        ici_telemetry::counter_add(
+                            "net/fault_delays",
+                            ici_telemetry::Label::Global,
+                            1,
+                        );
+                    }
+                    SendOutcome::Delivered(
+                        self.link.transit(&self.topology, from, to, bytes, seq) + extra_delay,
+                    )
                 }
-                if extra_delay > Duration::ZERO {
-                    ici_telemetry::counter_add("net/fault_delays", ici_telemetry::Label::Global, 1);
-                }
-                SendOutcome::Delivered(
-                    self.link.transit(&self.topology, from, to, bytes, seq) + extra_delay,
-                )
             }
+        };
+        if ici_trace::enabled() && self.trace.sends {
+            self.trace_send(seq, from, to, kind, bytes, outcome);
         }
+        outcome
+    }
+
+    /// Records one traced transmission. Outlined so the untraced send
+    /// path carries only the enabled check.
+    #[cold]
+    #[inline(never)]
+    fn trace_send(
+        &self,
+        seq: u64,
+        from: NodeId,
+        to: NodeId,
+        kind: MessageKind,
+        bytes: u64,
+        outcome: SendOutcome,
+    ) {
+        let dur_us = outcome.delay().map_or(0, Duration::as_micros);
+        ici_trace::send(
+            kind.name(),
+            self.trace.at_us,
+            dur_us,
+            from.get(),
+            to.get(),
+            bytes,
+            self.trace.height,
+            self.trace.cluster,
+            ici_trace::send_id(seq),
+            self.trace.parent,
+        );
     }
 
     /// Adds a node at `coord` (e.g. a bootstrapping joiner). Returns its id.
@@ -250,6 +310,7 @@ impl Network {
             down: self.down.clone(),
             faults: self.faults.clone(),
             seq: mix(self.seq ^ mix(stream.wrapping_add(1))),
+            trace: self.trace,
         }
     }
 
@@ -451,6 +512,55 @@ mod tests {
             .send(NodeId::new(0), NodeId::new(1), MessageKind::Vote, 10)
             .delay()
             .is_some());
+    }
+
+    #[test]
+    fn traced_sends_emit_causal_events() {
+        ici_trace::reset();
+        ici_trace::set_enabled(true);
+        let mut net = net(4);
+        // Default context: tracing on, but sends not opted in.
+        net.send(NodeId::new(0), NodeId::new(1), MessageKind::Vote, 8);
+        assert!(ici_trace::snapshot().events.is_empty());
+        net.set_trace_ctx(ici_trace::SendCtx {
+            sends: true,
+            at_us: 500,
+            height: 3,
+            cluster: Some(2),
+            parent: 77,
+        });
+        let expected_id = net.next_send_trace_id();
+        let outcome = net.send(NodeId::new(0), NodeId::new(1), MessageKind::BlockFull, 64);
+        ici_trace::set_enabled(false);
+        let snap = ici_trace::snapshot();
+        ici_trace::reset();
+        assert_eq!(snap.events.len(), 1);
+        let event = &snap.events[0];
+        assert_eq!(event.kind, ici_trace::TraceKind::Send);
+        assert_eq!(event.name, MessageKind::BlockFull.name());
+        assert_eq!(event.at_us, 500);
+        assert_eq!(event.dur_us, outcome.delay().map_or(0, Duration::as_micros));
+        assert_eq!((event.node, event.peer), (Some(0), Some(1)));
+        assert_eq!((event.height, event.cluster), (3, Some(2)));
+        assert_eq!(event.bytes, 64);
+        assert_eq!(event.parent, 77);
+        assert_eq!(event.id, expected_id, "id is precomputable by the sender");
+    }
+
+    #[test]
+    fn forks_inherit_the_trace_context() {
+        let mut parent = net(4);
+        let ctx = ici_trace::SendCtx {
+            sends: true,
+            at_us: 9,
+            height: 1,
+            cluster: Some(0),
+            parent: 5,
+        };
+        parent.set_trace_ctx(ctx);
+        let child = parent.fork(3);
+        assert_eq!(child.trace_ctx(), ctx);
+        assert_eq!(parent.trace_ctx(), ctx);
     }
 
     #[test]

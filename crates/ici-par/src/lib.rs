@@ -34,7 +34,12 @@
 //! ([`ici_telemetry::drain_delta`]) and ships the delta back with its
 //! result; the calling thread merges the deltas **in task order**
 //! ([`ici_telemetry::merge_delta`]), so no worker-side counters,
-//! histograms, spans, or events are lost.
+//! histograms, spans, or events are lost. Trace events get the same
+//! treatment ([`ici_trace::drain_delta`] / [`ici_trace::merge_delta`]):
+//! because share 0 runs on the calling thread first and worker deltas
+//! merge in task-index order, the merged event sequence is identical
+//! to a serial run, which is what keeps trace exports byte-identical
+//! across thread counts.
 //!
 //! # Panics
 //!
@@ -191,8 +196,10 @@ fn submit(pool: &Pool, job: Job) {
 }
 
 /// Result of one remote task: either the mapped outputs plus the
-/// worker's drained telemetry, or the payload of a caught panic.
-type TaskResult<O> = Result<(Vec<O>, TelemetryDelta), Box<dyn std::any::Any + Send>>;
+/// worker's drained telemetry and trace deltas, or the payload of a
+/// caught panic.
+type TaskResult<O> =
+    Result<(Vec<O>, TelemetryDelta, ici_trace::TraceDelta), Box<dyn std::any::Any + Send>>;
 
 /// The execution core: maps `work` through `f` (which receives the
 /// item's global index), splitting it into `degree` contiguous shares.
@@ -258,9 +265,11 @@ where
                         .collect::<Vec<O>>()
                 }));
                 // Drain even on panic so a poisoned task cannot leak its
-                // partial telemetry into the worker's next task.
+                // partial telemetry or trace events into the worker's
+                // next task.
                 let delta = ici_telemetry::drain_delta();
-                let _ = tx.send((task, outcome.map(|out| (out, delta))));
+                let trace = ici_trace::drain_delta();
+                let _ = tx.send((task, outcome.map(|out| (out, delta, trace))));
             });
             submit(pool, job);
         }
@@ -279,15 +288,19 @@ where
 
     let mut remote: Vec<Option<Vec<O>>> = (1..degree).map(|_| None).collect();
     let mut deltas: Vec<Option<TelemetryDelta>> = (1..degree).map(|_| None).collect();
+    let mut traces: Vec<Option<ici_trace::TraceDelta>> = (1..degree).map(|_| None).collect();
     let mut panic_payload: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
     for _ in 1..degree {
         match rx.recv() {
-            Ok((task, Ok((out, delta)))) => {
+            Ok((task, Ok((out, delta, trace)))) => {
                 if let Some(slot) = task.checked_sub(1).and_then(|i| remote.get_mut(i)) {
                     *slot = Some(out);
                 }
                 if let Some(slot) = task.checked_sub(1).and_then(|i| deltas.get_mut(i)) {
                     *slot = Some(delta);
+                }
+                if let Some(slot) = task.checked_sub(1).and_then(|i| traces.get_mut(i)) {
+                    *slot = Some(trace);
                 }
             }
             Ok((task, Err(payload))) => {
@@ -305,10 +318,13 @@ where
             }
         }
     }
-    // Merge worker telemetry in task order so the aggregate stream is
-    // scheduling-independent.
+    // Merge worker telemetry and trace events in task order so the
+    // aggregate streams are scheduling-independent.
     for delta in deltas.into_iter().flatten() {
         ici_telemetry::merge_delta(delta);
+    }
+    for trace in traces.into_iter().flatten() {
+        ici_trace::merge_delta(trace);
     }
     if let Some((_, payload)) = panic_payload {
         resume_unwind(payload);
@@ -483,6 +499,42 @@ mod tests {
             .map(|c| c.value)
             .sum();
         assert_eq!(total, 32);
+    }
+
+    #[test]
+    fn worker_trace_events_merge_in_task_order() {
+        ici_trace::set_enabled(true);
+        ici_trace::reset();
+        set_threads(4);
+        par_for_each_indexed((0..32u64).collect(), |i, _x| {
+            ici_trace::mark(
+                "par/test_mark",
+                i as u64,
+                0,
+                None,
+                None,
+                ici_trace::mint_id(i as u64),
+                0,
+            );
+        });
+        let snap = ici_trace::snapshot();
+        ici_trace::set_enabled(false);
+        ici_trace::reset();
+        let marks: Vec<&ici_trace::TraceEvent> = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "par/test_mark")
+            .collect();
+        assert_eq!(marks.len(), 32);
+        // Task-order merging yields the serial event order: share 0
+        // first (recorded directly by the caller), then each worker's
+        // share by task index — i.e. item order, since shares are
+        // contiguous.
+        let order: Vec<u64> = marks.iter().map(|e| e.at_us).collect();
+        assert_eq!(order, (0..32u64).collect::<Vec<_>>());
+        for pair in marks.windows(2) {
+            assert!(pair[0].seq < pair[1].seq);
+        }
     }
 
     #[test]

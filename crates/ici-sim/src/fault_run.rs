@@ -23,9 +23,34 @@ use ici_net::node::NodeId;
 use ici_workload::{WorkloadConfig, WorkloadGenerator};
 
 use crate::latency::LatencyStats;
+use crate::runner::{finish_series, sample_round};
 
 /// Initial balance granted to each workload account at genesis.
 const GENESIS_BALANCE: u64 = u64::MAX / 1_000_000;
+
+/// Salt separating fault-mark trace ids from lifecycle stage ids.
+const FAULT_MARK_SALT: u64 = 0xFA17_0000_0000_0001;
+
+/// Emits one `faults/<what>` instant per churn event so a trace viewer
+/// shows crashes and restarts on the timeline of the node they hit.
+fn mark_churn(network: &IciNetwork, name: &'static str, nodes: &[NodeId], round: usize) {
+    if !ici_trace::enabled() {
+        return;
+    }
+    let at_us = network.now().as_micros();
+    for node in nodes {
+        let cluster = network.membership().cluster_of(*node);
+        ici_trace::mark(
+            name,
+            at_us,
+            0,
+            Some(u64::from(cluster.get())),
+            Some(node.get()),
+            ici_trace::derive_id(FAULT_MARK_SALT ^ round as u64, node.get()),
+            0,
+        );
+    }
+}
 
 /// The fault schedule's knobs, bundled so experiment binaries can cite
 /// one profile per run.
@@ -162,6 +187,11 @@ pub fn run_ici_under_faults(
 
     let mut generator = WorkloadGenerator::new(workload);
     let mut pending: Option<Vec<ici_chain::Transaction>> = None;
+    let sampling = ici_telemetry::enabled();
+    let mut samples = Vec::new();
+    let mut tracker = ici_trace::series::TrafficTracker::new();
+    let mut generated_txs = 0u64;
+    let mut committed_txs = 0u64;
     let mut summary = FaultRunSummary {
         nodes: network.config().nodes,
         clusters: network.clusters().len(),
@@ -188,9 +218,11 @@ pub fn run_ici_under_faults(
 
     while let Some(round) = scheduler.step() {
         // 1. Apply the scheduled churn (restarts come back disk-intact).
+        mark_churn(&network, "faults/restart", &round.restarts, round.round);
         for node in &round.restarts {
             let _ = network.recover_node(*node);
         }
+        mark_churn(&network, "faults/crash", &round.crashes, round.round);
         for node in &round.crashes {
             let _ = network.crash_node(*node);
         }
@@ -202,11 +234,16 @@ pub fn run_ici_under_faults(
         network.net_mut().set_faults(round.message_faults.clone());
 
         // 3. One block proposal; a failed commit retries the same batch.
-        let batch = pending
-            .take()
-            .unwrap_or_else(|| generator.batch(txs_per_block));
+        let batch = pending.take().unwrap_or_else(|| {
+            let fresh = generator.batch(txs_per_block);
+            generated_txs += fresh.len() as u64;
+            fresh
+        });
         match network.propose_block(batch.clone()) {
-            Ok(_) => summary.committed_blocks += 1,
+            Ok(_) => {
+                summary.committed_blocks += 1;
+                committed_txs += batch.len() as u64;
+            }
             Err(_) => {
                 summary.skipped_rounds += 1;
                 pending = Some(batch);
@@ -243,7 +280,25 @@ pub fn run_ici_under_faults(
         for audit in network.audit_all() {
             summary.min_availability = summary.min_availability.min(audit.availability());
         }
+
+        // 6. Per-round survivability sample, taken after repairs so the
+        //    stored-bytes snapshot reflects the round's healed state.
+        if sampling {
+            sample_round(
+                &mut samples,
+                &mut tracker,
+                round.round as u64,
+                network.commit_log().last().map_or(0, |r| r.height),
+                network.now().as_micros(),
+                committed_txs,
+                generated_txs,
+                round.live_nodes as u64,
+                network.storage_bytes(),
+                network.net().meter(),
+            );
+        }
     }
+    finish_series("ICIStrategy+faults", summary.nodes, samples);
 
     // Faults end with the plan; a final repair pass heals anything the
     // last round left degraded, then the audit rules on the whole run.
@@ -366,6 +421,35 @@ mod tests {
         let (_, summary) = run_ici_under_faults(config(), 4, workload(), profile(5)).expect("plan");
         assert_eq!(summary.cycles_per_cluster.len(), summary.clusters);
         assert!(summary.cycles_per_cluster.iter().all(|c| *c >= 1));
+    }
+
+    #[test]
+    fn churn_events_become_trace_marks() {
+        ici_trace::set_enabled(true);
+        ici_trace::reset();
+        let (_, summary) =
+            run_ici_under_faults(config(), 4, workload(), profile(3)).expect("plan builds");
+        let snap = ici_trace::snapshot();
+        ici_trace::set_enabled(false);
+        ici_trace::reset();
+        let crashes: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "faults/crash")
+            .collect();
+        assert_eq!(crashes.len(), summary.crash_events, "one mark per crash");
+        for mark in crashes {
+            assert_eq!(mark.kind, ici_trace::TraceKind::Mark);
+            assert!(mark.node.is_some() && mark.cluster.is_some());
+            assert_ne!(mark.id, 0);
+        }
+        assert_eq!(
+            snap.events
+                .iter()
+                .filter(|e| e.name == "faults/restart")
+                .count(),
+            summary.restart_events
+        );
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub struct ExperimentRecord {
     /// Telemetry captured during the run, when collection was enabled
     /// (see `ici-telemetry`). `None` omits the section entirely.
     pub telemetry: Option<ici_telemetry::TelemetrySnapshot>,
+    /// Per-round time-series registered by the runners (see
+    /// `ici_trace::series`). Empty omits the section entirely, so
+    /// committed baseline records never change bytes.
+    pub series: Vec<ici_trace::series::RunSeries>,
 }
 
 /// A table in serializable form.
@@ -122,6 +126,7 @@ impl ExperimentRecord {
             params: params.into(),
             tables: tables.iter().map(|t| SerializableTable::from(*t)).collect(),
             telemetry: None,
+            series: Vec::new(),
         }
     }
 
@@ -132,6 +137,15 @@ impl ExperimentRecord {
         if ici_telemetry::enabled() {
             self.telemetry = Some(ici_telemetry::snapshot());
         }
+        self
+    }
+
+    /// Drains the per-round time-series the runners registered on this
+    /// thread. Nothing was registered (sampling rides the telemetry
+    /// gate) ⇒ the record serializes byte-identically to one without
+    /// the section.
+    pub fn with_series(mut self) -> ExperimentRecord {
+        self.series = ici_trace::series::drain();
         self
     }
 
@@ -161,6 +175,10 @@ impl ExperimentRecord {
         if let Some(telemetry) = &self.telemetry {
             out.push_str(",\n  \"telemetry\": ");
             telemetry.write_json(&mut out, "  ");
+        }
+        if !self.series.is_empty() {
+            out.push_str(",\n  \"series\": ");
+            out.push_str(&ici_trace::series::render_json(&self.series, "  "));
         }
         out.push_str("\n}");
         out
@@ -238,6 +256,38 @@ mod tests {
         let bare = ExperimentRecord::new("ET", "probe run", "", &[]);
         assert!(bare.telemetry.is_none());
         assert!(!bare.to_json().contains("\"telemetry\""));
+    }
+
+    #[test]
+    fn series_section_rides_the_record_only_when_present() {
+        // Constructed directly (not via with_series) so the test is
+        // immune to other tests draining the process-global registry.
+        let mut record = ExperimentRecord::new("ES", "series run", "", &[]);
+        assert!(!record.to_json().contains("\"series\""));
+        record.series.push(ici_trace::series::RunSeries {
+            run: "ICIStrategy/n=8".to_string(),
+            samples: vec![ici_trace::series::RoundSample {
+                round: 1,
+                height: 1,
+                at_us: 120,
+                committed_txs: 4,
+                mempool_depth: 2,
+                live_nodes: 8,
+                stored_bytes: vec![10, 20],
+                traffic: vec![ici_trace::series::TrafficDelta {
+                    kind: "block-full",
+                    messages: 3,
+                    bytes: 900,
+                }],
+            }],
+        });
+        let json = record.to_json();
+        assert!(json.contains("\"series\": ["));
+        assert!(json.contains("ICIStrategy/n=8"));
+        assert!(json.contains("\"stored_bytes\": [10, 20]"));
+        assert!(json.contains("block-full"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

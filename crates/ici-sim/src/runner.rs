@@ -61,6 +61,54 @@ fn genesis_for(workload: &WorkloadConfig) -> GenesisConfig {
     GenesisConfig::uniform(workload.accounts, GENESIS_BALANCE)
 }
 
+/// Appends one per-round time-series sample (see `ici_trace::series`).
+/// Runners call this only under `ICI_TELEMETRY=1`, like every other
+/// exported-but-not-committed section.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sample_round(
+    samples: &mut Vec<ici_trace::series::RoundSample>,
+    tracker: &mut ici_trace::series::TrafficTracker,
+    round: u64,
+    height: u64,
+    at_us: u64,
+    committed_txs: u64,
+    generated_txs: u64,
+    live_nodes: u64,
+    stored_bytes: Vec<u64>,
+    meter: &ici_net::metrics::TrafficMeter,
+) {
+    let traffic = tracker.delta(
+        meter
+            .by_kind()
+            .iter()
+            .map(|(kind, c)| (kind.name(), c.messages, c.bytes)),
+    );
+    samples.push(ici_trace::series::RoundSample {
+        round,
+        height,
+        at_us,
+        committed_txs,
+        mempool_depth: generated_txs.saturating_sub(committed_txs),
+        live_nodes,
+        stored_bytes,
+        traffic,
+    });
+}
+
+/// Registers a finished run's samples under `label/n=<nodes>`.
+pub(crate) fn finish_series(
+    label: &str,
+    nodes: usize,
+    samples: Vec<ici_trace::series::RoundSample>,
+) {
+    if !samples.is_empty() {
+        ici_trace::series::push(ici_trace::series::RunSeries {
+            run: format!("{label}/n={nodes}"),
+            samples,
+        });
+    }
+}
+
 /// Runs ICIStrategy for `blocks` blocks of `txs_per_block` transactions.
 ///
 /// The genesis allocation is derived from the workload so every generated
@@ -81,10 +129,30 @@ pub fn run_ici(
     config.genesis = genesis_for(&workload);
     let mut network = IciNetwork::new(config).expect("valid configuration");
     let mut generator = WorkloadGenerator::new(workload);
-    for _ in 0..blocks {
+    let mut generated = 0u64;
+    let mut samples = Vec::new();
+    let mut tracker = ici_trace::series::TrafficTracker::new();
+    for round in 0..blocks {
         let batch = generator.batch(txs_per_block);
+        generated += batch.len() as u64;
         network.propose_block(batch).expect("block commits");
+        if ici_telemetry::enabled() {
+            let log = network.commit_log();
+            sample_round(
+                &mut samples,
+                &mut tracker,
+                round as u64,
+                log.last().map_or(0, |r| r.height),
+                network.now().as_micros(),
+                log.iter().map(|r| r.tx_count as u64).sum(),
+                generated,
+                network.net().live_nodes().len() as u64,
+                network.storage_bytes(),
+                network.net().meter(),
+            );
+        }
     }
+    finish_series("ICIStrategy", network.config().nodes, samples);
 
     let log = network.commit_log();
     let total_txs: u64 = log.iter().map(|r| r.tx_count as u64).sum();
@@ -124,10 +192,30 @@ pub fn run_full(
     let nodes = config.nodes;
     let mut network = FullReplicationNetwork::new(config);
     let mut generator = WorkloadGenerator::new(workload);
-    for _ in 0..blocks {
+    let mut generated = 0u64;
+    let mut samples = Vec::new();
+    let mut tracker = ici_trace::series::TrafficTracker::new();
+    for round in 0..blocks {
         let batch = generator.batch(txs_per_block);
+        generated += batch.len() as u64;
         network.propose_block(batch).expect("block commits");
+        if ici_telemetry::enabled() {
+            let log = network.commit_log();
+            sample_round(
+                &mut samples,
+                &mut tracker,
+                round as u64,
+                log.last().map_or(0, |r| r.height),
+                network.now().as_micros(),
+                log.iter().map(|r| r.tx_count as u64).sum(),
+                generated,
+                network.net().live_nodes().len() as u64,
+                vec![network.storage_bytes_per_node(); nodes],
+                network.net().meter(),
+            );
+        }
     }
+    finish_series("FullReplication", nodes, samples);
 
     let log = network.commit_log();
     let total_txs: u64 = log.iter().map(|r| r.tx_count as u64).sum();
@@ -177,7 +265,10 @@ pub fn run_rapidchain(
             })
         })
         .collect();
-    for _ in 0..rounds {
+    let mut generated = 0u64;
+    let mut samples = Vec::new();
+    let mut tracker = ici_trace::series::TrafficTracker::new();
+    for round in 0..rounds {
         // One batch per shard, committed as a single parallel round: every
         // committee runs its proposal concurrently on the `ici-par` pool.
         let batches: Vec<_> = generators
@@ -185,9 +276,26 @@ pub fn run_rapidchain(
             .enumerate()
             .map(|(shard, generator)| (shard, generator.batch(txs_per_block)))
             .collect();
+        generated += batches.iter().map(|(_, b)| b.len() as u64).sum::<u64>();
         let heights = network.propose_round(batches);
         assert!(heights.iter().all(Option::is_some), "shard commits");
+        if ici_telemetry::enabled() {
+            let log = network.commit_log();
+            sample_round(
+                &mut samples,
+                &mut tracker,
+                round as u64,
+                round as u64 + 1,
+                network.now().as_micros(),
+                log.iter().map(|r| r.tx_count as u64).sum(),
+                generated,
+                network.net().live_nodes().len() as u64,
+                network.storage_bytes(),
+                network.net().meter(),
+            );
+        }
     }
+    finish_series("RapidChain", nodes, samples);
 
     let log = network.commit_log();
     let total_txs: u64 = log.iter().map(|r| r.tx_count as u64).sum();

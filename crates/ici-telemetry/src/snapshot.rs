@@ -510,6 +510,58 @@ mod tests {
         assert_eq!(top[0].name, "x/slow");
     }
 
+    /// Pushes `n` span events straight into this thread's collector,
+    /// bypassing the process-global enable flag (other tests toggle it
+    /// concurrently; the ring itself is thread-local and race-free).
+    fn push_raw_events(n: usize) {
+        with_collector(|c| {
+            for _ in 0..n {
+                let event = crate::registry::SpanEvent {
+                    seq: c.next_seq,
+                    name: "w/wrap",
+                    label: crate::Label::Global,
+                    depth: 0,
+                    start_ns: 0,
+                    duration_ns: 1,
+                };
+                c.next_seq += 1;
+                c.push_event(event);
+            }
+        });
+    }
+
+    #[test]
+    fn ring_wrap_surfaces_dropped_events_in_snapshot_and_json() {
+        reset();
+        push_raw_events(EVENT_CAPACITY + 7);
+        let snap = snapshot();
+        reset();
+        assert_eq!(snap.dropped_events, 7, "exactly the overflow is counted");
+        assert_eq!(snap.events.len(), EVENT_CAPACITY);
+        // The survivors are the newest events: the oldest seqs went first.
+        assert_eq!(snap.events.first().map(|e| e.seq), Some(7));
+        let json = snap.to_json(0);
+        assert!(json.contains("\"dropped_events\": 7,"));
+        assert!(json.contains(&format!("\"event_capacity\": {EVENT_CAPACITY},")));
+    }
+
+    #[test]
+    fn drained_deltas_carry_dropped_counts_through_merge() {
+        reset();
+        push_raw_events(EVENT_CAPACITY + 3);
+        let delta = crate::drain_delta();
+        assert!(!delta.is_empty());
+        // Post-drain the collector is clean; the count lives in the delta.
+        assert_eq!(snapshot().dropped_events, 0);
+        crate::merge_delta(delta);
+        // Merging replays the events through the ring: the 3 drops the
+        // worker counted add to the (zero) drops the ring re-incurs.
+        let snap = snapshot();
+        reset();
+        assert_eq!(snap.dropped_events, 3);
+        assert_eq!(snap.events.len(), EVENT_CAPACITY);
+    }
+
     #[test]
     fn escape_handles_specials() {
         assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");

@@ -42,9 +42,57 @@ assert t is not None, "results/e1.json has no telemetry section"
 assert t["spans"], "telemetry.spans is empty"
 assert t["counters"], "telemetry.counters is empty"
 subsystems = {s["name"].split("/", 1)[0] for s in t["spans"]}
+series = record.get("series")
+assert series, "results/e1.json has no per-round series under ICI_TELEMETRY=1"
+sample = series[0]["samples"][0]
+for key in ("committed_txs", "mempool_depth", "live_nodes", "stored_bytes", "traffic"):
+    assert key in sample, f"series sample missing {key}"
 print(f"    telemetry OK: {len(t['spans'])} span rows, "
       f"{len(t['counters'])} counters, subsystems: {', '.join(sorted(subsystems))}")
+print(f"    series OK: {len(series)} runs, "
+      f"{sum(len(s['samples']) for s in series)} round samples")
 EOF
+
+echo "==> causal trace smoke (E1 with ICI_TRACE=1, 1 vs 4 threads)"
+# Thread-count determinism: the canonical event log and the Chrome
+# export must come out byte-identical from the serial and 4-wide pools,
+# and the canonical log must match the committed baseline.
+ICI_TRACE=1 ICI_PAR_THREADS=1 cargo run -q --release -p ici-bench --bin e1_storage >/dev/null
+cp results/TRACE_e1.chrome.json results/TRACE_e1.chrome.serial.json
+ICI_TRACE=1 ICI_PAR_THREADS=4 cargo run -q --release -p ici-bench --bin e1_storage >/dev/null
+cmp results/TRACE_e1.chrome.serial.json results/TRACE_e1.chrome.json
+rm results/TRACE_e1.chrome.serial.json
+git diff --quiet -- results/TRACE_e1.json || {
+    echo "trace drifted from committed results/TRACE_e1.json; regenerate with"
+    echo "  ICI_TRACE=1 cargo run -q --release -p ici-bench --bin e1_storage"
+    exit 1
+}
+# Tracing must never leak into the result record itself.
+git diff --quiet -- results/e1.json || {
+    echo "traced run changed committed results/e1.json"; exit 1;
+}
+python3 - <<'EOF'
+import json
+from collections import defaultdict
+with open("results/TRACE_e1.chrome.json") as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "chrome trace has no events"
+slices = [e for e in events if e["ph"] in ("X", "i")]
+assert slices, "chrome trace has no slices or instants"
+last = defaultdict(lambda: -1)
+for e in slices:
+    track = (e["pid"], e["tid"])
+    assert e["ts"] >= last[track], f"ts not monotone on track {track}: {e}"
+    last[track] = e["ts"]
+with open("results/TRACE_e1.json") as f:
+    canonical = json.load(f)
+assert canonical["dropped"] == 0, "e1 trace overflowed the event ring"
+assert len(canonical["events"]) == len(slices), "canonical/chrome event counts differ"
+print(f"    trace OK: {len(slices)} events on {len(last)} tracks, "
+      f"byte-identical at 1 and 4 threads")
+EOF
+rm results/TRACE_e1.chrome.json
 
 echo "==> fault-injection smoke (E-fault, pinned seed, replayed twice)"
 cargo run -q --release -p ici-bench --bin e_fault -- --seed 42 >/dev/null
@@ -203,5 +251,8 @@ with open("results/BENCH_alloc.json", "w") as f:
     f.write("\n")
 print("    allocation gate OK: e1/e7 cleared 30% on count and bytes")
 EOF
+
+echo "==> perf trajectory vs HEAD (scripts/bench_compare)"
+./scripts/bench_compare --threshold 10
 
 echo "==> all green"

@@ -76,6 +76,51 @@ fn kmeans_assignments_are_identical_across_thread_counts() {
 }
 
 #[test]
+fn trace_exports_are_identical_across_thread_counts() {
+    // Golden-path check for ici-trace: the same pinned-seed experiment
+    // must produce byte-identical canonical and Chrome trace exports
+    // from the serial and the 4-wide pool (worker-local event buffers
+    // merge in task-index order, send ids are schedule-independent).
+    let (serial, parallel) = under_both_pools(|| {
+        ici_trace::set_enabled(true);
+        ici_trace::reset();
+        let config = IciConfig::builder()
+            .nodes(24)
+            .cluster_size(8)
+            .replication(2)
+            .seed(5)
+            .build()
+            .expect("valid");
+        let _ = run_ici(
+            config,
+            3,
+            5,
+            WorkloadConfig {
+                accounts: 32,
+                ..WorkloadConfig::default()
+            },
+        );
+        let snap = ici_trace::snapshot();
+        ici_trace::set_enabled(false);
+        ici_trace::reset();
+        (
+            ici_trace::export::canonical_json("EPAR", &snap),
+            ici_trace::export::chrome_json(&snap),
+        )
+    });
+    assert!(
+        serial.0.contains("\"kind\": \"stage\""),
+        "trace captured no lifecycle stages"
+    );
+    assert!(
+        serial.1.contains("\"traceEvents\": ["),
+        "chrome export shape changed"
+    );
+    assert_eq!(serial.0, parallel.0, "canonical event log diverged");
+    assert_eq!(serial.1, parallel.1, "chrome trace diverged");
+}
+
+#[test]
 fn experiment_record_json_is_identical_across_thread_counts() {
     // Jittery default link: arrival times go through the forked sequence
     // streams, so this exercises the full lifecycle determinism story.
