@@ -16,7 +16,7 @@
 
 use ici_bench::{emit, quiet_link, standard_workload, Scale};
 use ici_core::config::IciConfig;
-use ici_faults::plan::{ChurnConfig, MessageFaultSpec, PartitionPolicy};
+use ici_faults::plan::{ByzantineConfig, ChurnConfig, MessageFaultSpec, PartitionPolicy};
 use ici_sim::fault_run::{run_ici_under_faults, FaultProfile};
 use ici_sim::table::Table;
 use ici_storage::stats::format_bytes;
@@ -68,6 +68,9 @@ fn main() {
             delay_prob: 0.05,
             max_extra_delay_ms: 25.0,
         },
+        // Crash-only experiment: Byzantine actors live in e_byz. The
+        // inert config draws nothing, keeping e_fault.json byte-stable.
+        byzantine: ByzantineConfig::default(),
     };
 
     let (network, summary) = run_ici_under_faults(config, 30, standard_workload(seed), profile)

@@ -67,9 +67,9 @@ pub use error::IciError;
 pub use failure::RepairReport;
 pub use holdings::NodeHoldings;
 pub use lifecycle::BlockCommitRecord;
-pub use merkle_audit::MerkleAuditReport;
+pub use merkle_audit::{attribute_corrupt_shards, MerkleAuditReport};
 pub use network::IciNetwork;
 pub use query::{QueryReport, QueryTier};
 pub use reconfig::{DepartReport, ReconfigReport};
 pub use spv::TxProofReport;
-pub use verify::Verdict;
+pub use verify::{ByzVerifyReport, Verdict};

@@ -7,9 +7,12 @@
 //!
 //! * [`plan`] — [`FaultPlan`]: a round-by-round schedule of node crashes
 //!   and restarts (independent and cluster-correlated churn), network
-//!   partition windows, and a message-fault profile (drop / delay /
-//!   duplicate / reorder). Same seed ⇒ byte-identical schedule, on every
-//!   platform — failures found in CI replay exactly.
+//!   partition windows, a message-fault profile (drop / delay /
+//!   duplicate / reorder), and Byzantine actor faults (equivocating
+//!   proposers, false-verdict verifiers via [`ByzantineConfig`]). Same
+//!   seed ⇒ byte-identical schedule, on every platform — failures found
+//!   in CI replay exactly. Byzantine draws come from a dedicated stream,
+//!   so crash-only plans are unchanged by the knob existing.
 //! * [`scheduler`] — [`FaultScheduler`]: walks a plan one round at a
 //!   time, tracks the live set, exports `faults/live_nodes` gauges
 //!   through `ici-telemetry`, and emits the per-round crash/restart
@@ -72,7 +75,7 @@ pub mod scheduler;
 
 pub use injector::round_fault_config;
 pub use plan::{
-    ChurnConfig, FaultError, FaultPlan, FaultPlanConfig, MessageFaultSpec, PartitionPolicy,
-    RoundFaults,
+    ByzantineConfig, ChurnConfig, FaultError, FaultPlan, FaultPlanConfig, MessageFaultSpec,
+    PartitionPolicy, RoundFaults, VerdictFault,
 };
 pub use scheduler::{FaultScheduler, ScheduledRound};

@@ -101,6 +101,60 @@ impl Default for MessageFaultSpec {
     }
 }
 
+/// Byzantine-actor parameters: equivocating proposers and false-verdict
+/// verifiers (ContribChain's malicious-verdict actors, LightChain's
+/// equivocation-as-common-case adversary).
+///
+/// All knobs default to zero, which keeps the Byzantine stream inert:
+/// a plan built with the default config is byte-identical (schedule,
+/// render, fingerprint) to one built before Byzantine faults existed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ByzantineConfig {
+    /// Probability the round's proposer equivocates: it builds two
+    /// conflicting blocks for the same height and shows each to a
+    /// disjoint audience.
+    pub equivocation_prob: f64,
+    /// Fraction of each cluster designated as Byzantine verifiers
+    /// (`floor(fraction * members)` per cluster, chosen at build time).
+    pub false_verdict_fraction: f64,
+    /// Per-round probability a designated verifier flips its verdict
+    /// (reports the opposite of what it verified).
+    pub flip_prob: f64,
+    /// Per-round probability a designated verifier withholds its verdict
+    /// entirely. `flip_prob + withhold_prob` must not exceed 1.
+    pub withhold_prob: f64,
+}
+
+impl Default for ByzantineConfig {
+    /// No Byzantine actors.
+    fn default() -> ByzantineConfig {
+        ByzantineConfig {
+            equivocation_prob: 0.0,
+            false_verdict_fraction: 0.0,
+            flip_prob: 0.0,
+            withhold_prob: 0.0,
+        }
+    }
+}
+
+impl ByzantineConfig {
+    /// Whether the config can never schedule a Byzantine action.
+    pub fn is_inert(&self) -> bool {
+        self.equivocation_prob == 0.0
+            && (self.false_verdict_fraction == 0.0
+                || (self.flip_prob == 0.0 && self.withhold_prob == 0.0))
+    }
+}
+
+/// How a Byzantine verifier misbehaves in one round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum VerdictFault {
+    /// Report the opposite of the locally-verified verdict.
+    Flip,
+    /// Report nothing at all.
+    Withhold,
+}
+
 /// Why a plan could not be built.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FaultError {
@@ -170,6 +224,12 @@ pub struct RoundFaults {
     pub partition_starts: Option<Vec<NodeId>>,
     /// The active partition (if any) heals at the start of this round.
     pub partition_ends: bool,
+    /// The round's proposer equivocates (two conflicting blocks for the
+    /// same height, shown to disjoint audiences).
+    pub equivocation: bool,
+    /// Designated Byzantine verifiers misbehaving this round, in
+    /// ascending node order.
+    pub verdict_faults: Vec<(NodeId, VerdictFault)>,
 }
 
 impl RoundFaults {
@@ -179,6 +239,8 @@ impl RoundFaults {
             && self.restarts.is_empty()
             && self.partition_starts.is_none()
             && !self.partition_ends
+            && !self.equivocation
+            && self.verdict_faults.is_empty()
     }
 }
 
@@ -199,6 +261,10 @@ pub struct FaultPlanConfig {
     /// Message-fault profile (constant across rounds; the per-round seed
     /// varies the concrete loss pattern).
     pub messages: MessageFaultSpec,
+    /// Byzantine-actor parameters (inert by default; drawn from a
+    /// dedicated rng stream so enabling them never perturbs the
+    /// crash/partition schedule).
+    pub byzantine: ByzantineConfig,
 }
 
 impl FaultPlanConfig {
@@ -212,6 +278,7 @@ impl FaultPlanConfig {
             churn: ChurnConfig::default(),
             partitions: PartitionPolicy::default(),
             messages: MessageFaultSpec::default(),
+            byzantine: ByzantineConfig::default(),
         }
     }
 
@@ -233,6 +300,12 @@ impl FaultPlanConfig {
         self
     }
 
+    /// Sets the Byzantine-actor parameters.
+    pub fn byzantine(mut self, byzantine: ByzantineConfig) -> FaultPlanConfig {
+        self.byzantine = byzantine;
+        self
+    }
+
     fn validate(&self) -> Result<(), FaultError> {
         if self.rounds == 0 {
             return Err(FaultError::ZeroRounds);
@@ -249,11 +322,25 @@ impl FaultPlanConfig {
             ("drop_prob", self.messages.drop_prob),
             ("dup_prob", self.messages.dup_prob),
             ("delay_prob", self.messages.delay_prob),
+            ("equivocation_prob", self.byzantine.equivocation_prob),
+            (
+                "false_verdict_fraction",
+                self.byzantine.false_verdict_fraction,
+            ),
+            ("flip_prob", self.byzantine.flip_prob),
+            ("withhold_prob", self.byzantine.withhold_prob),
         ];
         for (what, value) in probabilities {
             if !value.is_finite() || !(0.0..=1.0).contains(&value) {
                 return Err(FaultError::BadProbability { what, value });
             }
+        }
+        let verdict_budget = self.byzantine.flip_prob + self.byzantine.withhold_prob;
+        if verdict_budget > 1.0 {
+            return Err(FaultError::BadProbability {
+                what: "flip_prob + withhold_prob",
+                value: verdict_budget,
+            });
         }
         let smallest = self.clusters.iter().map(Vec::len).min().unwrap_or(0);
         if self.churn.min_live_per_cluster >= smallest
@@ -284,6 +371,23 @@ impl FaultPlanConfig {
         self.validate()?;
         let _span = ici_telemetry::span!("faults/build_plan");
         let mut rng = Xoshiro256::seed_from_u64(self.seed ^ 0x6661_756C_7470_6C61); // "faultpla"
+
+        // Byzantine draws come from a dedicated stream, touched only when
+        // the config is active. The crash/partition schedule therefore
+        // never moves when Byzantine faults are switched on, and plans
+        // built before this knob existed replay byte-identically.
+        let byz_active = !self.byzantine.is_inert();
+        let mut byz_rng = Xoshiro256::seed_from_u64(self.seed ^ 0x6279_7A61_6374_6F72); // "byzactor"
+        let mut byzantine_verifiers: Vec<NodeId> = Vec::new();
+        if byz_active && self.byzantine.false_verdict_fraction > 0.0 {
+            for members in &self.clusters {
+                let picks = (members.len() as f64 * self.byzantine.false_verdict_fraction) as usize;
+                let mut pool = members.clone();
+                byz_rng.shuffle(&mut pool);
+                byzantine_verifiers.extend(pool.into_iter().take(picks));
+            }
+            byzantine_verifiers.sort_unstable();
+        }
         let cluster_of: BTreeMap<NodeId, usize> = self
             .clusters
             .iter()
@@ -420,6 +524,25 @@ impl FaultPlanConfig {
                 }
             }
 
+            // 4. Byzantine actions, from the dedicated stream. The draw
+            //    order is canonical: one equivocation draw, then one draw
+            //    per designated verifier in ascending node order.
+            if byz_active {
+                if self.byzantine.equivocation_prob > 0.0
+                    && byz_rng.gen_bool(self.byzantine.equivocation_prob)
+                {
+                    faults.equivocation = true;
+                }
+                for node in byzantine_verifiers.iter().copied() {
+                    let draw = byz_rng.gen_f64();
+                    if draw < self.byzantine.flip_prob {
+                        faults.verdict_faults.push((node, VerdictFault::Flip));
+                    } else if draw < self.byzantine.flip_prob + self.byzantine.withhold_prob {
+                        faults.verdict_faults.push((node, VerdictFault::Withhold));
+                    }
+                }
+            }
+
             rounds.push(faults);
         }
 
@@ -427,6 +550,8 @@ impl FaultPlanConfig {
             seed: self.seed,
             clusters: self.clusters,
             messages: self.messages,
+            byzantine: self.byzantine,
+            byzantine_verifiers,
             rounds,
         })
     }
@@ -438,6 +563,8 @@ pub struct FaultPlan {
     seed: u64,
     clusters: Vec<Vec<NodeId>>,
     messages: MessageFaultSpec,
+    byzantine: ByzantineConfig,
+    byzantine_verifiers: Vec<NodeId>,
     rounds: Vec<RoundFaults>,
 }
 
@@ -467,6 +594,16 @@ impl FaultPlan {
         &self.rounds
     }
 
+    /// The Byzantine-actor parameters the plan was built with.
+    pub fn byzantine(&self) -> &ByzantineConfig {
+        &self.byzantine
+    }
+
+    /// Nodes designated as Byzantine verifiers, ascending.
+    pub fn byzantine_verifiers(&self) -> &[NodeId] {
+        &self.byzantine_verifiers
+    }
+
     /// Total scheduled crash events.
     pub fn total_crashes(&self) -> usize {
         self.rounds.iter().map(|r| r.crashes.len()).sum()
@@ -475,6 +612,16 @@ impl FaultPlan {
     /// Total scheduled restart events.
     pub fn total_restarts(&self) -> usize {
         self.rounds.iter().map(|r| r.restarts.len()).sum()
+    }
+
+    /// Total rounds with a scheduled equivocation.
+    pub fn total_equivocations(&self) -> usize {
+        self.rounds.iter().filter(|r| r.equivocation).count()
+    }
+
+    /// Total scheduled verdict faults (flips plus withholds).
+    pub fn total_verdict_faults(&self) -> usize {
+        self.rounds.iter().map(|r| r.verdict_faults.len()).sum()
     }
 
     /// Crash-and-recover cycles per cluster: the number of crash events
@@ -517,6 +664,11 @@ impl FaultPlan {
             self.clusters.len(),
             self.rounds.len()
         );
+        if !self.byzantine_verifiers.is_empty() {
+            // Appended as its own line so pre-Byzantine renders (and their
+            // fingerprints) are unchanged when no verifiers are designated.
+            let _ = writeln!(out, "byz={}", render_nodes(&self.byzantine_verifiers));
+        }
         for (i, round) in self.rounds.iter().enumerate() {
             if round.is_quiet() {
                 continue;
@@ -533,6 +685,27 @@ impl FaultPlan {
             }
             if round.partition_ends {
                 let _ = write!(out, " heal");
+            }
+            if round.equivocation {
+                let _ = write!(out, " equiv");
+            }
+            let flips: Vec<NodeId> = round
+                .verdict_faults
+                .iter()
+                .filter(|(_, k)| *k == VerdictFault::Flip)
+                .map(|(n, _)| *n)
+                .collect();
+            let withholds: Vec<NodeId> = round
+                .verdict_faults
+                .iter()
+                .filter(|(_, k)| *k == VerdictFault::Withhold)
+                .map(|(n, _)| *n)
+                .collect();
+            if !flips.is_empty() {
+                let _ = write!(out, " flip={}", render_nodes(&flips));
+            }
+            if !withholds.is_empty() {
+                let _ = write!(out, " withhold={}", render_nodes(&withholds));
             }
             out.push('\n');
         }
@@ -728,6 +901,89 @@ mod tests {
         ));
         // Errors render as text.
         assert!(FaultError::ZeroRounds.to_string().contains("round"));
+    }
+
+    fn byz() -> ByzantineConfig {
+        ByzantineConfig {
+            equivocation_prob: 0.3,
+            false_verdict_fraction: 0.25,
+            flip_prob: 0.2,
+            withhold_prob: 0.1,
+        }
+    }
+
+    #[test]
+    fn byzantine_stream_leaves_base_schedule_unchanged() {
+        // Switching Byzantine faults on must not move a single crash,
+        // restart, or partition window: the draws come from a separate
+        // stream. This is what keeps committed e_fault.json stable.
+        for seed in [1u64, 11, 99, 4242] {
+            let base = config(seed).build().expect("valid");
+            let with_byz = config(seed).byzantine(byz()).build().expect("valid");
+            assert_eq!(base.rounds().len(), with_byz.rounds().len());
+            for (a, b) in base.rounds().iter().zip(with_byz.rounds()) {
+                assert_eq!(a.crashes, b.crashes);
+                assert_eq!(a.restarts, b.restarts);
+                assert_eq!(a.partition_starts, b.partition_starts);
+                assert_eq!(a.partition_ends, b.partition_ends);
+            }
+            assert!(base.byzantine_verifiers().is_empty());
+            assert!(base.byzantine().is_inert());
+        }
+    }
+
+    #[test]
+    fn byzantine_schedule_is_deterministic_and_active() {
+        let a = config(17).byzantine(byz()).build().expect("valid");
+        let b = config(17).byzantine(byz()).build().expect("valid");
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // fraction 0.25 of 8-member clusters -> 2 designated per cluster.
+        assert_eq!(a.byzantine_verifiers().len(), 6);
+        assert!(
+            a.total_equivocations() > 0,
+            "30% over 20 rounds should equivocate:\n{}",
+            a.render()
+        );
+        assert!(a.total_verdict_faults() > 0);
+        // Every verdict fault names a designated verifier.
+        for round in a.rounds() {
+            for (node, _) in &round.verdict_faults {
+                assert!(a.byzantine_verifiers().contains(node));
+            }
+        }
+        // The render carries the Byzantine tokens.
+        assert!(a.render().contains("byz="));
+        assert!(a.render().contains(" equiv") || a.total_equivocations() == 0);
+    }
+
+    #[test]
+    fn byzantine_validation_rejects_bad_probabilities() {
+        let bad = config(0).byzantine(ByzantineConfig {
+            equivocation_prob: 1.2,
+            ..ByzantineConfig::default()
+        });
+        assert!(matches!(
+            bad.build(),
+            Err(FaultError::BadProbability {
+                what: "equivocation_prob",
+                ..
+            })
+        ));
+        let over_budget = config(0).byzantine(ByzantineConfig {
+            false_verdict_fraction: 0.5,
+            flip_prob: 0.7,
+            withhold_prob: 0.7,
+            ..ByzantineConfig::default()
+        });
+        assert!(matches!(
+            over_budget.build(),
+            Err(FaultError::BadProbability {
+                what: "flip_prob + withhold_prob",
+                ..
+            })
+        ));
     }
 
     #[test]

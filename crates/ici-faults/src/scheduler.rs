@@ -19,7 +19,7 @@ use ici_net::node::NodeId;
 use ici_telemetry::Label;
 
 use crate::injector::round_fault_config;
-use crate::plan::FaultPlan;
+use crate::plan::{FaultPlan, VerdictFault};
 
 /// Everything a consumer must apply at the start of one round.
 #[derive(Clone, Debug, PartialEq)]
@@ -39,6 +39,11 @@ pub struct ScheduledRound {
     /// The message-fault config to install on the network for this round
     /// (inert when the plan has no message faults and no open partition).
     pub message_faults: FaultConfig,
+    /// The round's proposer equivocates.
+    pub equivocation: bool,
+    /// Verdict faults limited to verifiers still live after this round's
+    /// churn — a crashed liar reports nothing, same as a withholder.
+    pub verdict_faults: Vec<(NodeId, VerdictFault)>,
 }
 
 /// Walks a [`FaultPlan`], tracking liveness and partition windows.
@@ -138,6 +143,13 @@ impl FaultScheduler {
             partition_spec,
         );
 
+        let verdict_faults: Vec<(NodeId, VerdictFault)> = faults
+            .verdict_faults
+            .iter()
+            .copied()
+            .filter(|(node, _)| !self.down.contains(node))
+            .collect();
+
         Some(ScheduledRound {
             round,
             crashes: faults.crashes,
@@ -146,6 +158,8 @@ impl FaultScheduler {
             live_per_cluster,
             partition: self.open_partition.clone(),
             message_faults,
+            equivocation: faults.equivocation,
+            verdict_faults,
         })
     }
 }
@@ -280,6 +294,50 @@ mod tests {
             seeds.insert(ra.message_faults.seed);
         }
         assert_eq!(seeds.len(), 8, "each round needs its own fault stream");
+    }
+
+    #[test]
+    fn byzantine_rounds_reach_the_consumer_filtered_to_live_liars() {
+        use crate::plan::ByzantineConfig;
+        let plan = FaultPlanConfig::new(31, 24, clusters(3, 6))
+            .churn(ChurnConfig {
+                crash_prob: 0.2,
+                restart_prob: 0.2,
+                min_live_per_cluster: 2,
+                ..ChurnConfig::default()
+            })
+            .byzantine(ByzantineConfig {
+                equivocation_prob: 0.4,
+                false_verdict_fraction: 0.34,
+                flip_prob: 0.4,
+                withhold_prob: 0.2,
+            })
+            .build()
+            .expect("valid");
+        let scheduled_faults = plan.total_verdict_faults();
+        let scheduled_equiv = plan.total_equivocations();
+        assert!(scheduled_faults > 0 && scheduled_equiv > 0);
+        let mut scheduler = FaultScheduler::new(plan);
+        let mut seen_equiv = 0;
+        let mut seen_faults = 0;
+        while let Some(round) = scheduler.step() {
+            if round.equivocation {
+                seen_equiv += 1;
+            }
+            seen_faults += round.verdict_faults.len();
+            for (node, _) in &round.verdict_faults {
+                assert!(
+                    scheduler.is_live(*node),
+                    "crashed verifier {node} still lying in round {}",
+                    round.round
+                );
+            }
+        }
+        assert_eq!(seen_equiv, scheduled_equiv, "equivocations pass through");
+        assert!(
+            seen_faults <= scheduled_faults,
+            "filtering can only remove faults"
+        );
     }
 
     #[test]

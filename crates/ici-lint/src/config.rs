@@ -52,6 +52,7 @@ impl Default for Config {
                 "ici-telemetry",
                 "ici-trace",
                 "ici-faults",
+                "ici-prop",
             ]
             .iter()
             .map(|s| s.to_string())
@@ -79,6 +80,7 @@ impl Default for Config {
                 "ici-trace",
                 "ici-faults",
                 "ici-workload",
+                "ici-prop",
             ]
             .iter()
             .map(|s| s.to_string())

@@ -1,0 +1,102 @@
+//! Generator helpers — thin, total wrappers over [`Xoshiro256`].
+//!
+//! A generator in `ici-prop` is any `Fn(&mut Xoshiro256) -> T`; these
+//! helpers cover the common shapes while staying *total*: degenerate
+//! ranges clamp instead of panicking, so a shrunk configuration can
+//! never crash the harness that is trying to report it.
+
+use ici_rng::Xoshiro256;
+
+/// A `usize` in `[lo, hi)`; returns `lo` when the range is empty.
+pub fn usize_in(rng: &mut Xoshiro256, lo: usize, hi: usize) -> usize {
+    if lo >= hi {
+        lo
+    } else {
+        lo + rng.bounded_u64((hi - lo) as u64) as usize
+    }
+}
+
+/// A `u64` in `[lo, hi)`; returns `lo` when the range is empty.
+pub fn u64_in(rng: &mut Xoshiro256, lo: u64, hi: u64) -> u64 {
+    if lo >= hi {
+        lo
+    } else {
+        lo + rng.bounded_u64(hi - lo)
+    }
+}
+
+/// An `f64` in `[lo, hi)`; returns `lo` when the range is empty.
+pub fn f64_in(rng: &mut Xoshiro256, lo: f64, hi: f64) -> f64 {
+    if lo >= hi {
+        lo
+    } else {
+        lo + rng.gen_f64() * (hi - lo)
+    }
+}
+
+/// A vector of `min..=max` elements drawn from `element`.
+pub fn vec_of<T>(
+    rng: &mut Xoshiro256,
+    min: usize,
+    max: usize,
+    mut element: impl FnMut(&mut Xoshiro256) -> T,
+) -> Vec<T> {
+    let len = usize_in(rng, min, max.max(min) + 1);
+    (0..len).map(|_| element(rng)).collect()
+}
+
+/// An independent `keep_prob` coin per element; order is preserved.
+pub fn subset<T: Clone>(rng: &mut Xoshiro256, xs: &[T], keep_prob: f64) -> Vec<T> {
+    xs.iter()
+        .filter(|_| rng.gen_bool(keep_prob))
+        .cloned()
+        .collect()
+}
+
+/// One element of `xs` by uniform index, or `None` when `xs` is empty.
+pub fn pick<'a, T>(rng: &mut Xoshiro256, xs: &'a [T]) -> Option<&'a T> {
+    rng.choose(xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_respected_and_degenerate_ranges_clamp() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = usize_in(&mut rng, 3, 9);
+            assert!((3..9).contains(&v));
+            let u = u64_in(&mut rng, 10, 11);
+            assert_eq!(u, 10);
+            let f = f64_in(&mut rng, 0.25, 0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+        assert_eq!(usize_in(&mut rng, 5, 5), 5);
+        assert_eq!(u64_in(&mut rng, 9, 3), 9);
+        assert_eq!(f64_in(&mut rng, 1.0, 0.5), 1.0);
+    }
+
+    #[test]
+    fn vec_of_hits_both_length_bounds() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            let v = vec_of(&mut rng, 1, 4, |r| r.next_u64());
+            assert!((1..=4).contains(&v.len()));
+            seen.insert(v.len());
+        }
+        assert_eq!(seen.len(), 4, "all lengths reachable: {seen:?}");
+    }
+
+    #[test]
+    fn subset_and_pick_are_deterministic_per_seed() {
+        let xs: Vec<u32> = (0..16).collect();
+        let mut a = Xoshiro256::seed_from_u64(3);
+        let mut b = Xoshiro256::seed_from_u64(3);
+        assert_eq!(subset(&mut a, &xs, 0.5), subset(&mut b, &xs, 0.5));
+        assert_eq!(pick(&mut a, &xs), pick(&mut b, &xs));
+        assert_eq!(pick(&mut a, &[] as &[u32]), None);
+    }
+}

@@ -1,0 +1,58 @@
+//! Seeded property testing with deterministic shrinking.
+//!
+//! The workspace's randomized tests used to be ad-hoc seeded loops: a
+//! failure printed a giant generated value and left the minimisation to
+//! whoever was on call. `ici-prop` replaces those loops with a harness
+//! that keeps the determinism policy (every draw comes from
+//! [`ici_rng::Xoshiro256`], seeded explicitly, no ambient entropy) and
+//! adds the two things a failing randomized test owes its reader:
+//!
+//! * **shrinking** — the failing case is greedily minimised through
+//!   [`shrink::Shrink`] candidates until no smaller case still fails,
+//!   recording the exact candidate path taken;
+//! * **reproducers** — the minimal case is serialised as a small text
+//!   file ([`repro::Reproducer`]) that replays *by seed and path alone*:
+//!   CI re-runs the generator with the recorded case seed, walks the
+//!   recorded shrink path, and asserts the case still fails. Committed
+//!   reproducers are regression tests that cost one generator call.
+//!
+//! Everything is a pure function of the configured seed: same seed ⇒
+//! same cases, same failure, same shrink path, byte-identical
+//! reproducer text — at any thread count, because the harness never
+//! leaves the calling thread.
+//!
+//! # Example
+//!
+//! ```
+//! use ici_prop::{check, Config, Shrink};
+//!
+//! // A "bug": sums ≥ 100 are rejected somewhere downstream.
+//! let result = check(
+//!     "sums stay under 100",
+//!     &Config { seed: 7, cases: 64, ..Config::default() },
+//!     |rng| {
+//!         let len = rng.gen_range(1usize..8);
+//!         (0..len).map(|_| rng.gen_range(0u64..40)).collect::<Vec<u64>>()
+//!     },
+//!     |xs: &Vec<u64>| {
+//!         let sum: u64 = xs.iter().sum();
+//!         if sum < 100 { Ok(()) } else { Err(format!("sum = {sum}")) }
+//!     },
+//! );
+//! let failure = result.expect_err("the property is falsifiable");
+//! let minimal_sum: u64 = failure.minimal.iter().sum();
+//! assert!(minimal_sum >= 100, "shrinking never un-fails a case");
+//! assert!(failure.minimal.len() <= failure.original.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod repro;
+pub mod runner;
+pub mod shrink;
+
+pub use repro::{Replay, ReproError, Reproducer};
+pub use runner::{check, Config, Failure, Pass};
+pub use shrink::Shrink;

@@ -1,0 +1,389 @@
+//! Reproducer files — failures that replay by seed and path alone.
+//!
+//! A [`Reproducer`] is the persistent form of a shrunk
+//! [`crate::Failure`]: a small `key = value` text record naming the
+//! property, the failing case's seed, and the shrink path the runner
+//! descended. Replaying does **not** re-run the whole sweep — the case
+//! regenerates directly from `case_seed`, the recorded candidate
+//! indices are walked, and the property must still fail at the end. A
+//! committed `.repro` file is therefore a regression test that costs
+//! one generator call and `path + 1` property evaluations.
+//!
+//! The text form is canonical: parsing and re-serialising a valid file
+//! is byte-identity, and the same failure always serialises to the same
+//! bytes, so CI can diff reproducers across runs and thread counts.
+
+use std::fmt;
+
+use ici_rng::Xoshiro256;
+
+use crate::shrink::Shrink;
+
+/// Format tag expected on the first line.
+const HEADER: &str = "# ici-prop reproducer v1";
+
+/// A replayable record of one shrunk property failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reproducer {
+    /// The property's name (single line).
+    pub property: String,
+    /// Master seed of the check that found the failure (provenance).
+    pub config_seed: u64,
+    /// Which case of that check failed (provenance).
+    pub case_index: usize,
+    /// The failing case's own seed — regenerates it without the sweep.
+    pub case_seed: u64,
+    /// Accepted candidate index per shrink round.
+    pub shrink_path: Vec<usize>,
+    /// The property's message for the minimal case (single line).
+    pub message: String,
+    /// `Debug` render of the minimal case, for humans and drift checks.
+    pub minimal: String,
+}
+
+/// Why a reproducer could not be loaded or replayed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReproError {
+    /// The text is not a valid v1 reproducer.
+    Parse {
+        /// 1-based line of the offending text.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A recorded candidate index fell outside the candidates the
+    /// regenerated value actually proposes — generator or shrinker
+    /// drifted since the file was written.
+    PathOutOfRange {
+        /// 0-based shrink round.
+        step: usize,
+        /// The recorded index.
+        index: usize,
+        /// Candidates available at that round.
+        available: usize,
+    },
+    /// The replayed minimal case passes now — the bug this file pinned
+    /// is gone (delete the file) or the property drifted.
+    NoLongerFails,
+}
+
+impl fmt::Display for ReproError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReproError::Parse { line, reason } => {
+                write!(f, "reproducer parse error at line {line}: {reason}")
+            }
+            ReproError::PathOutOfRange {
+                step,
+                index,
+                available,
+            } => write!(
+                f,
+                "shrink path step {step} wants candidate {index} but only {available} exist \
+                 — generator or shrinker drifted since this reproducer was written"
+            ),
+            ReproError::NoLongerFails => {
+                write!(f, "replayed minimal case no longer fails the property")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReproError {}
+
+/// A successful replay: the case still fails.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Replay<T> {
+    /// The minimal case, rebuilt from seed and path.
+    pub minimal: T,
+    /// The property's failure message for it, as produced *now*.
+    pub message: String,
+    /// Whether the rebuilt case's `Debug` render still matches the
+    /// recorded `minimal` line. A mismatch with a still-failing case
+    /// means the generator changed shape but the bug survives.
+    pub render_matches: bool,
+}
+
+/// Collapses a string onto one line for the `key = value` format.
+pub fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_control() { ' ' } else { c })
+        .collect()
+}
+
+impl Reproducer {
+    /// Serialises to the canonical text form.
+    pub fn to_text(&self) -> String {
+        let path: Vec<String> = self.shrink_path.iter().map(|i| i.to_string()).collect();
+        format!(
+            "{HEADER}\nproperty = {}\nconfig_seed = {}\ncase_index = {}\ncase_seed = {}\nshrink_path = {}\nmessage = {}\nminimal = {}\n",
+            sanitize(&self.property),
+            self.config_seed,
+            self.case_index,
+            self.case_seed,
+            path.join(","),
+            sanitize(&self.message),
+            sanitize(&self.minimal),
+        )
+    }
+
+    /// Parses the canonical text form.
+    ///
+    /// # Errors
+    ///
+    /// [`ReproError::Parse`] naming the first offending line.
+    pub fn parse(text: &str) -> Result<Reproducer, ReproError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, first)) if first.trim_end() == HEADER => {}
+            Some((_, first)) => {
+                return Err(ReproError::Parse {
+                    line: 1,
+                    reason: format!("expected `{HEADER}`, found `{first}`"),
+                })
+            }
+            None => {
+                return Err(ReproError::Parse {
+                    line: 1,
+                    reason: "empty file".to_string(),
+                })
+            }
+        }
+        let mut property = None;
+        let mut config_seed = None;
+        let mut case_index = None;
+        let mut case_seed = None;
+        let mut shrink_path = None;
+        let mut message = None;
+        let mut minimal = None;
+        for (at, raw) in lines {
+            let line_no = at + 1;
+            let line = raw.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            // An empty value serialises as `key = ` and trims to `key =`.
+            let (key, value) = match line.split_once(" = ") {
+                Some(kv) => kv,
+                None => match line.strip_suffix(" =") {
+                    Some(key) => (key, ""),
+                    None => {
+                        return Err(ReproError::Parse {
+                            line: line_no,
+                            reason: format!("expected `key = value`, found `{line}`"),
+                        })
+                    }
+                },
+            };
+            let parse_u64 = |value: &str| {
+                value.parse::<u64>().map_err(|_| ReproError::Parse {
+                    line: line_no,
+                    reason: format!("`{key}` is not an unsigned integer: `{value}`"),
+                })
+            };
+            match key {
+                "property" => property = Some(value.to_string()),
+                "config_seed" => config_seed = Some(parse_u64(value)?),
+                "case_index" => case_index = Some(parse_u64(value)? as usize),
+                "case_seed" => case_seed = Some(parse_u64(value)?),
+                "shrink_path" => {
+                    let mut path = Vec::new();
+                    if !value.is_empty() {
+                        for part in value.split(',') {
+                            path.push(parse_u64(part.trim())? as usize);
+                        }
+                    }
+                    shrink_path = Some(path);
+                }
+                "message" => message = Some(value.to_string()),
+                "minimal" => minimal = Some(value.to_string()),
+                other => {
+                    return Err(ReproError::Parse {
+                        line: line_no,
+                        reason: format!("unknown key `{other}`"),
+                    })
+                }
+            }
+        }
+        let require = |name: &str, present: bool| {
+            if present {
+                Ok(())
+            } else {
+                Err(ReproError::Parse {
+                    line: 1,
+                    reason: format!("missing `{name}`"),
+                })
+            }
+        };
+        require("property", property.is_some())?;
+        require("config_seed", config_seed.is_some())?;
+        require("case_index", case_index.is_some())?;
+        require("case_seed", case_seed.is_some())?;
+        require("shrink_path", shrink_path.is_some())?;
+        require("message", message.is_some())?;
+        require("minimal", minimal.is_some())?;
+        Ok(Reproducer {
+            property: property.unwrap_or_default(),
+            config_seed: config_seed.unwrap_or_default(),
+            case_index: case_index.unwrap_or_default(),
+            case_seed: case_seed.unwrap_or_default(),
+            shrink_path: shrink_path.unwrap_or_default(),
+            message: message.unwrap_or_default(),
+            minimal: minimal.unwrap_or_default(),
+        })
+    }
+
+    /// Replays the record: regenerate from `case_seed`, walk the shrink
+    /// path, and demand the property still fail.
+    ///
+    /// # Errors
+    ///
+    /// [`ReproError::PathOutOfRange`] if the recorded path no longer
+    /// fits the generator/shrinker, [`ReproError::NoLongerFails`] if the
+    /// rebuilt minimal case passes.
+    pub fn replay<T, G, P>(&self, generate: G, prop: P) -> Result<Replay<T>, ReproError>
+    where
+        T: Shrink + fmt::Debug,
+        G: Fn(&mut Xoshiro256) -> T,
+        P: Fn(&T) -> Result<(), String>,
+    {
+        let mut rng = Xoshiro256::seed_from_u64(self.case_seed);
+        let mut value = generate(&mut rng);
+        for (step, index) in self.shrink_path.iter().enumerate() {
+            let mut candidates = value.shrink_candidates();
+            let available = candidates.len();
+            if *index >= available {
+                return Err(ReproError::PathOutOfRange {
+                    step,
+                    index: *index,
+                    available,
+                });
+            }
+            value = candidates.swap_remove(*index);
+        }
+        match prop(&value) {
+            Ok(()) => Err(ReproError::NoLongerFails),
+            Err(message) => {
+                let render_matches = sanitize(&format!("{value:?}")) == self.minimal;
+                Ok(Replay {
+                    minimal: value,
+                    message,
+                    render_matches,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{check, Config};
+
+    fn sum_under_100(xs: &Vec<u64>) -> Result<(), String> {
+        let sum: u64 = xs.iter().sum();
+        if sum < 100 {
+            Ok(())
+        } else {
+            Err(format!("sum = {sum}"))
+        }
+    }
+
+    fn gen_vec(rng: &mut Xoshiro256) -> Vec<u64> {
+        let len = rng.gen_range(1usize..8);
+        (0..len).map(|_| rng.gen_range(0u64..40)).collect()
+    }
+
+    fn failing_repro() -> Reproducer {
+        let config = Config {
+            seed: 7,
+            cases: 64,
+            ..Config::default()
+        };
+        check("sum bound", &config, gen_vec, sum_under_100)
+            .expect_err("falsifiable")
+            .reproducer()
+    }
+
+    #[test]
+    fn text_round_trips_byte_identically() {
+        let repro = failing_repro();
+        let text = repro.to_text();
+        let parsed = Reproducer::parse(&text).expect("parses");
+        assert_eq!(parsed, repro);
+        assert_eq!(parsed.to_text(), text, "canonical form is a fixpoint");
+    }
+
+    #[test]
+    fn replay_rebuilds_a_still_failing_minimal_case() {
+        let repro = failing_repro();
+        let replay = repro.replay(gen_vec, sum_under_100).expect("still fails");
+        assert!(replay.render_matches, "{replay:?} vs {}", repro.minimal);
+        assert_eq!(replay.message, repro.message);
+        let sum: u64 = replay.minimal.iter().sum();
+        assert!(sum >= 100);
+    }
+
+    #[test]
+    fn replay_flags_a_fixed_bug() {
+        let repro = failing_repro();
+        assert_eq!(
+            repro.replay(gen_vec, |_: &Vec<u64>| Ok(())),
+            Err(ReproError::NoLongerFails)
+        );
+    }
+
+    #[test]
+    fn replay_flags_generator_drift() {
+        let mut repro = failing_repro();
+        repro.shrink_path = vec![usize::MAX];
+        assert!(matches!(
+            repro.replay(gen_vec, sum_under_100),
+            Err(ReproError::PathOutOfRange { step: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_text() {
+        assert!(matches!(
+            Reproducer::parse(""),
+            Err(ReproError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            Reproducer::parse("# wrong header\n"),
+            Err(ReproError::Parse { line: 1, .. })
+        ));
+        let text = failing_repro().to_text();
+        let broken = text.replace("case_seed = ", "case_seed = x");
+        assert!(matches!(
+            Reproducer::parse(&broken),
+            Err(ReproError::Parse { .. })
+        ));
+        let missing = text.replace("message = ", "msg = ");
+        assert!(matches!(
+            Reproducer::parse(&missing),
+            Err(ReproError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn sanitize_flattens_control_characters() {
+        assert_eq!(sanitize("a\nb\tc"), "a b c");
+        assert_eq!(sanitize("plain"), "plain");
+    }
+
+    #[test]
+    fn empty_shrink_path_round_trips() {
+        let repro = Reproducer {
+            property: "p".into(),
+            config_seed: 1,
+            case_index: 0,
+            case_seed: 2,
+            shrink_path: Vec::new(),
+            message: "m".into(),
+            minimal: "[]".into(),
+        };
+        let parsed = Reproducer::parse(&repro.to_text()).expect("parses");
+        assert_eq!(parsed.shrink_path, Vec::<usize>::new());
+    }
+}

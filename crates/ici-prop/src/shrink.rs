@@ -1,0 +1,208 @@
+//! Deterministic shrinking.
+//!
+//! [`Shrink::shrink_candidates`] proposes strictly "smaller" variants of
+//! a value, best candidates first. The runner tries them in order and
+//! greedily descends into the first one that still fails, so the
+//! candidate *order* is part of the reproducer contract: a given value
+//! must always propose the same candidates in the same order. All
+//! implementations here are pure and bounded — a candidate list never
+//! exceeds a few dozen entries, keeping the shrink loop's work
+//! proportional to the recorded path, not to the value's size.
+
+/// Types that can propose smaller versions of themselves.
+pub trait Shrink: Sized + Clone {
+    /// Smaller candidate values, best (smallest) first. An empty vector
+    /// means the value is fully shrunk. Candidates must be *strictly*
+    /// simpler so the greedy descent terminates.
+    fn shrink_candidates(&self) -> Vec<Self>;
+}
+
+macro_rules! shrink_unsigned {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v == 0 {
+                    return out;
+                }
+                out.push(0);
+                if v / 2 != 0 {
+                    out.push(v / 2);
+                }
+                if v - 1 != v / 2 {
+                    out.push(v - 1);
+                }
+                out
+            }
+        }
+    )*};
+}
+shrink_unsigned!(u8, u16, u32, u64, usize);
+
+impl Shrink for bool {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let v = *self;
+        if v == 0.0 || !v.is_finite() {
+            return Vec::new();
+        }
+        let mut out = vec![0.0];
+        let half = v / 2.0;
+        if half != 0.0 {
+            out.push(half);
+        }
+        out
+    }
+}
+
+/// How many leading positions of a vector get single-element-removal
+/// candidates. Bounds the candidate fanout for long vectors; chunk
+/// halving still reaches the tail.
+const REMOVE_POSITIONS: usize = 16;
+/// How many leading positions get element-wise shrink candidates.
+const ELEMENT_POSITIONS: usize = 8;
+/// How many candidates each shrunk element contributes.
+const ELEMENT_CANDIDATES: usize = 4;
+
+impl<T: Shrink> Shrink for Vec<T> {
+    /// Halves first (drop the back half, then the front half), then
+    /// single-element removals, then element-wise shrinks — so the
+    /// runner prefers structurally smaller cases before smaller values.
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let n = self.len();
+        let mut out = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n / 2..].to_vec());
+        }
+        for i in 0..n.min(REMOVE_POSITIONS) {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        for i in 0..n.min(ELEMENT_POSITIONS) {
+            let candidates = match self.get(i) {
+                Some(e) => e.shrink_candidates(),
+                None => Vec::new(),
+            };
+            for cand in candidates.into_iter().take(ELEMENT_CANDIDATES) {
+                let mut v = self.clone();
+                if let Some(slot) = v.get_mut(i) {
+                    *slot = cand;
+                }
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+impl<T: Shrink> Shrink for Option<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(v) => {
+                let mut out = vec![None];
+                out.extend(v.shrink_candidates().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+impl<A: Shrink, B: Shrink> Shrink for (A, B) {
+    /// Shrinks one side at a time, left first.
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out: Vec<(A, B)> = self
+            .0
+            .shrink_candidates()
+            .into_iter()
+            .map(|a| (a, self.1.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink_candidates()
+                .into_iter()
+                .map(|b| (self.0.clone(), b)),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_propose_zero_half_and_decrement() {
+        assert_eq!(17u64.shrink_candidates(), vec![0, 8, 16]);
+        assert_eq!(1u32.shrink_candidates(), vec![0]);
+        assert_eq!(2usize.shrink_candidates(), vec![0, 1]);
+        assert!(0u64.shrink_candidates().is_empty());
+        assert_eq!(true.shrink_candidates(), vec![false]);
+        assert!(false.shrink_candidates().is_empty());
+        assert_eq!(0.5f64.shrink_candidates(), vec![0.0, 0.25]);
+        assert!(0.0f64.shrink_candidates().is_empty());
+    }
+
+    #[test]
+    fn vectors_prefer_structural_shrinks_and_stay_bounded() {
+        let v: Vec<u64> = (1..=40).collect();
+        let candidates = v.shrink_candidates();
+        assert_eq!(candidates[0], (1..=20).collect::<Vec<u64>>());
+        assert_eq!(candidates[1], (21..=40).collect::<Vec<u64>>());
+        assert!(candidates[2..]
+            .iter()
+            .take(REMOVE_POSITIONS)
+            .all(|c| c.len() == 39));
+        assert!(
+            candidates.len() <= 2 + REMOVE_POSITIONS + ELEMENT_POSITIONS * ELEMENT_CANDIDATES,
+            "{} candidates",
+            candidates.len()
+        );
+        assert!(Vec::<u64>::new().shrink_candidates().is_empty());
+    }
+
+    #[test]
+    fn candidate_order_is_stable() {
+        let v = vec![9u64, 3, 7];
+        assert_eq!(v.shrink_candidates(), v.clone().shrink_candidates());
+    }
+
+    #[test]
+    fn options_and_pairs_shrink_componentwise() {
+        assert_eq!(Some(2u64).shrink_candidates(), vec![None, Some(0), Some(1)]);
+        assert!(None::<u64>.shrink_candidates().is_empty());
+        let pair = (2u64, true);
+        assert_eq!(
+            pair.shrink_candidates(),
+            vec![(0, true), (1, true), (2, false)]
+        );
+    }
+
+    #[test]
+    fn greedy_descent_terminates() {
+        // Follow first-candidates from a large value: must bottom out.
+        let mut v: Vec<u64> = (0..64).map(|i| i * 3 + 1).collect();
+        let mut steps = 0;
+        while let Some(first) = v.shrink_candidates().into_iter().next() {
+            v = first;
+            steps += 1;
+            assert!(steps < 10_000, "descent did not terminate");
+        }
+        assert!(v.len() <= 1);
+    }
+}

@@ -1,0 +1,739 @@
+//! Baseline survivability runners — the same fault plans, other systems.
+//!
+//! [`run_full_under_faults`] and [`run_rapidchain_under_faults`] drive the
+//! full-replication and RapidChain baselines through exactly the
+//! deterministic [`ici_faults::plan::FaultPlan`] machinery that
+//! [`crate::fault_run::run_ici_under_faults`] uses, so `e_byz` can put
+//! ICIStrategy's survivability next to the comparators without changing
+//! the adversary between columns: same seed, same churn draws, same
+//! Byzantine designations.
+//!
+//! What differs is how each system *experiences* the plan:
+//!
+//! * **Full replication** is one plan cluster spanning the network.
+//!   Equivocating proposers flood conflicting twins to disjoint halves of
+//!   the live population; the gossip relay ring crosses the halves, so
+//!   detection needs an honest witness on each side. Scheduled verdict
+//!   faults are **inert** — every node validates every block solo, so
+//!   there is no collaborative verdict round to corrupt. That asymmetry
+//!   is the point of the comparison, not a gap in it.
+//! * **RapidChain** maps plan clusters onto committees. Rounds visit
+//!   committees round-robin; the active committee's scheduled liars vote
+//!   in its BFT verdict round (members hold the full shard block, so a
+//!   false reject is transparent to every honest member), and an
+//!   equivocating committee leader splits its committee instead of the
+//!   whole network. Liars scheduled in idle committees do nothing that
+//!   round, exactly as a lying verifier with no block to vote on.
+//!
+//! Twin blocks in the baseline runners are charged by encoded
+//! transaction bytes rather than built against the private shard state —
+//! a documented modelling substitution that keeps the traffic honest
+//! without widening the baselines' APIs. All draws come from the plan,
+//! all sends are metered on the main thread: same seed ⇒ byte-identical
+//! summary at any `ICI_PAR_THREADS`.
+
+use ici_baselines::full::{FullConfig, FullReplicationNetwork};
+use ici_baselines::rapidchain::{RapidChainConfig, RapidChainNetwork};
+use ici_chain::block::BlockHeader;
+use ici_chain::codec::Encode;
+use ici_chain::genesis::GenesisConfig;
+use ici_chain::transaction::Transaction;
+use ici_consensus::leader::elect_live_leader;
+use ici_consensus::pbft::VOTE_BYTES;
+use ici_consensus::verdicts::{tally_votes, VerdictOutcome, VerifierVote};
+use ici_faults::plan::{FaultError, FaultPlanConfig, VerdictFault};
+use ici_faults::scheduler::{FaultScheduler, ScheduledRound};
+use ici_net::metrics::MessageKind;
+use ici_net::network::Network;
+use ici_net::node::NodeId;
+use ici_workload::{WorkloadConfig, WorkloadGenerator};
+
+use crate::fault_run::FaultProfile;
+
+/// Initial balance granted to each workload account at genesis.
+const GENESIS_BALANCE: u64 = u64::MAX / 1_000_000;
+
+/// One baseline fault run, reduced to the survivability quantities the
+/// `e_byz` comparison tables report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineFaultSummary {
+    /// Which baseline ran (`"full"` or `"rapidchain"`).
+    pub strategy: &'static str,
+    /// Nodes simulated.
+    pub nodes: usize,
+    /// Plan clusters: 1 for full replication, committees for RapidChain.
+    pub groups: usize,
+    /// Rounds executed (== the plan's length).
+    pub rounds: usize,
+    /// Blocks committed despite the faults (excluding genesis).
+    pub committed_blocks: u64,
+    /// Rounds whose proposal failed or was burned by Byzantine action;
+    /// the batch retries next visit, so these measure liveness loss only.
+    pub skipped_rounds: usize,
+    /// Crash events applied.
+    pub crash_events: usize,
+    /// Restart events applied.
+    pub restart_events: usize,
+    /// Fewest live nodes observed at any round start.
+    pub min_live_nodes: usize,
+    /// Rounds in which the elected proposer equivocated.
+    pub equivocation_attempts: usize,
+    /// Equivocations exposed by cross-half relay (both audience halves
+    /// held at least one honest live witness).
+    pub equivocations_detected: usize,
+    /// Equivocations that went undetected — a conflicting branch could
+    /// have survived. Neither twin is ever committed; this is the hazard
+    /// count.
+    pub safety_breaches: usize,
+    /// Verdicts flipped by live Byzantine verifiers in active committees
+    /// (always 0 for full replication — solo validation has no verdicts).
+    pub verdict_flips: usize,
+    /// Verdicts withheld by live Byzantine verifiers in active committees.
+    pub verdict_withholds: usize,
+    /// Lying verifiers exposed by honest members (everyone holds the full
+    /// block, so a false reject names its author whenever any honest
+    /// member is live).
+    pub liars_detected: usize,
+    /// Rounds lost to Byzantine action; a subset of `skipped_rounds`.
+    pub byz_skipped_rounds: usize,
+    /// Bytes spent disseminating blocks that Byzantine action then killed.
+    pub wasted_bytes: u64,
+    /// Total bytes the run put on the wire (wasted included).
+    pub total_bytes: u64,
+    /// FNV-1a fingerprint of the plan's canonical rendering.
+    pub plan_fingerprint: u64,
+    /// The plan's canonical rendering (for replay diffing).
+    pub plan_render: String,
+}
+
+impl BaselineFaultSummary {
+    /// Fraction of equivocation attempts exposed, in `[0, 1]` (1.0 when
+    /// none were attempted).
+    pub fn equivocation_detection_rate(&self) -> f64 {
+        if self.equivocation_attempts == 0 {
+            1.0
+        } else {
+            self.equivocations_detected as f64 / self.equivocation_attempts as f64
+        }
+    }
+
+    /// Fraction of flipped verdicts whose author was exposed, in `[0, 1]`
+    /// (1.0 when nobody flipped).
+    pub fn liar_detection_rate(&self) -> f64 {
+        if self.verdict_flips == 0 {
+            1.0
+        } else {
+            self.liars_detected as f64 / self.verdict_flips as f64
+        }
+    }
+
+    /// Fraction of all wire bytes Byzantine action wasted, in `[0, 1]`.
+    pub fn wasted_fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.wasted_bytes as f64 / self.total_bytes as f64
+        }
+    }
+}
+
+/// Traffic one burned round produced.
+struct ByzCharge {
+    detected: bool,
+    wasted_bytes: u64,
+}
+
+/// Encoded body size of a batch — the twin's payload, priced without
+/// rebuilding the block against the baseline's private state.
+fn batch_body_bytes(batch: &[Transaction]) -> u64 {
+    batch.iter().map(|tx| tx.to_bytes().len() as u64).sum()
+}
+
+/// Disseminates conflicting twins to disjoint halves of `audience`
+/// (each member receives a full block of `block_bytes`), then charges
+/// the cross-half exchange: a relay ring for gossip systems
+/// (`all_pairs = false`) or an all-pairs vote for BFT committees
+/// (`all_pairs = true`). Detection requires an honest witness in *both*
+/// halves — a lone audience sees only one twin and the fraud survives.
+fn charge_equivocation(
+    net: &mut Network,
+    leader: NodeId,
+    audience: &[NodeId],
+    block_bytes: u64,
+    all_pairs: bool,
+) -> ByzCharge {
+    let header_bytes = BlockHeader::ENCODED_LEN as u64;
+    let half_a = &audience[..audience.len() / 2];
+    let half_b = &audience[audience.len() / 2..];
+    let before = net.meter().total().bytes;
+    for half in [half_a, half_b] {
+        for member in half {
+            let _ = net.send(leader, *member, MessageKind::BlockFull, block_bytes);
+        }
+    }
+    if all_pairs {
+        for from in audience {
+            for to in audience {
+                if from != to {
+                    let _ = net.send(*from, *to, MessageKind::Vote, VOTE_BYTES);
+                }
+            }
+        }
+    } else {
+        for (i, from) in audience.iter().enumerate() {
+            let to = audience[(i + 1) % audience.len()];
+            if *from != to {
+                let _ = net.send(*from, to, MessageKind::BlockHeader, header_bytes);
+            }
+        }
+    }
+    ByzCharge {
+        detected: !half_a.is_empty() && !half_b.is_empty(),
+        wasted_bytes: net.meter().total().bytes - before,
+    }
+}
+
+/// Runs the full-replication baseline under the given fault profile.
+///
+/// The whole network forms one plan cluster; the churn floor, partition
+/// windows, and Byzantine designations therefore draw over the entire
+/// population. A failed or burned proposal retries the same batch next
+/// round, so account nonces stay sequential.
+///
+/// # Errors
+///
+/// [`FaultError`] if the profile cannot produce a valid plan (e.g. the
+/// live floor exceeds the node count).
+pub fn run_full_under_faults(
+    mut config: FullConfig,
+    txs_per_block: usize,
+    workload: WorkloadConfig,
+    profile: FaultProfile,
+) -> Result<(FullReplicationNetwork, BaselineFaultSummary), FaultError> {
+    let _span = ici_telemetry::span!("sim/run_full_faults");
+    config.genesis = GenesisConfig::uniform(workload.accounts, GENESIS_BALANCE);
+    let mut network = FullReplicationNetwork::new(config);
+    let all: Vec<NodeId> = (0..network.config().nodes as u64)
+        .map(NodeId::new)
+        .collect();
+
+    let plan = FaultPlanConfig::new(profile.seed, profile.rounds, vec![all.clone()])
+        .churn(profile.churn)
+        .partitions(profile.partitions)
+        .messages(profile.messages)
+        .byzantine(profile.byzantine)
+        .build()?;
+    let mut summary = blank_summary(
+        "full",
+        all.len(),
+        1,
+        &plan.render(),
+        plan.fingerprint(),
+        profile.rounds,
+    );
+    let mut scheduler = FaultScheduler::new(plan);
+
+    let mut generator = WorkloadGenerator::new(workload);
+    let mut pending: Option<Vec<Transaction>> = None;
+    while let Some(round) = scheduler.step() {
+        apply_churn(network.net_mut(), &round, &mut summary);
+
+        let batch = pending
+            .take()
+            .unwrap_or_else(|| generator.batch(txs_per_block));
+        if round.equivocation {
+            let charge = equivocate_full(&mut network, &batch, &all);
+            record_equivocation(&mut summary, charge);
+            pending = Some(batch);
+        } else {
+            // Solo validation: round.verdict_faults has no verdict round
+            // to corrupt here. Deliberately ignored (see module docs).
+            match network.propose_block(batch.clone()) {
+                Some(_) => summary.committed_blocks += 1,
+                None => {
+                    summary.skipped_rounds += 1;
+                    pending = Some(batch);
+                }
+            }
+        }
+    }
+    network.net_mut().clear_faults();
+    summary.total_bytes = network.net().meter().total().bytes;
+    Ok((network, summary))
+}
+
+/// Runs the RapidChain baseline under the given fault profile.
+///
+/// Committees are the plan's clusters; rounds visit committees
+/// round-robin (`shard = round % k`, as RapidChain interleaves shard
+/// blocks). The active committee's scheduled liars vote in its verdict
+/// round before the commit is attempted; an equivocating leader splits
+/// the active committee. Each shard keeps its own workload generator and
+/// retry slot, so nonces stay sequential per shard ledger.
+///
+/// # Errors
+///
+/// [`FaultError`] if the profile cannot produce a valid plan (e.g. the
+/// live floor exceeds a committee).
+pub fn run_rapidchain_under_faults(
+    mut config: RapidChainConfig,
+    txs_per_block: usize,
+    workload: WorkloadConfig,
+    profile: FaultProfile,
+) -> Result<(RapidChainNetwork, BaselineFaultSummary), FaultError> {
+    let _span = ici_telemetry::span!("sim/run_rapidchain_faults");
+    config.genesis = GenesisConfig::uniform(workload.accounts, GENESIS_BALANCE);
+    let mut network = RapidChainNetwork::new(config);
+    let k = network.shard_count();
+    let committees: Vec<Vec<NodeId>> = (0..k).map(|s| network.committee(s).to_vec()).collect();
+
+    let plan = FaultPlanConfig::new(profile.seed, profile.rounds, committees.clone())
+        .churn(profile.churn)
+        .partitions(profile.partitions)
+        .messages(profile.messages)
+        .byzantine(profile.byzantine)
+        .build()?;
+    let mut summary = blank_summary(
+        "rapidchain",
+        network.config().nodes,
+        k,
+        &plan.render(),
+        plan.fingerprint(),
+        profile.rounds,
+    );
+    let mut scheduler = FaultScheduler::new(plan);
+
+    let mut generators: Vec<WorkloadGenerator> = (0..k)
+        .map(|_| WorkloadGenerator::new(workload.clone()))
+        .collect();
+    let mut pending: Vec<Option<Vec<Transaction>>> = vec![None; k];
+    while let Some(round) = scheduler.step() {
+        apply_churn(network.net_mut(), &round, &mut summary);
+
+        let shard = round.round % k;
+        let batch = pending[shard]
+            .take()
+            .unwrap_or_else(|| generators[shard].batch(txs_per_block));
+        if round.equivocation {
+            let charge = equivocate_rapidchain(&mut network, &batch, shard, &committees[shard]);
+            record_equivocation(&mut summary, charge);
+            pending[shard] = Some(batch);
+        } else if committee_verdict_stalls(
+            &network,
+            &round,
+            shard,
+            &committees[shard],
+            &mut summary,
+        ) {
+            // The leader distributed the shard block before the verdict
+            // stalled — that dissemination is the liars' bandwidth bill.
+            summary.wasted_bytes +=
+                charge_stalled_committee(&mut network, &batch, shard, &committees[shard]);
+            summary.skipped_rounds += 1;
+            summary.byz_skipped_rounds += 1;
+            pending[shard] = Some(batch);
+        } else {
+            match network.propose_block(shard, batch.clone()) {
+                Some(_) => summary.committed_blocks += 1,
+                None => {
+                    summary.skipped_rounds += 1;
+                    pending[shard] = Some(batch);
+                }
+            }
+        }
+    }
+    network.net_mut().clear_faults();
+    summary.total_bytes = network.net().meter().total().bytes;
+    Ok((network, summary))
+}
+
+fn blank_summary(
+    strategy: &'static str,
+    nodes: usize,
+    groups: usize,
+    render: &str,
+    fingerprint: u64,
+    rounds: usize,
+) -> BaselineFaultSummary {
+    BaselineFaultSummary {
+        strategy,
+        nodes,
+        groups,
+        rounds,
+        committed_blocks: 0,
+        skipped_rounds: 0,
+        crash_events: 0,
+        restart_events: 0,
+        min_live_nodes: nodes,
+        equivocation_attempts: 0,
+        equivocations_detected: 0,
+        safety_breaches: 0,
+        verdict_flips: 0,
+        verdict_withholds: 0,
+        liars_detected: 0,
+        byz_skipped_rounds: 0,
+        wasted_bytes: 0,
+        total_bytes: 0,
+        plan_fingerprint: fingerprint,
+        plan_render: render.to_string(),
+    }
+}
+
+/// Applies one round's churn and message faults to the baseline network.
+fn apply_churn(net: &mut Network, round: &ScheduledRound, summary: &mut BaselineFaultSummary) {
+    for node in &round.restarts {
+        net.recover(*node);
+    }
+    for node in &round.crashes {
+        net.crash(*node);
+    }
+    summary.restart_events += round.restarts.len();
+    summary.crash_events += round.crashes.len();
+    summary.min_live_nodes = summary.min_live_nodes.min(round.live_nodes);
+    net.set_faults(round.message_faults.clone());
+}
+
+fn record_equivocation(summary: &mut BaselineFaultSummary, charge: ByzCharge) {
+    summary.equivocation_attempts += 1;
+    summary.wasted_bytes += charge.wasted_bytes;
+    if charge.detected {
+        summary.equivocations_detected += 1;
+    } else {
+        summary.safety_breaches += 1;
+    }
+    // Neither twin ever commits: detected frauds are discarded,
+    // undetected ones are counted as breaches above.
+    summary.skipped_rounds += 1;
+    summary.byz_skipped_rounds += 1;
+}
+
+/// Equivocation against the flood network: twins to disjoint halves of
+/// the live population, headers crossing on the gossip relay ring.
+fn equivocate_full(
+    network: &mut FullReplicationNetwork,
+    batch: &[Transaction],
+    all: &[NodeId],
+) -> ByzCharge {
+    let tip = *network
+        .block(network.chain_len() - 1)
+        .expect("genesis")
+        .header();
+    let leader = {
+        let net = network.net();
+        match elect_live_leader(&tip.id(), tip.height + 1, all, |n| net.is_up(n)) {
+            Some(l) => l,
+            None => {
+                // No live proposer: nothing disseminated, nothing conflicts.
+                return ByzCharge {
+                    detected: true,
+                    wasted_bytes: 0,
+                };
+            }
+        }
+    };
+    let audience: Vec<NodeId> = all
+        .iter()
+        .copied()
+        .filter(|n| *n != leader && network.net().is_up(*n))
+        .collect();
+    let block_bytes = BlockHeader::ENCODED_LEN as u64 + batch_body_bytes(batch);
+    charge_equivocation(network.net_mut(), leader, &audience, block_bytes, false)
+}
+
+/// Equivocation against the active committee: twins to disjoint halves,
+/// conflicting headers meeting in the all-pairs vote exchange.
+fn equivocate_rapidchain(
+    network: &mut RapidChainNetwork,
+    batch: &[Transaction],
+    shard: usize,
+    committee: &[NodeId],
+) -> ByzCharge {
+    let tip = *network
+        .shard_block(shard, network.shard_chain_len(shard) - 1)
+        .expect("genesis")
+        .header();
+    let leader = {
+        let net = network.net();
+        match elect_live_leader(&tip.id(), tip.height + 1, committee, |n| net.is_up(n)) {
+            Some(l) => l,
+            None => {
+                return ByzCharge {
+                    detected: true,
+                    wasted_bytes: 0,
+                }
+            }
+        }
+    };
+    let audience: Vec<NodeId> = committee
+        .iter()
+        .copied()
+        .filter(|n| *n != leader && network.net().is_up(*n))
+        .collect();
+    let block_bytes = BlockHeader::ENCODED_LEN as u64 + batch_body_bytes(batch);
+    charge_equivocation(network.net_mut(), leader, &audience, block_bytes, true)
+}
+
+/// Tallies the active committee's verdict round for an honest shard block
+/// under the scheduled flips and withholds. Every committee member holds
+/// the full block, so a false reject is exposed to each honest member —
+/// liars are named whenever any honest member is live. Returns whether
+/// the committee fails to reach its accept quorum.
+fn committee_verdict_stalls(
+    network: &RapidChainNetwork,
+    round: &ScheduledRound,
+    shard: usize,
+    committee: &[NodeId],
+    summary: &mut BaselineFaultSummary,
+) -> bool {
+    if round.verdict_faults.is_empty() {
+        return false;
+    }
+    let net = network.net();
+    let live: Vec<NodeId> = committee
+        .iter()
+        .copied()
+        .filter(|n| net.is_up(*n))
+        .collect();
+    if live.is_empty() {
+        return false;
+    }
+    let in_shard = |n: &NodeId| network.shard_of(*n) == shard && live.contains(n);
+    let flips = round
+        .verdict_faults
+        .iter()
+        .filter(|(n, k)| *k == VerdictFault::Flip && in_shard(n))
+        .count();
+    let withholds = round
+        .verdict_faults
+        .iter()
+        .filter(|(n, k)| *k == VerdictFault::Withhold && in_shard(n))
+        .count();
+    if flips == 0 && withholds == 0 {
+        return false;
+    }
+    let honest = live.len() - flips - withholds;
+    summary.verdict_flips += flips;
+    summary.verdict_withholds += withholds;
+    if honest > 0 {
+        summary.liars_detected += flips;
+    }
+    let votes = std::iter::repeat(VerifierVote::Accept)
+        .take(honest)
+        .chain(std::iter::repeat(VerifierVote::Reject).take(flips))
+        .chain(std::iter::repeat(VerifierVote::Withhold).take(withholds));
+    tally_votes(votes, live.len()).outcome() != VerdictOutcome::Accepted
+}
+
+/// Meters the traffic a stalled committee round wasted: the leader's
+/// full-block dissemination plus one all-pairs vote round that failed to
+/// reach quorum.
+fn charge_stalled_committee(
+    network: &mut RapidChainNetwork,
+    batch: &[Transaction],
+    shard: usize,
+    committee: &[NodeId],
+) -> u64 {
+    let tip = *network
+        .shard_block(shard, network.shard_chain_len(shard) - 1)
+        .expect("genesis")
+        .header();
+    let leader = {
+        let net = network.net();
+        match elect_live_leader(&tip.id(), tip.height + 1, committee, |n| net.is_up(n)) {
+            Some(l) => l,
+            None => return 0,
+        }
+    };
+    let live: Vec<NodeId> = committee
+        .iter()
+        .copied()
+        .filter(|n| network.net().is_up(*n))
+        .collect();
+    let block_bytes = BlockHeader::ENCODED_LEN as u64 + batch_body_bytes(batch);
+    let net = network.net_mut();
+    let before = net.meter().total().bytes;
+    for member in live.iter().filter(|m| **m != leader) {
+        let _ = net.send(leader, *member, MessageKind::BlockFull, block_bytes);
+    }
+    for from in &live {
+        for to in &live {
+            if from != to {
+                let _ = net.send(*from, *to, MessageKind::Vote, VOTE_BYTES);
+            }
+        }
+    }
+    net.meter().total().bytes - before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ici_faults::plan::{ByzantineConfig, ChurnConfig};
+    use ici_net::link::LinkModel;
+
+    fn workload() -> WorkloadConfig {
+        WorkloadConfig {
+            accounts: 32,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    fn quiet_link() -> LinkModel {
+        LinkModel {
+            max_jitter_ms: 0.0,
+            ..LinkModel::default()
+        }
+    }
+
+    fn full_config() -> FullConfig {
+        FullConfig {
+            nodes: 24,
+            fanout: 4,
+            link: quiet_link(),
+            seed: 2,
+            ..FullConfig::default()
+        }
+    }
+
+    fn rc_config() -> RapidChainConfig {
+        RapidChainConfig {
+            nodes: 24,
+            committee_size: 8,
+            link: quiet_link(),
+            seed: 2,
+            ..RapidChainConfig::default()
+        }
+    }
+
+    fn profile(seed: u64) -> FaultProfile {
+        FaultProfile {
+            seed,
+            rounds: 10,
+            churn: ChurnConfig {
+                crash_prob: 0.08,
+                restart_prob: 0.4,
+                cluster_churn_prob: 0.0,
+                min_live_per_cluster: 3,
+                ..ChurnConfig::default()
+            },
+            ..FaultProfile::default()
+        }
+    }
+
+    fn byz_profile(seed: u64) -> FaultProfile {
+        FaultProfile {
+            byzantine: ByzantineConfig {
+                equivocation_prob: 0.3,
+                false_verdict_fraction: 0.25,
+                flip_prob: 0.35,
+                withhold_prob: 0.15,
+            },
+            ..profile(seed)
+        }
+    }
+
+    #[test]
+    fn full_baseline_survives_crash_churn() {
+        let (network, summary) =
+            run_full_under_faults(full_config(), 4, workload(), profile(3)).expect("plan");
+        assert_eq!(summary.strategy, "full");
+        assert_eq!(summary.groups, 1);
+        assert!(summary.crash_events > 0, "{}", summary.plan_render);
+        assert_eq!(
+            summary.committed_blocks + summary.skipped_rounds as u64,
+            summary.rounds as u64
+        );
+        assert!(summary.min_live_nodes < 24);
+        assert_eq!(summary.verdict_flips, 0, "solo validation has no verdicts");
+        assert!(network.chain_len() > 1);
+        assert!(summary.total_bytes > 0);
+    }
+
+    #[test]
+    fn rapidchain_baseline_survives_crash_churn() {
+        let (network, summary) =
+            run_rapidchain_under_faults(rc_config(), 4, workload(), profile(3)).expect("plan");
+        assert_eq!(summary.strategy, "rapidchain");
+        assert_eq!(summary.groups, 3);
+        assert!(summary.crash_events > 0, "{}", summary.plan_render);
+        assert_eq!(
+            summary.committed_blocks + summary.skipped_rounds as u64,
+            summary.rounds as u64
+        );
+        let total_height: u64 = (0..network.shard_count())
+            .map(|s| network.shard_chain_len(s) - 1)
+            .sum();
+        assert_eq!(total_height, summary.committed_blocks);
+    }
+
+    #[test]
+    fn full_baseline_detects_equivocation() {
+        let (_, summary) =
+            run_full_under_faults(full_config(), 4, workload(), byz_profile(23)).expect("plan");
+        assert!(summary.equivocation_attempts > 0, "{}", summary.plan_render);
+        // A live floor of 3 over one 24-node cluster keeps an honest
+        // witness in both audience halves: detection is total.
+        assert_eq!(summary.equivocation_detection_rate(), 1.0, "{summary:?}");
+        assert_eq!(summary.safety_breaches, 0);
+        assert!(summary.wasted_bytes > 0, "twins burn bandwidth");
+        assert!(summary.wasted_fraction() > 0.0 && summary.wasted_fraction() < 1.0);
+        assert_eq!(summary.verdict_flips + summary.verdict_withholds, 0);
+    }
+
+    #[test]
+    fn rapidchain_baseline_detects_equivocation_and_names_liars() {
+        let (_, summary) =
+            run_rapidchain_under_faults(rc_config(), 4, workload(), byz_profile(23)).expect("plan");
+        assert!(summary.equivocation_attempts > 0, "{}", summary.plan_render);
+        assert_eq!(summary.equivocation_detection_rate(), 1.0, "{summary:?}");
+        assert_eq!(summary.safety_breaches, 0);
+        assert_eq!(summary.liar_detection_rate(), 1.0, "{summary:?}");
+        assert!(summary.wasted_bytes > 0);
+    }
+
+    #[test]
+    fn rapidchain_heavy_flipping_stalls_the_active_committee() {
+        let flood = FaultProfile {
+            byzantine: ByzantineConfig {
+                equivocation_prob: 0.0,
+                false_verdict_fraction: 0.4,
+                flip_prob: 1.0,
+                withhold_prob: 0.0,
+            },
+            ..profile(13)
+        };
+        let (_, summary) =
+            run_rapidchain_under_faults(rc_config(), 4, workload(), flood).expect("plan");
+        assert!(summary.verdict_flips > 0, "{}", summary.plan_render);
+        // 3 liars in an 8-member committee leave 5 accepts < quorum 6.
+        assert!(summary.byz_skipped_rounds > 0, "{summary:?}");
+        assert_eq!(summary.liar_detection_rate(), 1.0, "{summary:?}");
+        assert!(summary.wasted_bytes > 0);
+    }
+
+    #[test]
+    fn baseline_fault_runs_are_deterministic() {
+        let (_, a) =
+            run_full_under_faults(full_config(), 4, workload(), byz_profile(29)).expect("plan");
+        let (_, b) =
+            run_full_under_faults(full_config(), 4, workload(), byz_profile(29)).expect("plan");
+        assert_eq!(a, b);
+        let (_, c) =
+            run_rapidchain_under_faults(rc_config(), 4, workload(), byz_profile(29)).expect("plan");
+        let (_, d) =
+            run_rapidchain_under_faults(rc_config(), 4, workload(), byz_profile(29)).expect("plan");
+        assert_eq!(c, d);
+        assert_ne!(a.plan_render, c.plan_render, "different cluster maps");
+    }
+
+    #[test]
+    fn rapidchain_fault_summary_is_thread_count_invariant() {
+        ici_par::set_threads(1);
+        let (_, serial) =
+            run_rapidchain_under_faults(rc_config(), 4, workload(), byz_profile(29)).expect("plan");
+        ici_par::set_threads(4);
+        let (_, parallel) =
+            run_rapidchain_under_faults(rc_config(), 4, workload(), byz_profile(29)).expect("plan");
+        assert_eq!(serial, parallel, "baseline run must not depend on threads");
+    }
+}

@@ -12,13 +12,21 @@
 //! summary, byte for byte — which is what lets CI assert on survivability
 //! numbers and diff two runs of `e_fault` directly.
 
+use ici_chain::block::BlockHeader;
+use ici_chain::builder::BlockBuilder;
 use ici_chain::genesis::GenesisConfig;
+use ici_chain::transaction::Transaction;
+use ici_consensus::leader::elect_live_leader;
+use ici_consensus::pbft::VOTE_BYTES;
+use ici_consensus::verdicts::{tally_votes, VerdictOutcome, VerifierVote};
 use ici_core::config::IciConfig;
 use ici_core::network::IciNetwork;
 use ici_faults::plan::{
-    ChurnConfig, FaultError, FaultPlanConfig, MessageFaultSpec, PartitionPolicy,
+    ByzantineConfig, ChurnConfig, FaultError, FaultPlanConfig, MessageFaultSpec, PartitionPolicy,
+    VerdictFault,
 };
-use ici_faults::scheduler::FaultScheduler;
+use ici_faults::scheduler::{FaultScheduler, ScheduledRound};
+use ici_net::metrics::MessageKind;
 use ici_net::node::NodeId;
 use ici_workload::{WorkloadConfig, WorkloadGenerator};
 
@@ -52,6 +60,232 @@ fn mark_churn(network: &IciNetwork, name: &'static str, nodes: &[NodeId], round:
     }
 }
 
+/// What one equivocation round produced.
+struct EquivOutcome {
+    /// Both audience halves held an honest live witness, so the
+    /// conflicting headers met in the vote exchange.
+    detected: bool,
+    /// Dissemination plus cross-check traffic the twins burned.
+    wasted_bytes: u64,
+}
+
+/// Models one equivocating proposal: the elected leader builds two
+/// conflicting blocks for the next height (same parent, different
+/// timestamp ⇒ different id) and shows each twin to a disjoint half of
+/// its live cluster. The dissemination and the all-pairs vote exchange
+/// are real metered sends; detection happens exactly when both halves
+/// hold a witness, because the vote exchange crosses the halves and any
+/// two members comparing headers see the conflict.
+fn run_equivocation_round(
+    network: &mut IciNetwork,
+    batch: &[Transaction],
+    round: usize,
+) -> EquivOutcome {
+    let height = network.tip().height + 1;
+    let Some(home) = network.proposer_cluster(height) else {
+        // No live proposer anywhere: nothing was disseminated, nothing
+        // can conflict.
+        return EquivOutcome {
+            detected: true,
+            wasted_bytes: 0,
+        };
+    };
+    let members = network.live_members(home);
+    let parent_id = network.tip().id();
+    let leader = {
+        let up = |n: NodeId| network.net().is_up(n);
+        match elect_live_leader(&parent_id, height, &members, up) {
+            Some(l) => l,
+            None => {
+                return EquivOutcome {
+                    detected: true,
+                    wasted_bytes: 0,
+                }
+            }
+        }
+    };
+    if ici_trace::enabled() {
+        let at_us = network.now().as_micros();
+        ici_trace::mark(
+            "byz/equivocation",
+            at_us,
+            height,
+            Some(u64::from(home.get())),
+            Some(leader.get()),
+            ici_trace::derive_id(FAULT_MARK_SALT ^ 0xE9, round as u64 ^ leader.get()),
+            0,
+        );
+    }
+
+    // One twin is enough to size both: the bodies are identical, the
+    // headers differ only in timestamp.
+    let parent = *network.tip();
+    let timestamp_ms = (parent.timestamp_ms + 1).max(network.now().as_millis());
+    let mut builder =
+        BlockBuilder::new(&parent, network.state().clone(), leader.get(), timestamp_ms);
+    builder.fill(batch.to_vec());
+    let twin = builder.seal();
+    let body_bytes = twin.body_len() as u64;
+    let header_bytes = BlockHeader::ENCODED_LEN as u64;
+    let replication = network.config().replication;
+
+    let audience: Vec<NodeId> = members.iter().copied().filter(|m| *m != leader).collect();
+    let half_a = &audience[..audience.len() / 2];
+    let half_b = &audience[audience.len() / 2..];
+
+    let before = network.net().meter().total().bytes;
+    for half in [half_a, half_b] {
+        for (i, member) in half.iter().enumerate() {
+            let (kind, bytes) = if i < replication {
+                (MessageKind::BlockBody, header_bytes + body_bytes)
+            } else {
+                (MessageKind::BlockHeader, header_bytes)
+            };
+            let _ = network.net_mut().send(leader, *member, kind, bytes);
+        }
+    }
+    // The vote exchange crosses the audience halves — this is where two
+    // conflicting headers for one height meet and the fraud surfaces.
+    for from in &audience {
+        for to in &audience {
+            if from != to {
+                let _ = network
+                    .net_mut()
+                    .send(*from, *to, MessageKind::Vote, VOTE_BYTES);
+            }
+        }
+    }
+    let wasted_bytes = network.net().meter().total().bytes - before;
+
+    EquivOutcome {
+        detected: !half_a.is_empty() && !half_b.is_empty(),
+        wasted_bytes,
+    }
+}
+
+/// Per-round effect of scheduled verdict faults, computed with the real
+/// quorum arithmetic over each cluster's live membership.
+struct VerdictRoundEffect {
+    /// The proposer cluster cannot reach an accept quorum: the round
+    /// stalls before the commit.
+    home_stalled: bool,
+    /// Remote clusters whose verdict quorum failed (the commit proceeds;
+    /// those clusters' dissemination was wasted on a stalled verdict).
+    missed_remote: usize,
+}
+
+/// Tallies each cluster's verdict round for an honest block under the
+/// scheduled flips and withholds, updating the summary's lie accounting.
+/// Honest members vote `Accept` (the workload's blocks are valid); every
+/// false reject in a cluster with at least one honest member is exposed
+/// by slice re-verification (see
+/// `IciNetwork::collaborative_verify_with_faults`, which implements the
+/// same rule at the block level).
+fn apply_verdict_faults(
+    network: &IciNetwork,
+    round: &ScheduledRound,
+    summary: &mut FaultRunSummary,
+) -> VerdictRoundEffect {
+    let mut effect = VerdictRoundEffect {
+        home_stalled: false,
+        missed_remote: 0,
+    };
+    if round.verdict_faults.is_empty() {
+        return effect;
+    }
+    let height = network.tip().height + 1;
+    let home = network.proposer_cluster(height);
+    for cluster in network.clusters() {
+        let members = network.live_members(cluster);
+        if members.is_empty() {
+            continue;
+        }
+        let flips = round
+            .verdict_faults
+            .iter()
+            .filter(|(n, k)| *k == VerdictFault::Flip && members.contains(n))
+            .count();
+        let withholds = round
+            .verdict_faults
+            .iter()
+            .filter(|(n, k)| *k == VerdictFault::Withhold && members.contains(n))
+            .count();
+        if flips == 0 && withholds == 0 {
+            continue;
+        }
+        let honest = members.len() - flips - withholds;
+        summary.verdict_flips += flips;
+        summary.verdict_withholds += withholds;
+        if honest > 0 {
+            // Disputed rejects are re-verified and their authors named.
+            summary.liars_detected += flips;
+        }
+        let votes = std::iter::repeat(VerifierVote::Accept)
+            .take(honest)
+            .chain(std::iter::repeat(VerifierVote::Reject).take(flips))
+            .chain(std::iter::repeat(VerifierVote::Withhold).take(withholds));
+        let outcome = tally_votes(votes, members.len()).outcome();
+        if outcome != VerdictOutcome::Accepted {
+            if Some(cluster) == home {
+                effect.home_stalled = true;
+            } else {
+                effect.missed_remote += 1;
+            }
+        }
+    }
+    effect
+}
+
+/// Meters the traffic a stalled home-cluster verdict round wasted: the
+/// leader's body/header distribution plus one all-pairs vote round that
+/// failed to reach quorum.
+fn charge_stalled_distribution(network: &mut IciNetwork, batch: &[Transaction]) -> u64 {
+    let height = network.tip().height + 1;
+    let Some(home) = network.proposer_cluster(height) else {
+        return 0;
+    };
+    let members = network.live_members(home);
+    let parent_id = network.tip().id();
+    let leader = {
+        let up = |n: NodeId| network.net().is_up(n);
+        match elect_live_leader(&parent_id, height, &members, up) {
+            Some(l) => l,
+            None => return 0,
+        }
+    };
+    let parent = *network.tip();
+    let timestamp_ms = (parent.timestamp_ms + 1).max(network.now().as_millis());
+    let mut builder =
+        BlockBuilder::new(&parent, network.state().clone(), leader.get(), timestamp_ms);
+    builder.fill(batch.to_vec());
+    let block = builder.seal();
+    let body_bytes = block.body_len() as u64;
+    let header_bytes = BlockHeader::ENCODED_LEN as u64;
+    let replication = network.config().replication;
+
+    let before = network.net().meter().total().bytes;
+    let mut owners = 0usize;
+    for member in members.iter().filter(|m| **m != leader) {
+        let (kind, bytes) = if owners < replication {
+            owners += 1;
+            (MessageKind::BlockBody, header_bytes + body_bytes)
+        } else {
+            (MessageKind::BlockHeader, header_bytes)
+        };
+        let _ = network.net_mut().send(leader, *member, kind, bytes);
+    }
+    for from in &members {
+        for to in &members {
+            if from != to {
+                let _ = network
+                    .net_mut()
+                    .send(*from, *to, MessageKind::Vote, VOTE_BYTES);
+            }
+        }
+    }
+    network.net().meter().total().bytes - before
+}
+
 /// The fault schedule's knobs, bundled so experiment binaries can cite
 /// one profile per run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -66,6 +300,10 @@ pub struct FaultProfile {
     pub partitions: PartitionPolicy,
     /// Message-level fault profile.
     pub messages: MessageFaultSpec,
+    /// Byzantine-actor parameters (equivocating proposers, false-verdict
+    /// verifiers). Inert by default and drawn from a dedicated stream, so
+    /// crash-only profiles replay byte-identically.
+    pub byzantine: ByzantineConfig,
 }
 
 impl Default for FaultProfile {
@@ -77,6 +315,7 @@ impl Default for FaultProfile {
             churn: ChurnConfig::default(),
             partitions: PartitionPolicy::default(),
             messages: MessageFaultSpec::default(),
+            byzantine: ByzantineConfig::default(),
         }
     }
 }
@@ -125,6 +364,32 @@ pub struct FaultRunSummary {
     pub merkle_shards_verified: usize,
     /// Commit latency over the committed blocks.
     pub commit_latency: LatencyStats,
+    /// Rounds in which the elected proposer equivocated (two conflicting
+    /// blocks for the height, shown to disjoint audience halves).
+    pub equivocation_attempts: usize,
+    /// Equivocations exposed by the cross-audience vote exchange (both
+    /// halves held at least one honest live witness).
+    pub equivocations_detected: usize,
+    /// Equivocations that went *undetected* — one audience had no honest
+    /// witness, so a conflicting branch could have survived. The run
+    /// still refuses to commit either twin; this counts the hazard.
+    pub safety_breaches: usize,
+    /// Verdicts flipped by live Byzantine verifiers across all clusters.
+    pub verdict_flips: usize,
+    /// Verdicts withheld by live Byzantine verifiers across all clusters.
+    pub verdict_withholds: usize,
+    /// Lying verifiers exposed by honest slice re-verification (a false
+    /// reject about a clean slice always names its author).
+    pub liars_detected: usize,
+    /// Rounds lost to Byzantine action (equivocation or a stalled home
+    /// cluster); a subset of `skipped_rounds`.
+    pub byz_skipped_rounds: usize,
+    /// Remote clusters whose verdict quorum failed under lying/withheld
+    /// verdicts in otherwise-committed rounds.
+    pub byz_missed_cluster_verdicts: usize,
+    /// Bytes spent disseminating blocks that Byzantine action then killed
+    /// (equivocating twins, stalled home-cluster distributions).
+    pub wasted_bytes: u64,
     /// FNV-1a fingerprint of the plan's canonical rendering.
     pub plan_fingerprint: u64,
     /// The plan's canonical rendering (for replay diffing).
@@ -139,6 +404,26 @@ impl FaultRunSummary {
             1.0
         } else {
             self.recovery_successes as f64 / self.recovery_attempts as f64
+        }
+    }
+
+    /// Fraction of equivocation attempts exposed, in `[0, 1]` (1.0 when
+    /// none were attempted).
+    pub fn equivocation_detection_rate(&self) -> f64 {
+        if self.equivocation_attempts == 0 {
+            1.0
+        } else {
+            self.equivocations_detected as f64 / self.equivocation_attempts as f64
+        }
+    }
+
+    /// Fraction of flipped verdicts whose author was exposed, in `[0, 1]`
+    /// (1.0 when nobody flipped).
+    pub fn liar_detection_rate(&self) -> f64 {
+        if self.verdict_flips == 0 {
+            1.0
+        } else {
+            self.liars_detected as f64 / self.verdict_flips as f64
         }
     }
 }
@@ -179,6 +464,7 @@ pub fn run_ici_under_faults(
         .churn(profile.churn)
         .partitions(profile.partitions)
         .messages(profile.messages)
+        .byzantine(profile.byzantine)
         .build()?;
     let plan_render = plan.render();
     let plan_fingerprint = plan.fingerprint();
@@ -212,6 +498,15 @@ pub fn run_ici_under_faults(
         final_audit_clean: false,
         merkle_shards_verified: 0,
         commit_latency: LatencyStats::from_durations(std::iter::empty()),
+        equivocation_attempts: 0,
+        equivocations_detected: 0,
+        safety_breaches: 0,
+        verdict_flips: 0,
+        verdict_withholds: 0,
+        liars_detected: 0,
+        byz_skipped_rounds: 0,
+        byz_missed_cluster_verdicts: 0,
+        wasted_bytes: 0,
         plan_fingerprint,
         plan_render,
     };
@@ -234,19 +529,51 @@ pub fn run_ici_under_faults(
         network.net_mut().set_faults(round.message_faults.clone());
 
         // 3. One block proposal; a failed commit retries the same batch.
+        //    Byzantine action degrades this step: an equivocating
+        //    proposer burns the round (and real dissemination bandwidth)
+        //    outright, and lying/withholding verifiers can stall the home
+        //    cluster's verdict quorum before the commit is attempted.
         let batch = pending.take().unwrap_or_else(|| {
             let fresh = generator.batch(txs_per_block);
             generated_txs += fresh.len() as u64;
             fresh
         });
-        match network.propose_block(batch.clone()) {
-            Ok(_) => {
-                summary.committed_blocks += 1;
-                committed_txs += batch.len() as u64;
+        if round.equivocation {
+            let outcome = run_equivocation_round(&mut network, &batch, round.round);
+            summary.equivocation_attempts += 1;
+            summary.wasted_bytes += outcome.wasted_bytes;
+            if outcome.detected {
+                summary.equivocations_detected += 1;
+            } else {
+                summary.safety_breaches += 1;
             }
-            Err(_) => {
+            // Neither twin ever commits: a detected equivocation is
+            // discarded, an undetected one is counted as a breach above.
+            summary.skipped_rounds += 1;
+            summary.byz_skipped_rounds += 1;
+            pending = Some(batch);
+        } else {
+            let verdicts = apply_verdict_faults(&network, &round, &mut summary);
+            if verdicts.home_stalled {
+                // The leader had already distributed the block before the
+                // cluster's verdict round stalled — that traffic is the
+                // liars' bandwidth cost.
+                summary.wasted_bytes += charge_stalled_distribution(&mut network, &batch);
                 summary.skipped_rounds += 1;
+                summary.byz_skipped_rounds += 1;
                 pending = Some(batch);
+            } else {
+                summary.byz_missed_cluster_verdicts += verdicts.missed_remote;
+                match network.propose_block(batch.clone()) {
+                    Ok(_) => {
+                        summary.committed_blocks += 1;
+                        committed_txs += batch.len() as u64;
+                    }
+                    Err(_) => {
+                        summary.skipped_rounds += 1;
+                        pending = Some(batch);
+                    }
+                }
             }
         }
 
@@ -324,6 +651,31 @@ pub fn run_ici_under_faults(
         "sim/fault_repair_bytes",
         ici_telemetry::Label::Global,
         summary.repair_bytes,
+    );
+    ici_telemetry::counter_add(
+        "faults/equivocations",
+        ici_telemetry::Label::Global,
+        summary.equivocation_attempts as u64,
+    );
+    ici_telemetry::counter_add(
+        "faults/equivocations_detected",
+        ici_telemetry::Label::Global,
+        summary.equivocations_detected as u64,
+    );
+    ici_telemetry::counter_add(
+        "faults/verdict_flips",
+        ici_telemetry::Label::Global,
+        summary.verdict_flips as u64,
+    );
+    ici_telemetry::counter_add(
+        "faults/liars_detected",
+        ici_telemetry::Label::Global,
+        summary.liars_detected as u64,
+    );
+    ici_telemetry::counter_add(
+        "sim/byz_wasted_bytes",
+        ici_telemetry::Label::Global,
+        summary.wasted_bytes,
     );
     network.net().meter().publish_telemetry();
     Ok((network, summary))
@@ -450,6 +802,97 @@ mod tests {
                 .count(),
             summary.restart_events
         );
+    }
+
+    fn byz_profile(seed: u64) -> FaultProfile {
+        FaultProfile {
+            byzantine: ByzantineConfig {
+                equivocation_prob: 0.3,
+                false_verdict_fraction: 0.25,
+                flip_prob: 0.35,
+                withhold_prob: 0.15,
+            },
+            ..profile(seed)
+        }
+    }
+
+    #[test]
+    fn crash_only_profiles_report_no_byzantine_activity() {
+        let (_, summary) = run_ici_under_faults(config(), 4, workload(), profile(3)).expect("plan");
+        assert_eq!(summary.equivocation_attempts, 0);
+        assert_eq!(summary.verdict_flips + summary.verdict_withholds, 0);
+        assert_eq!(summary.wasted_bytes, 0);
+        assert_eq!(summary.equivocation_detection_rate(), 1.0);
+        assert_eq!(summary.liar_detection_rate(), 1.0);
+    }
+
+    #[test]
+    fn byzantine_run_detects_every_equivocation_and_stays_clean() {
+        let (network, summary) =
+            run_ici_under_faults(config(), 5, workload(), byz_profile(23)).expect("plan");
+        assert!(summary.equivocation_attempts > 0, "{}", summary.plan_render);
+        // 8-member clusters with a floor of 3 live: both audience halves
+        // always hold an honest witness, so detection is total and no
+        // forged branch survives.
+        assert_eq!(summary.equivocation_detection_rate(), 1.0, "{summary:?}");
+        assert_eq!(summary.safety_breaches, 0);
+        assert!(summary.wasted_bytes > 0, "equivocation burns bandwidth");
+        assert_eq!(
+            summary.committed_blocks + summary.skipped_rounds as u64,
+            summary.rounds as u64
+        );
+        assert!(summary.byz_skipped_rounds >= summary.equivocation_attempts);
+        assert!(summary.final_audit_clean, "{summary:?}");
+        assert!(network.chain_len() > 1, "liveness survives the liars");
+    }
+
+    #[test]
+    fn byzantine_run_is_deterministic() {
+        let (_, a) = run_ici_under_faults(config(), 4, workload(), byz_profile(29)).expect("plan");
+        let (_, b) = run_ici_under_faults(config(), 4, workload(), byz_profile(29)).expect("plan");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn byzantine_summary_is_thread_count_invariant() {
+        let jittery = IciConfig::builder()
+            .nodes(24)
+            .cluster_size(8)
+            .replication(2)
+            .seed(7)
+            .build()
+            .expect("valid");
+        ici_par::set_threads(1);
+        let (_, serial) =
+            run_ici_under_faults(jittery.clone(), 4, workload(), byz_profile(29)).expect("plan");
+        ici_par::set_threads(4);
+        let (_, parallel) =
+            run_ici_under_faults(jittery, 4, workload(), byz_profile(29)).expect("plan");
+        assert_eq!(serial, parallel, "byz run must not depend on threads");
+    }
+
+    #[test]
+    fn heavy_flipping_stalls_rounds_but_liars_are_named() {
+        let flood = FaultProfile {
+            byzantine: ByzantineConfig {
+                equivocation_prob: 0.0,
+                false_verdict_fraction: 0.4,
+                flip_prob: 1.0,
+                withhold_prob: 0.0,
+            },
+            ..profile(13)
+        };
+        let (_, summary) = run_ici_under_faults(config(), 4, workload(), flood).expect("plan");
+        assert!(summary.verdict_flips > 0);
+        assert!(
+            summary.byz_skipped_rounds > 0,
+            "3-of-8 flipping must stall some home verdicts: {summary:?}"
+        );
+        // Every false reject lands in a cluster with honest members, so
+        // every liar is exposed.
+        assert_eq!(summary.liar_detection_rate(), 1.0, "{summary:?}");
+        assert!(summary.wasted_bytes > 0);
+        assert!(summary.final_audit_clean);
     }
 
     #[test]

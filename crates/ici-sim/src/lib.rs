@@ -5,6 +5,9 @@
 //! * [`fault_run`] — the failure-aware runner: drives a run through a
 //!   deterministic `ici-faults` schedule and certifies recovery with the
 //!   shard-level Merkle audit;
+//! * [`baseline_faults`] — the same fault plans driven through the
+//!   full-replication and RapidChain baselines, for apples-to-apples
+//!   survivability comparisons (`e_byz`);
 //! * [`latency`] — latency percentile summaries;
 //! * [`table`] — paper-style ASCII tables and CSV;
 //! * [`report`] — JSON export of experiment records for `EXPERIMENTS.md`
@@ -31,12 +34,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline_faults;
 pub mod fault_run;
 pub mod latency;
 pub mod report;
 pub mod runner;
 pub mod table;
 
+pub use baseline_faults::{
+    run_full_under_faults, run_rapidchain_under_faults, BaselineFaultSummary,
+};
 pub use fault_run::{run_ici_under_faults, FaultProfile, FaultRunSummary};
 pub use latency::LatencyStats;
 pub use report::ExperimentRecord;

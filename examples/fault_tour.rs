@@ -17,7 +17,9 @@
 //!
 //! Run with: `cargo run --release --example fault_tour`
 
-use icistrategy::faults::{ChurnConfig, FaultPlanConfig, MessageFaultSpec, PartitionPolicy};
+use icistrategy::faults::{
+    ByzantineConfig, ChurnConfig, FaultPlanConfig, MessageFaultSpec, PartitionPolicy,
+};
 use icistrategy::prelude::*;
 use icistrategy::storage::stats::format_bytes;
 
@@ -87,6 +89,9 @@ fn main() {
             delay_prob: 0.05,
             max_extra_delay_ms: 20.0,
         },
+        // Honest-but-crashing tour; the Byzantine roles get their own
+        // walkthrough in `e_byz`.
+        byzantine: ByzantineConfig::default(),
     };
     let (network, summary) = run_ici_under_faults(
         config,

@@ -141,6 +141,53 @@ cmp results/e_fault.serial.json results/e_fault.json
 rm results/e_fault.serial.json
 echo "    determinism OK: e_fault.json byte-identical at 1 and 4 threads"
 
+echo "==> Byzantine smoke (E-byz, pinned seed, replayed twice)"
+cargo run -q --release -p ici-bench --bin e_byz -- --seed 42 >/dev/null
+cp results/e_byz.json results/e_byz.replay.json
+cargo run -q --release -p ici-bench --bin e_byz -- --seed 42 >/dev/null
+cmp results/e_byz.replay.json results/e_byz.json
+rm results/e_byz.replay.json
+git diff --quiet -- results/e_byz.json || {
+    echo "E-byz drifted from committed results/e_byz.json; regenerate with"
+    echo "  cargo run -q --release -p ici-bench --bin e_byz -- --seed 42"
+    exit 1
+}
+python3 - <<'EOF'
+import json
+with open("results/e_byz.json") as f:
+    record = json.load(f)
+rows = {r[0]: r[1:] for r in record["tables"][0]["rows"]}
+ici, full, rapidchain = range(3)
+assert rows["equivocation detection rate"][ici] == "100.0%", rows
+assert rows["undetected equivocations (hazard)"][ici] == "0", rows
+assert rows["liar detection rate"][ici] == "100.0%", rows
+assert int(rows["committed blocks"][ici]) > 0, rows
+assert all(int(v) > 0 for v in rows["equivocation attempts"]), rows
+print(f"    byz smoke OK: byte-identical replay, "
+      f"{rows['equivocation attempts'][ici]} equivocations all detected, "
+      f"{rows['lying verifiers named'][ici]} liars named, "
+      f"wasted {rows['wasted fraction'][ici]} (ici) vs "
+      f"{rows['wasted fraction'][full]} (full) / "
+      f"{rows['wasted fraction'][rapidchain]} (rapidchain)")
+EOF
+
+echo "==> thread-count determinism (E-byz, pinned seed, 1 vs 4 threads)"
+ICI_PAR_THREADS=1 cargo run -q --release -p ici-bench --bin e_byz -- --seed 42 >/dev/null
+cp results/e_byz.json results/e_byz.serial.json
+ICI_PAR_THREADS=4 cargo run -q --release -p ici-bench --bin e_byz -- --seed 42 >/dev/null
+cmp results/e_byz.serial.json results/e_byz.json
+rm results/e_byz.serial.json
+echo "    determinism OK: e_byz.json byte-identical at 1 and 4 threads"
+
+echo "==> shrinker determinism + reproducer replay (1 vs 4 threads)"
+# The ici-prop shrinker is part of the deterministic surface: the same
+# seed must descend to the same minimal counterexample byte for byte at
+# both pool widths, and every committed tests/reproducers/*.repro file
+# must still fail its property when replayed from seed and shrink path.
+ICI_PAR_THREADS=1 cargo test -q --release --test shrink_determinism --test reproducers
+ICI_PAR_THREADS=4 cargo test -q --release --test shrink_determinism --test reproducers
+echo "    shrinker OK: minimal reproducer pinned at 1 and 4 threads"
+
 echo "==> parallel speedup bench (E1 + E7, 1 vs 4 threads)"
 bench_wall() { # bench_wall <bin> <threads> -> seconds (wall clock)
     local start end

@@ -1,11 +1,18 @@
 //! Randomized integration tests: random configurations and random
 //! operation sequences must never violate the core invariants.
 //!
-//! Ported from `proptest` to seeded, deterministic case loops over
-//! [`ici_rng`]. Enable the `heavy-tests` feature for a deeper sweep.
+//! Checked through the `ici-prop` harness: every case draws from a
+//! seeded [`ici_rng::Xoshiro256`], and a falsified property shrinks to
+//! a minimal counterexample whose replayable reproducer is printed in
+//! the panic message — commit it under `tests/reproducers/` to pin the
+//! regression. Enable the `heavy-tests` feature for a deeper sweep.
 
+mod prop_support;
+
+use ici_prop::{check, Config, Failure, Pass, Shrink};
 use ici_rng::Xoshiro256;
 use icistrategy::prelude::*;
+use prop_support::{gen_fault_scenario, shrink_toward, shrink_toward_u64, FaultScenario};
 
 const CASES: usize = if cfg!(feature = "heavy-tests") {
     64
@@ -13,40 +20,163 @@ const CASES: usize = if cfg!(feature = "heavy-tests") {
     12
 };
 
-fn build(nodes: usize, c: usize, r: usize, seed: u64) -> IciNetwork {
+fn cfg(seed: u64) -> Config {
+    Config {
+        seed,
+        cases: CASES,
+        ..Config::default()
+    }
+}
+
+/// Panics with the shrunk counterexample *and* its reproducer text, so
+/// a failure in CI is one copy-paste away from a committed regression
+/// test.
+fn require_pass<T: std::fmt::Debug>(result: Result<Pass, Failure<T>>) {
+    if let Err(failure) = result {
+        panic!(
+            "{failure}\n--- reproducer (commit under tests/reproducers/) ---\n{}",
+            failure.reproducer().to_text()
+        );
+    }
+}
+
+fn build(nodes: usize, c: usize, r: usize, seed: u64) -> Option<IciNetwork> {
     let config = IciConfig::builder()
         .nodes(nodes)
         .cluster_size(c)
         .replication(r)
         .seed(seed)
         .build()
-        .expect("valid configuration");
-    IciNetwork::new(config).expect("constructs")
+        .ok()?;
+    IciNetwork::new(config).ok()
+}
+
+fn workload(seed: u64) -> WorkloadGenerator {
+    WorkloadGenerator::new(WorkloadConfig {
+        accounts: 64,
+        seed,
+        ..WorkloadConfig::default()
+    })
+}
+
+/// A deployment shape plus a block count, discrete in every knob.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ShapeScenario {
+    nodes: usize,
+    cluster: usize,
+    replication: usize,
+    blocks: usize,
+    seed: u64,
+}
+
+impl Shrink for ShapeScenario {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for v in shrink_toward(self.blocks, 1) {
+            out.push(ShapeScenario {
+                blocks: v,
+                ..self.clone()
+            });
+        }
+        for v in shrink_toward(self.nodes, 8) {
+            out.push(ShapeScenario {
+                nodes: v,
+                ..self.clone()
+            });
+        }
+        for v in shrink_toward(self.cluster, 4) {
+            out.push(ShapeScenario {
+                cluster: v,
+                ..self.clone()
+            });
+        }
+        for v in shrink_toward(self.replication, 1) {
+            out.push(ShapeScenario {
+                replication: v,
+                ..self.clone()
+            });
+        }
+        for v in shrink_toward_u64(self.seed, 0) {
+            out.push(ShapeScenario {
+                seed: v,
+                ..self.clone()
+            });
+        }
+        out
+    }
+}
+
+fn gen_shape(rng: &mut Xoshiro256) -> ShapeScenario {
+    ShapeScenario {
+        nodes: rng.gen_range(12usize..48),
+        cluster: rng.gen_range(4usize..16),
+        replication: rng.gen_range(1usize..4),
+        blocks: rng.gen_range(1usize..6),
+        seed: rng.gen_range(0u64..1_000),
+    }
 }
 
 /// Integrity, linkage, and header completeness hold for arbitrary
 /// (small) shapes.
 #[test]
 fn invariants_hold_for_random_shapes() {
-    let mut rng = Xoshiro256::seed_from_u64(0xF1);
-    for _ in 0..CASES {
-        let nodes = rng.gen_range(12usize..48);
-        let cluster = rng.gen_range(4usize..16);
-        let r = rng.gen_range(1usize..4).min(cluster);
-        let blocks = rng.gen_range(1usize..6);
-        let seed = rng.gen_range(0u64..1_000);
-        let mut net = build(nodes, cluster, r, seed);
-        let mut workload = WorkloadGenerator::new(WorkloadConfig {
-            accounts: 64,
-            seed,
-            ..WorkloadConfig::default()
-        });
-        for _ in 0..blocks {
-            net.propose_block(workload.batch(6)).expect("commits");
+    require_pass(check(
+        "invariants hold for random shapes",
+        &cfg(0xF1),
+        gen_shape,
+        |s: &ShapeScenario| {
+            let r = s.replication.min(s.cluster);
+            let Some(mut net) = build(s.nodes, s.cluster, r, s.seed) else {
+                return Ok(()); // invalid lattice point — vacuous
+            };
+            let mut workload = workload(s.seed);
+            for _ in 0..s.blocks {
+                net.propose_block(workload.batch(6))
+                    .map_err(|e| format!("commit failed on a healthy network: {e:?}"))?;
+            }
+            if !net.audit_all().iter().all(|rep| rep.is_intact()) {
+                return Err("integrity audit failed".into());
+            }
+            if net.chain_len() != s.blocks as u64 + 1 {
+                return Err(format!(
+                    "chain length {} != {}",
+                    net.chain_len(),
+                    s.blocks + 1
+                ));
+            }
+            if net.tip().state_root != net.state().root() {
+                return Err("tip state root diverged from world state".into());
+            }
+            Ok(())
+        },
+    ));
+}
+
+/// A crash set within the fault budget, shrinkable victim by victim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct CrashScenario {
+    seed: u64,
+    victims: Vec<u64>,
+}
+
+impl Shrink for CrashScenario {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out: Vec<CrashScenario> = self
+            .victims
+            .shrink_candidates()
+            .into_iter()
+            .map(|victims| CrashScenario {
+                victims,
+                ..self.clone()
+            })
+            .collect();
+        for v in shrink_toward_u64(self.seed, 0) {
+            out.push(CrashScenario {
+                seed: v,
+                ..self.clone()
+            });
         }
-        assert!(net.audit_all().iter().all(|rep| rep.is_intact()));
-        assert_eq!(net.chain_len(), blocks as u64 + 1);
-        assert_eq!(net.tip().state_root, net.state().root());
+        out
     }
 }
 
@@ -55,66 +185,125 @@ fn invariants_hold_for_random_shapes() {
 /// live holder or any other cluster does.
 #[test]
 fn random_crashes_then_repair_restores_integrity() {
-    let mut rng = Xoshiro256::seed_from_u64(0xF2);
-    for _ in 0..CASES {
-        let seed = rng.gen_range(0u64..500);
-        let mut net = build(36, 12, 2, seed);
-        let mut workload = WorkloadGenerator::new(WorkloadConfig {
-            accounts: 64,
-            seed,
-            ..WorkloadConfig::default()
-        });
-        for _ in 0..4 {
-            net.propose_block(workload.batch(6)).expect("commits");
-        }
-        // Crash at most 2 distinct nodes per cluster of 12 (f = 3, and we
-        // want bodies to stay findable).
-        let mut crashed = std::collections::HashSet::new();
-        for _ in 0..rng.gen_range(1usize..4) {
-            let node = NodeId::new(rng.gen_range(0usize..36) as u64);
-            if crashed.insert(node) {
-                net.crash_node(node).expect("known node");
+    require_pass(check(
+        "crashes within budget never block commits",
+        &cfg(0xF2),
+        |rng| CrashScenario {
+            seed: rng.gen_range(0u64..500),
+            // At most 3 distinct nodes of 36 (f = 3 per cluster of 12,
+            // and bodies must stay findable).
+            victims: {
+                let n = rng.gen_range(1usize..4);
+                (0..n).map(|_| rng.gen_range(0u64..36)).collect()
+            },
+        },
+        |s: &CrashScenario| {
+            let Some(mut net) = build(36, 12, 2, s.seed) else {
+                return Err("36/12/2 must build".into());
+            };
+            let mut workload = workload(s.seed);
+            for _ in 0..4 {
+                net.propose_block(workload.batch(6))
+                    .map_err(|e| format!("healthy commit failed: {e:?}"))?;
             }
-        }
-        // Chain still commits.
-        net.propose_block(workload.batch(6))
-            .expect("commits despite crashes");
-
-        let reports = net.repair_all();
-        for report in &reports {
-            assert!(report.unrecoverable.is_empty(), "lost heights: {report:?}");
-        }
-        assert!(net.audit_all().iter().all(|rep| rep.is_intact()));
-    }
+            let mut crashed = std::collections::HashSet::new();
+            for victim in &s.victims {
+                let node = NodeId::new(*victim % 36);
+                if crashed.insert(node) {
+                    net.crash_node(node)
+                        .map_err(|e| format!("crash of known node failed: {e:?}"))?;
+                }
+            }
+            net.propose_block(workload.batch(6))
+                .map_err(|e| format!("commit blocked by {} crashes: {e:?}", crashed.len()))?;
+            for report in net.repair_all() {
+                if !report.unrecoverable.is_empty() {
+                    return Err(format!("lost heights: {report:?}"));
+                }
+            }
+            if !net.audit_all().iter().all(|rep| rep.is_intact()) {
+                return Err("integrity audit failed after repair".into());
+            }
+            Ok(())
+        },
+    ));
 }
 
 /// Queries succeed from any live node for any committed height, and
 /// local queries cost no traffic.
 #[test]
 fn queries_always_succeed_on_live_networks() {
-    let mut rng = Xoshiro256::seed_from_u64(0xF3);
-    for _ in 0..CASES {
-        let seed = rng.gen_range(0u64..500);
-        let mut net = build(24, 8, 2, seed);
-        let mut workload = WorkloadGenerator::new(WorkloadConfig {
-            accounts: 64,
-            seed,
-            ..WorkloadConfig::default()
-        });
-        for _ in 0..3 {
-            net.propose_block(workload.batch(5)).expect("commits");
+    require_pass(check(
+        "queries succeed from any live node",
+        &cfg(0xF3),
+        |rng| {
+            (
+                rng.gen_range(0u64..500),                          // network seed
+                (rng.gen_range(0u64..24), rng.gen_range(0u64..4)), // node, height
+            )
+        },
+        |case: &(u64, (u64, u64))| {
+            let (seed, (node, height)) = *case;
+            let Some(mut net) = build(24, 8, 2, seed) else {
+                return Err("24/8/2 must build".into());
+            };
+            let mut workload = workload(seed);
+            for _ in 0..3 {
+                net.propose_block(workload.batch(5))
+                    .map_err(|e| format!("healthy commit failed: {e:?}"))?;
+            }
+            let before = net.net().meter().total().bytes;
+            let report = net
+                .query_body(NodeId::new(node % 24), height % 4)
+                .map_err(|e| format!("query failed: {e:?}"))?;
+            if report.tier == QueryTier::Local {
+                if net.net().meter().total().bytes != before {
+                    return Err("local query moved bytes".into());
+                }
+            } else if report.bytes == 0 && height % 4 != 0 {
+                return Err(format!("remote query reported free: {report:?}"));
+            }
+            Ok(())
+        },
+    ));
+}
+
+/// An erasure-coding workload: geometry index plus payload bytes. The
+/// payload shrinks through the standard `Vec<u8>` candidates, so a
+/// decode bug minimises to a few bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct RsScenario {
+    geometry: usize,
+    payload: Vec<u8>,
+}
+
+impl Shrink for RsScenario {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out: Vec<RsScenario> = self
+            .payload
+            .shrink_candidates()
+            .into_iter()
+            .filter(|p| !p.is_empty())
+            .map(|payload| RsScenario {
+                payload,
+                ..self.clone()
+            })
+            .collect();
+        for v in shrink_toward(self.geometry, 0) {
+            out.push(RsScenario {
+                geometry: v,
+                ..self.clone()
+            });
         }
-        let node = NodeId::new(rng.gen_range(0usize..24) as u64);
-        let height = rng.gen_range(0u64..4);
-        let before = net.net().meter().total().bytes;
-        let report = net.query_body(node, height).expect("query succeeds");
-        if report.tier == QueryTier::Local {
-            assert_eq!(net.net().meter().total().bytes, before);
-        } else {
-            assert!(report.bytes > 0 || height == 0);
-        }
+        out
     }
 }
+
+const RS_GEOMETRIES: &[(usize, usize)] = if cfg!(feature = "heavy-tests") {
+    &[(2, 1), (3, 1), (4, 2), (5, 3), (6, 4), (10, 4)]
+} else {
+    &[(2, 1), (3, 1), (4, 2), (5, 3)]
+};
 
 /// Reed–Solomon decoding round-trips under *every* erasure pattern that
 /// stays within the parity budget, and degrades into a typed error —
@@ -122,152 +311,191 @@ fn queries_always_succeed_on_live_networks() {
 #[test]
 fn rs_round_trips_under_every_erasure_pattern() {
     use icistrategy::crypto::rs::{ReedSolomon, RsError};
-    let mut rng = Xoshiro256::seed_from_u64(0xF5);
-    let geometries: &[(usize, usize)] = if cfg!(feature = "heavy-tests") {
-        &[(2, 1), (3, 1), (4, 2), (5, 3), (6, 4), (10, 4)]
-    } else {
-        &[(2, 1), (3, 1), (4, 2), (5, 3)]
-    };
-    for &(data, parity) in geometries {
-        let rs = ReedSolomon::new(data, parity).expect("valid geometry");
-        let payload: Vec<u8> = (0..rng.gen_range(1usize..200))
-            .map(|_| rng.next_u64() as u8)
-            .collect();
-        let shards = rs.encode_payload(&payload);
-        let total = data + parity;
-        for mask in 0u32..(1u32 << total) {
-            let erased = mask.count_ones() as usize;
-            if erased == 0 || erased > parity {
-                continue;
+    require_pass(check(
+        "RS round-trips under every in-budget erasure",
+        &cfg(0xF5),
+        |rng| RsScenario {
+            geometry: rng.gen_range(0usize..RS_GEOMETRIES.len()),
+            payload: rng.gen_bytes_in(1..200),
+        },
+        |s: &RsScenario| {
+            let (data, parity) = RS_GEOMETRIES[s.geometry % RS_GEOMETRIES.len()];
+            if s.payload.is_empty() {
+                return Ok(()); // vacuous lattice point
             }
-            let mut holey: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
-            for (i, slot) in holey.iter_mut().enumerate() {
-                if mask & (1 << i) != 0 {
-                    *slot = None;
+            let rs = ReedSolomon::new(data, parity).map_err(|e| format!("geometry: {e:?}"))?;
+            let shards = rs.encode_payload(&s.payload);
+            let total = data + parity;
+            for mask in 0u32..(1u32 << total) {
+                let erased = mask.count_ones() as usize;
+                if erased == 0 || erased > parity {
+                    continue;
+                }
+                let mut holey: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+                for (i, slot) in holey.iter_mut().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        *slot = None;
+                    }
+                }
+                rs.reconstruct(&mut holey)
+                    .map_err(|e| format!("mask {mask:#b} within budget failed: {e:?}"))?;
+                let joined = rs
+                    .join_payload(&holey, s.payload.len())
+                    .map_err(|e| format!("join failed: {e:?}"))?;
+                if joined != s.payload {
+                    return Err(format!(
+                        "data={data} parity={parity} mask={mask:#b}: wrong payload"
+                    ));
                 }
             }
-            rs.reconstruct(&mut holey).expect("within parity budget");
-            assert_eq!(
-                rs.join_payload(&holey, payload.len()).expect("joins"),
-                payload,
-                "data={data} parity={parity} mask={mask:#b}"
-            );
-        }
-        // One erasure past the budget must be reported, not decoded.
-        let mut holey: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
-        for slot in holey.iter_mut().take(parity + 1) {
-            *slot = None;
-        }
-        assert!(matches!(
-            rs.reconstruct(&mut holey),
-            Err(RsError::TooFewShards { .. })
-        ));
-    }
+            // One erasure past the budget must be reported, not decoded.
+            let mut holey: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+            for slot in holey.iter_mut().take(parity + 1) {
+                *slot = None;
+            }
+            match rs.reconstruct(&mut holey) {
+                Err(RsError::TooFewShards { .. }) => Ok(()),
+                other => Err(format!("over-budget erasure decoded: {other:?}")),
+            }
+        },
+    ));
 }
 
 /// Churn scheduled by a random [`FaultPlan`] never loses data a live
-/// node still holds: once the plan runs out, repair restores exactly the
-/// heights that remained reachable, and for fully recoverable runs both
-/// the integrity audit and the shard-level Merkle audit come back clean.
+/// node still holds: once the plan runs out, repair restores exactly
+/// the heights that remained reachable, and for fully recoverable runs
+/// both the integrity audit and the shard-level Merkle audit come back
+/// clean. Runs over the shared [`FaultScenario`] lattice, so a failure
+/// here shrinks to the same reproducer format the liveness-loss file
+/// uses.
 #[test]
 fn fault_plans_leave_recoverable_networks_repairable() {
     use icistrategy::faults::ChurnConfig;
-    let mut rng = Xoshiro256::seed_from_u64(0xF6);
-    for _ in 0..CASES {
-        let seed = rng.gen_range(0u64..500);
-        let mut net = build(36, 12, 2, seed);
-        let mut workload = WorkloadGenerator::new(WorkloadConfig {
-            accounts: 64,
-            seed,
-            ..WorkloadConfig::default()
-        });
-        for _ in 0..4 {
-            net.propose_block(workload.batch(6)).expect("commits");
-        }
-
-        let cluster_map: Vec<Vec<NodeId>> = net
-            .clusters()
-            .into_iter()
-            .map(|c| net.membership().active_members(c))
-            .collect();
-        let plan = FaultPlanConfig::new(rng.next_u64(), 8, cluster_map)
-            .churn(ChurnConfig {
-                crash_prob: 0.2,
-                restart_prob: 0.35,
-                cluster_churn_prob: 0.1,
-                cluster_churn_fraction: 0.3,
-                min_live_per_cluster: 2,
-                ensure_cycle_per_cluster: true,
-            })
-            .build()
-            .expect("plan builds over the formed clusters");
-        let mut scheduler = FaultScheduler::new(plan);
-        while let Some(round) = scheduler.step() {
-            for node in &round.restarts {
-                net.recover_node(*node).expect("scheduled restart is valid");
+    require_pass(check(
+        "recoverable churn repairs exactly the reachable heights",
+        &cfg(0xF6),
+        gen_fault_scenario,
+        |s: &FaultScenario| {
+            let Some(config) = s.config() else {
+                return Ok(()); // invalid lattice point — vacuous
+            };
+            let Ok(mut net) = IciNetwork::new(config) else {
+                return Ok(());
+            };
+            let mut workload = workload(s.net_seed);
+            for _ in 0..4 {
+                net.propose_block(workload.batch(s.txs_per_block))
+                    .map_err(|e| format!("healthy commit failed: {e:?}"))?;
             }
-            for node in &round.crashes {
-                net.crash_node(*node).expect("scheduled crash is valid");
+
+            let cluster_map: Vec<Vec<NodeId>> = net
+                .clusters()
+                .into_iter()
+                .map(|c| net.membership().active_members(c))
+                .collect();
+            let Ok(plan) = FaultPlanConfig::new(s.plan_seed, s.rounds, cluster_map)
+                .churn(ChurnConfig {
+                    crash_prob: s.crash_pct as f64 / 100.0,
+                    restart_prob: s.restart_pct as f64 / 100.0,
+                    cluster_churn_prob: 0.1,
+                    cluster_churn_fraction: 0.3,
+                    min_live_per_cluster: s.min_live,
+                    ensure_cycle_per_cluster: true,
+                })
+                .build()
+            else {
+                return Ok(()); // floor impossible over these clusters
+            };
+            let mut scheduler = FaultScheduler::new(plan);
+            while let Some(round) = scheduler.step() {
+                for node in &round.restarts {
+                    net.recover_node(*node)
+                        .map_err(|e| format!("scheduled restart invalid: {e:?}"))?;
+                }
+                for node in &round.crashes {
+                    net.crash_node(*node)
+                        .map_err(|e| format!("scheduled crash invalid: {e:?}"))?;
+                }
             }
-        }
 
-        // A height is reachable iff some live node still holds its body.
-        let live: Vec<NodeId> = net
-            .clusters()
-            .into_iter()
-            .flat_map(|c| net.live_members(c))
-            .collect();
-        let lost: Vec<u64> = (0..net.chain_len())
-            .filter(|height| {
-                !live
-                    .iter()
-                    .any(|n| net.holdings(*n).is_some_and(|h| h.has_body(*height)))
-            })
-            .collect();
+            // A height is reachable iff some live node still holds its body.
+            let live: Vec<NodeId> = net
+                .clusters()
+                .into_iter()
+                .flat_map(|c| net.live_members(c))
+                .collect();
+            let lost: Vec<u64> = (0..net.chain_len())
+                .filter(|height| {
+                    !live
+                        .iter()
+                        .any(|n| net.holdings(*n).is_some_and(|h| h.has_body(*height)))
+                })
+                .collect();
 
-        let mut unrecoverable: Vec<u64> = net
-            .repair_all()
-            .iter()
-            .flat_map(|report| report.unrecoverable.iter().copied())
-            .collect();
-        unrecoverable.sort_unstable();
-        unrecoverable.dedup();
-        assert_eq!(
-            unrecoverable, lost,
-            "repair must restore exactly the reachable heights"
-        );
+            let mut unrecoverable: Vec<u64> = net
+                .repair_all()
+                .iter()
+                .flat_map(|report| report.unrecoverable.iter().copied())
+                .collect();
+            unrecoverable.sort_unstable();
+            unrecoverable.dedup();
+            if unrecoverable != lost {
+                return Err(format!(
+                    "repair restored the wrong set: unrecoverable {unrecoverable:?} vs lost {lost:?}"
+                ));
+            }
 
-        if lost.is_empty() {
-            assert!(net.audit_all().iter().all(|rep| rep.is_intact()));
-            assert!(net.merkle_audit_all().iter().all(|a| a.is_clean()));
-        }
-    }
+            if lost.is_empty() {
+                if !net.audit_all().iter().all(|rep| rep.is_intact()) {
+                    return Err("integrity audit failed after full recovery".into());
+                }
+                if !net.merkle_audit_all().iter().all(|a| a.is_clean()) {
+                    return Err("merkle audit failed after full recovery".into());
+                }
+            }
+            Ok(())
+        },
+    ));
 }
 
 /// Bootstrap keeps integrity and never increases replication beyond r.
+/// Coordinates are generated in integer mills so the scenario renders
+/// and shrinks exactly.
 #[test]
 fn bootstrap_preserves_replication_bound() {
-    let mut rng = Xoshiro256::seed_from_u64(0xF4);
-    for _ in 0..CASES {
-        let seed = rng.gen_range(0u64..200);
-        let x = rng.gen_f64() * 100.0;
-        let y = rng.gen_f64() * 100.0;
-        let mut net = build(24, 8, 2, seed);
-        let mut workload = WorkloadGenerator::new(WorkloadConfig {
-            accounts: 64,
-            seed,
-            ..WorkloadConfig::default()
-        });
-        for _ in 0..4 {
-            net.propose_block(workload.batch(6)).expect("commits");
-        }
-        net.bootstrap_node(Coord::new(x, y), JoinPolicy::NearestCentroid)
-            .expect("join succeeds");
-        for report in net.audit_all() {
-            assert!(report.is_intact());
-            for (replicas, _) in &report.replication_histogram {
-                assert!(*replicas <= 2, "over-replicated after join");
+    require_pass(check(
+        "bootstrap preserves the replication bound",
+        &cfg(0xF4),
+        |rng| {
+            (
+                rng.gen_range(0u64..200),
+                (rng.gen_range(0u64..100_000), rng.gen_range(0u64..100_000)),
+            )
+        },
+        |case: &(u64, (u64, u64))| {
+            let (seed, (x_mills, y_mills)) = *case;
+            let Some(mut net) = build(24, 8, 2, seed) else {
+                return Err("24/8/2 must build".into());
+            };
+            let mut workload = workload(seed);
+            for _ in 0..4 {
+                net.propose_block(workload.batch(6))
+                    .map_err(|e| format!("healthy commit failed: {e:?}"))?;
             }
-        }
-    }
+            let coord = Coord::new(x_mills as f64 / 1_000.0, y_mills as f64 / 1_000.0);
+            net.bootstrap_node(coord, JoinPolicy::NearestCentroid)
+                .map_err(|e| format!("join failed: {e:?}"))?;
+            for report in net.audit_all() {
+                if !report.is_intact() {
+                    return Err("integrity audit failed after join".into());
+                }
+                for (replicas, _) in &report.replication_histogram {
+                    if *replicas > 2 {
+                        return Err(format!("over-replicated after join: {replicas} > r"));
+                    }
+                }
+            }
+            Ok(())
+        },
+    ));
 }

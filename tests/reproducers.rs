@@ -1,0 +1,77 @@
+//! Replays every committed reproducer under `tests/reproducers/`.
+//!
+//! Each `.repro` file pins a shrunk counterexample found by the
+//! `ici-prop` harness: the failing case regenerates from its recorded
+//! seed, the shrink path is walked, and the property must *still fail*.
+//! A replay that passes means the pinned behaviour changed — either the
+//! bug the file documents was fixed (delete the file) or the property
+//! or generator drifted (investigate). Either way CI fails loudly
+//! instead of letting the regression test rot.
+//!
+//! Replay costs one generator call plus `path + 1` property
+//! evaluations, so this suite stays fast no matter how many sweeps the
+//! original failures took to find.
+
+mod prop_support;
+
+use ici_prop::Reproducer;
+use prop_support::replay_by_property;
+
+/// Every committed reproducer, as `(file name, parsed record)`.
+fn committed_reproducers() -> Vec<(String, Reproducer)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/reproducers");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("tests/reproducers exists") {
+        let path = entry.expect("readable directory entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("repro") {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("utf-8 file name")
+            .to_string();
+        let text = std::fs::read_to_string(&path).expect("readable reproducer");
+        let repro =
+            Reproducer::parse(&text).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+        assert_eq!(
+            repro.to_text(),
+            text,
+            "{name} is not in canonical form; rewrite it with to_text()"
+        );
+        out.push((name, repro));
+    }
+    out
+}
+
+/// The suite is not vacuous: the liveness-loss reproducer is committed.
+#[test]
+fn the_committed_set_is_nonempty() {
+    let names: Vec<String> = committed_reproducers()
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect();
+    assert!(
+        names.contains(&"liveness_loss.repro".to_string()),
+        "expected liveness_loss.repro among {names:?}"
+    );
+}
+
+/// Every committed reproducer still fails its property, and the rebuilt
+/// minimal case still renders to the recorded bytes.
+#[test]
+fn every_committed_reproducer_still_fails() {
+    for (name, repro) in committed_reproducers() {
+        let replay =
+            replay_by_property(&repro).unwrap_or_else(|e| panic!("{name}: replay failed: {e}"));
+        assert!(
+            replay.render_matches,
+            "{name}: minimal case drifted — rebuilt {:?}, recorded `{}`",
+            replay.minimal, repro.minimal
+        );
+        assert_eq!(
+            replay.message, repro.message,
+            "{name}: failure message drifted"
+        );
+    }
+}
