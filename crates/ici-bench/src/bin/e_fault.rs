@@ -17,7 +17,7 @@
 use ici_bench::{emit, quiet_link, standard_workload, Scale};
 use ici_core::config::IciConfig;
 use ici_faults::plan::{ByzantineConfig, ChurnConfig, MessageFaultSpec, PartitionPolicy};
-use ici_sim::fault_run::{run_ici_under_faults, FaultProfile};
+use ici_sim::fault_run::{run_ici_under_faults, FaultProfile, StageChurn};
 use ici_sim::table::Table;
 use ici_storage::stats::format_bytes;
 
@@ -71,6 +71,10 @@ fn main() {
         // Crash-only experiment: Byzantine actors live in e_byz. The
         // inert config draws nothing, keeping e_fault.json byte-stable.
         byzantine: ByzantineConfig::default(),
+        // Every third round also loses a verifier *between* lifecycle
+        // stages of the proposal itself — the staged pipeline's
+        // boundary re-sync is part of what this experiment certifies.
+        stage_churn: StageChurn { interval: 3 },
     };
 
     let (network, summary) = run_ici_under_faults(config, 30, standard_workload(seed), profile)
@@ -98,6 +102,14 @@ fn main() {
         .row([
             "restart events".to_string(),
             summary.restart_events.to_string(),
+        ])
+        .row([
+            "stage-boundary crashes".to_string(),
+            summary.stage_crash_events.to_string(),
+        ])
+        .row([
+            "stage-crash rounds committed".to_string(),
+            summary.stage_crash_commits.to_string(),
         ])
         .row([
             "recovery attempts".to_string(),
@@ -184,6 +196,10 @@ fn main() {
         "recovery fell short of 100%: {summary:?}"
     );
     assert!(summary.final_audit_clean, "final Merkle audit failed");
+    assert!(
+        summary.stage_crash_events > 0,
+        "stage churn never fired: {summary:?}"
+    );
     assert!(
         summary.unrecoverable_heights.is_empty(),
         "lost heights: {:?}",

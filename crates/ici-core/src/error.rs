@@ -36,6 +36,12 @@ pub enum IciError {
     NodeDown(NodeId),
     /// The node already departed the network and cannot depart again.
     AlreadyDeparted(NodeId),
+    /// A pipeline stage worker went away mid-run (channel disconnect),
+    /// so the in-flight height could not complete.
+    PipelineStalled {
+        /// Stage whose channel disconnected (`"distribute"` / `"verify"`).
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for IciError {
@@ -59,6 +65,9 @@ impl fmt::Display for IciError {
             IciError::UnknownNode(n) => write!(f, "unknown node {n}"),
             IciError::NodeDown(n) => write!(f, "node {n} is crashed"),
             IciError::AlreadyDeparted(n) => write!(f, "node {n} already departed"),
+            IciError::PipelineStalled { stage } => {
+                write!(f, "pipeline stage '{stage}' disconnected mid-run")
+            }
         }
     }
 }

@@ -10,7 +10,8 @@
 //! only.
 //!
 //! Crate map: [`config`] (parameters), [`network`] (the deployment),
-//! [`lifecycle`] (propose→commit→store), [`verify`] (the collaborative
+//! [`lifecycle`] (propose→commit→store), [`pipeline`] (overlapping
+//! heights across lifecycle stages), [`verify`] (the collaborative
 //! checking logic), [`query`] (tiered reads), [`spv`] (light transaction
 //! proofs), [`bootstrap`] (joins), [`failure`] (crashes and
 //! re-replication), [`merkle_audit`] (shard-level content audit),
@@ -56,6 +57,7 @@ pub mod holdings;
 pub mod lifecycle;
 pub mod merkle_audit;
 pub mod network;
+pub mod pipeline;
 pub mod query;
 pub mod reconfig;
 pub mod spv;
@@ -66,7 +68,7 @@ pub use config::{Assignment, Clustering, IciConfig, IciConfigBuilder};
 pub use error::IciError;
 pub use failure::RepairReport;
 pub use holdings::NodeHoldings;
-pub use lifecycle::BlockCommitRecord;
+pub use lifecycle::{BlockCommitRecord, StageBoundary};
 pub use merkle_audit::{attribute_corrupt_shards, MerkleAuditReport};
 pub use network::IciNetwork;
 pub use query::{QueryReport, QueryTier};

@@ -1,0 +1,308 @@
+//! Pipelined block lifecycle: overlap heights with a bounded-channel
+//! stage machine.
+//!
+//! [`IciNetwork::propose_blocks_pipelined`] drives the four lifecycle
+//! stages ([`crate::lifecycle`]) as a pipeline: while height H sits in
+//! verification, height H+1 is already being distributed and height H+2
+//! proposed. Two dedicated stage workers (`distribute`, `verify`) are
+//! connected by in-tree bounded channels ([`ici_par::channel`]); the
+//! caller runs build and commit, so the authoritative state never
+//! leaves the calling thread.
+//!
+//! ```text
+//!  caller            worker "distribute"    worker "verify"     caller
+//!  ┌───────────┐ ch  ┌────────────────┐ ch  ┌─────────────┐ ch  ┌────────┐
+//!  │ build H+d │ ──▶ │ home PBFT+hops │ ──▶ │ remote PBFT │ ──▶ │ commit │
+//!  └───────────┘     └────────────────┘     └─────────────┘     └───H────┘
+//! ```
+//!
+//! # Determinism
+//!
+//! The result is byte-identical to running [`IciNetwork::propose_block`]
+//! per height, at any depth and any thread count:
+//!
+//! * every height's stage draws from forks seeded at build time, and
+//!   build is the only stage touching the parent sequence stream;
+//! * heights commit strictly in order, and `proposed_at` is derived at
+//!   commit from the committed clock (exactly the value a sequential
+//!   run computes);
+//! * the middle stages run on a zero-based clock, shifted at commit —
+//!   exact because jitter and fault draws are functions of the
+//!   sequence stream only;
+//! * stage trace/telemetry deltas are captured on whichever thread ran
+//!   the stage and merged at the commit sync point in fixed order.
+//!
+//! Builds run speculatively against the pending parent's sealed header
+//! and post-state; if a height fails to commit, every deeper in-flight
+//! height is discarded. Queue occupancy is exported as telemetry gauges
+//! only — never into byte-compared outputs.
+
+use ici_chain::transaction::Transaction;
+use ici_par::channel::{bounded, Receiver, Sender};
+
+use crate::error::IciError;
+use crate::lifecycle::{
+    capture_stage, stage_distribute, stage_verify, BuiltHeight, DistributedHeight, VerifiedHeight,
+};
+use crate::network::IciNetwork;
+
+/// Observability deltas captured while a stage ran off-thread.
+type StageTraces = (ici_trace::TraceDelta, ici_telemetry::TelemetryDelta);
+
+type DistMsg = (usize, BuiltHeight);
+type VerifyMsg = (usize, DistributedHeight, StageTraces);
+type CommitMsg = (usize, VerifiedHeight, StageTraces, StageTraces);
+
+/// Worker loop for the distribute stage: exits when either neighbour
+/// hangs up.
+fn distribute_worker(rx: Receiver<DistMsg>, tx: Sender<VerifyMsg>) {
+    while let Ok((index, built)) = rx.recv() {
+        let (distributed, trace, telemetry) = capture_stage(|| stage_distribute(built));
+        if tx.send((index, distributed, (trace, telemetry))).is_err() {
+            break;
+        }
+    }
+}
+
+/// Worker loop for the verify stage: exits when either neighbour
+/// hangs up.
+fn verify_worker(rx: Receiver<VerifyMsg>, tx: Sender<CommitMsg>) {
+    while let Ok((index, distributed, dist_traces)) = rx.recv() {
+        let (verified, trace, telemetry) = capture_stage(|| stage_verify(distributed));
+        if tx
+            .send((index, verified, dist_traces, (trace, telemetry)))
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+impl IciNetwork {
+    /// Commits one block per batch in `batches`, overlapping up to
+    /// `depth` heights across the lifecycle stages. `after_commit` runs
+    /// on the calling thread immediately after each in-order commit
+    /// (round sampling hooks in here), with the committed batch index.
+    ///
+    /// `depth <= 1` (or a single batch) degrades to the sequential
+    /// [`IciNetwork::propose_block`] loop — the reference
+    /// implementation — and any depth produces byte-identical results.
+    ///
+    /// # Errors
+    ///
+    /// The first height error aborts the run (deeper speculative
+    /// heights are discarded, exactly as a sequential run would never
+    /// have started them). [`IciError::PipelineStalled`] reports a
+    /// stage worker that died or could not be spawned.
+    pub fn propose_blocks_pipelined(
+        &mut self,
+        batches: Vec<Vec<Transaction>>,
+        depth: usize,
+        mut after_commit: impl FnMut(&IciNetwork, usize),
+    ) -> Result<(), IciError> {
+        let total = batches.len();
+        if depth <= 1 || total <= 1 {
+            for (index, pending) in batches.into_iter().enumerate() {
+                self.propose_block(pending)?;
+                after_commit(self, index);
+            }
+            return Ok(());
+        }
+
+        ici_par::stage_scope(|scope| {
+            let (tx_built, rx_built) = bounded::<DistMsg>(depth);
+            let (tx_dist, rx_dist) = bounded::<VerifyMsg>(depth);
+            let (tx_verified, rx_verified) = bounded::<CommitMsg>(depth);
+            // A failed spawn drops the worker closure, disconnecting its
+            // channel endpoints; the loop below then surfaces a typed
+            // PipelineStalled instead of hanging.
+            let _ = scope.spawn("distribute", move || distribute_worker(rx_built, tx_dist));
+            let _ = scope.spawn("verify", move || verify_worker(rx_dist, tx_verified));
+
+            let mut batches = batches.into_iter();
+            let mut spec_parent = *self.tip();
+            let mut spec_state = self.state.clone();
+            let mut next = 0usize;
+            let mut committed = 0usize;
+            let mut result = Ok(());
+            let telemetry = ici_telemetry::enabled();
+
+            'run: while committed < total {
+                // Keep up to `depth` heights in flight.
+                while result.is_ok() && next < total && next - committed < depth {
+                    // `next < total` bounds the iterator (`batches` held
+                    // exactly `total` items), so None cannot happen; the
+                    // break keeps this panic-free regardless.
+                    let Some(pending) = batches.next() else {
+                        break;
+                    };
+                    match self.stage_build(spec_parent, spec_state.clone(), pending) {
+                        Ok((built, post_state)) => {
+                            spec_parent = *built.header();
+                            spec_state = post_state;
+                            if tx_built.send((next, built)).is_err() {
+                                result = Err(IciError::PipelineStalled {
+                                    stage: "distribute",
+                                });
+                                break 'run;
+                            }
+                            next += 1;
+                        }
+                        Err(err) => {
+                            result = Err(err);
+                            break 'run;
+                        }
+                    }
+                }
+                if telemetry {
+                    ici_telemetry::gauge_set(
+                        "pipeline/in_flight",
+                        ici_telemetry::Label::Global,
+                        (next - committed) as f64,
+                    );
+                    ici_telemetry::gauge_set(
+                        "pipeline/queue_distribute",
+                        ici_telemetry::Label::Phase("distribute"),
+                        tx_built.len() as f64,
+                    );
+                    ici_telemetry::gauge_set(
+                        "pipeline/queue_verify",
+                        ici_telemetry::Label::Phase("verify"),
+                        rx_verified.len() as f64,
+                    );
+                }
+                match rx_verified.recv() {
+                    Ok((index, verified, dist_traces, verify_traces)) => {
+                        debug_assert_eq!(index, committed, "heights commit in order");
+                        let (dist_trace, dist_telemetry) = dist_traces;
+                        let (verify_trace, verify_telemetry) = verify_traces;
+                        match self.stage_commit(
+                            verified,
+                            dist_trace,
+                            dist_telemetry,
+                            verify_trace,
+                            verify_telemetry,
+                        ) {
+                            Ok(_) => {
+                                committed += 1;
+                                after_commit(self, index);
+                            }
+                            Err(err) => {
+                                result = Err(err);
+                                break 'run;
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        result = Err(IciError::PipelineStalled { stage: "verify" });
+                        break 'run;
+                    }
+                }
+            }
+            // Hang up the feed; workers drain what's queued and exit,
+            // and the scope joins them before returning.
+            drop(tx_built);
+            result
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IciConfig;
+    use ici_chain::genesis::GenesisConfig;
+    use ici_chain::transaction::Address;
+    use ici_crypto::sig::Keypair;
+
+    fn network(seed: u64) -> IciNetwork {
+        let config = IciConfig::builder()
+            .nodes(32)
+            .cluster_size(8)
+            .replication(2)
+            .genesis(GenesisConfig::uniform(64, 1_000_000))
+            .seed(seed)
+            .build()
+            .expect("valid");
+        IciNetwork::new(config).expect("constructs")
+    }
+
+    fn batches(rounds: u64, per_round: u64) -> Vec<Vec<Transaction>> {
+        (0..rounds)
+            .map(|round| {
+                (0..per_round)
+                    .map(|i| {
+                        Transaction::signed(
+                            &Keypair::from_seed(i),
+                            Address::from_seed(i + 1),
+                            10,
+                            1,
+                            round,
+                            vec![0u8; 64],
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn commit_fingerprint(net: &IciNetwork) -> Vec<(u64, u64, u64, u64, u64)> {
+        net.commit_log()
+            .iter()
+            .map(|r| {
+                (
+                    r.height,
+                    r.proposed_at.as_micros(),
+                    r.network_commit.as_micros(),
+                    r.messages,
+                    r.bytes,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipelined_matches_sequential_at_every_depth() {
+        let mut reference = network(7);
+        for pending in batches(5, 6) {
+            reference.propose_block(pending).expect("commits");
+        }
+        for depth in [1, 2, 4, 8] {
+            let mut piped = network(7);
+            piped
+                .propose_blocks_pipelined(batches(5, 6), depth, |_, _| {})
+                .expect("commits");
+            assert_eq!(
+                commit_fingerprint(&piped),
+                commit_fingerprint(&reference),
+                "depth {depth} diverged"
+            );
+            assert_eq!(piped.state().root(), reference.state().root());
+            assert_eq!(piped.now(), reference.now());
+            assert_eq!(
+                piped.storage_bytes(),
+                reference.storage_bytes(),
+                "depth {depth} storage diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn after_commit_sees_every_height_in_order() {
+        let mut net = network(9);
+        let mut seen = Vec::new();
+        net.propose_blocks_pipelined(batches(4, 3), 3, |net, index| {
+            seen.push((index, net.commit_log().len()));
+        })
+        .expect("commits");
+        assert_eq!(seen, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn depth_one_uses_the_sequential_path() {
+        let mut net = network(11);
+        net.propose_blocks_pipelined(batches(2, 2), 1, |_, _| {})
+            .expect("commits");
+        assert_eq!(net.commit_log().len(), 2);
+    }
+}

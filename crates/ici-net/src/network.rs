@@ -51,8 +51,13 @@ pub struct Network {
     topology: Arc<Topology>,
     link: LinkModel,
     meter: TrafficMeter,
-    down: HashSet<NodeId>,
-    faults: Option<FaultConfig>,
+    // Liveness and fault state sit behind `Arc`s so a fork is a pair of
+    // refcount bumps instead of a `HashSet`/config deep copy — PBFT
+    // takes hundreds of forks per height, and under fault plans the
+    // down-set is populated. Mutators go through `Arc::make_mut`
+    // (copy-on-write), so forks never observe later parent changes.
+    down: Arc<HashSet<NodeId>>,
+    faults: Option<Arc<FaultConfig>>,
     seq: u64,
     trace: ici_trace::SendCtx,
 }
@@ -72,7 +77,7 @@ impl Network {
             topology: Arc::new(topology),
             link,
             meter: TrafficMeter::new(),
-            down: HashSet::new(),
+            down: Arc::new(HashSet::new()),
             faults: None,
             seq: 0,
             trace: ici_trace::SendCtx::default(),
@@ -137,7 +142,7 @@ impl Network {
         self.faults = if faults.is_inert() {
             None
         } else {
-            Some(faults)
+            Some(Arc::new(faults))
         };
     }
 
@@ -148,17 +153,32 @@ impl Network {
 
     /// The fault configuration currently on the send path, if any.
     pub fn faults(&self) -> Option<&FaultConfig> {
-        self.faults.as_ref()
+        self.faults.as_deref()
     }
 
     /// Marks `node` crashed. Sends from/to it fail until recovery.
     pub fn crash(&mut self, node: NodeId) {
-        self.down.insert(node);
+        Arc::make_mut(&mut self.down).insert(node);
     }
 
     /// Brings `node` back.
     pub fn recover(&mut self, node: NodeId) {
-        self.down.remove(&node);
+        Arc::make_mut(&mut self.down).remove(&node);
+    }
+
+    /// Adopts `src`'s liveness and fault state wholesale (two refcount
+    /// bumps — no copy).
+    ///
+    /// Stage-boundary fault injection is the consumer: a height's forks
+    /// snapshot liveness when the block is built, so when a crash or
+    /// restart lands *between* stages the staged lifecycle re-syncs each
+    /// fork from the authoritative network before running the next
+    /// stage. With unchanged liveness this replaces equal values and is
+    /// behaviorally a no-op, which is what keeps the staged path
+    /// byte-identical to the plain one.
+    pub fn sync_liveness_from(&mut self, src: &Network) {
+        self.down = Arc::clone(&src.down);
+        self.faults = src.faults.clone();
     }
 
     /// Whether `node` is currently alive.
@@ -302,6 +322,12 @@ impl Network {
     /// execute them. Call [`Network::advance_stream`] once after taking
     /// a batch so subsequent parent traffic draws fresh randomness, and
     /// fold each child's traffic back with [`Network::absorb`].
+    ///
+    /// A fork allocates nothing beyond the `Network` struct itself: the
+    /// topology, down-set, and fault config are `Arc`-shared, and the
+    /// fresh meter's maps are empty (`BTreeMap`s allocate on first
+    /// insert), so zero-start forks carry no setup cost proportional to
+    /// network size or fault state.
     pub fn fork(&mut self, stream: u64) -> Network {
         Network {
             topology: Arc::clone(&self.topology),

@@ -1,0 +1,308 @@
+//! In-tree bounded channels for the pipelined block lifecycle.
+//!
+//! The offline policy rules out crossbeam, and `std::sync::mpsc` has no
+//! bounded rendezvous with an inspectable queue depth, so this module
+//! provides the minimal primitive the stage machine needs: a bounded
+//! MPSC channel over `Mutex<VecDeque>` + two condvars, with typed
+//! disconnect errors (protocol code must surface a dead stage as an
+//! `IciError`, never unwrap) and a [`Receiver::len`]/[`Sender::len`]
+//! probe for queue-depth gauges.
+//!
+//! # Semantics
+//!
+//! * [`Sender::send`] blocks while the queue is full; it fails with
+//!   [`SendError`] (returning the value) once every receiver is gone.
+//! * [`Receiver::recv`] blocks while the queue is empty; it fails with
+//!   [`RecvError`] once every sender is gone *and* the queue has
+//!   drained — in-flight items are never lost on disconnect.
+//! * Dropping an endpoint wakes all waiters so a stage that exits
+//!   (normally or by panic) unblocks its neighbours instead of
+//!   deadlocking the pipeline.
+//!
+//! Determinism: a channel never reorders items (FIFO per queue), and
+//! the lifecycle feeds heights in order from a single thread, so what
+//! each stage observes is independent of scheduling.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::lock_or_recover;
+
+/// Error returned by [`Sender::send`] when every receiver has been
+/// dropped; carries the unsent value back to the caller.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a channel with no receivers")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the queue is empty and
+/// every sender has been dropped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on a channel with no senders")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half of a bounded channel; clone for multiple producers.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half of a bounded channel (single consumer).
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Creates a bounded FIFO channel holding at most `capacity` items
+/// (`0` is treated as `1`).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        capacity: capacity.max(1),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+fn wait<'a, T>(
+    cv: &Condvar,
+    guard: std::sync::MutexGuard<'a, State<T>>,
+) -> std::sync::MutexGuard<'a, State<T>> {
+    match cv.wait(guard) {
+        Ok(next) => next,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl<T> Sender<T> {
+    /// Blocks until there is room, then enqueues `value`.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] (returning `value`) when every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = lock_or_recover(&self.inner.state);
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if state.queue.len() < self.inner.capacity {
+                state.queue.push_back(value);
+                drop(state);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            state = wait(&self.inner.not_full, state);
+        }
+    }
+
+    /// Items currently queued (a racy snapshot, for gauges only).
+    pub fn len(&self) -> usize {
+        lock_or_recover(&self.inner.state).queue.len()
+    }
+
+    /// Whether the queue is currently empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until an item is available and dequeues it.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] when the queue is empty and every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = lock_or_recover(&self.inner.state);
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.inner.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = wait(&self.inner.not_empty, state);
+        }
+    }
+
+    /// Items currently queued (a racy snapshot, for gauges only).
+    pub fn len(&self) -> usize {
+        lock_or_recover(&self.inner.state).queue.len()
+    }
+
+    /// Whether the queue is currently empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        lock_or_recover(&self.inner.state).senders += 1;
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut state = lock_or_recover(&self.inner.state);
+            state.senders -= 1;
+            state.senders
+        };
+        if remaining == 0 {
+            // Wake blocked receivers so they observe the disconnect.
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut state = lock_or_recover(&self.inner.state);
+            state.receivers -= 1;
+            state.receivers
+        };
+        if remaining == 0 {
+            // Wake blocked senders so they observe the disconnect.
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).expect("receiver alive");
+        }
+        let got: Vec<i32> = (0..4).map(|_| rx.recv().expect("queued")).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn capacity_blocks_the_sender_until_a_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u8).expect("room");
+        let handle = std::thread::spawn(move || {
+            tx.send(2).expect("receiver alive");
+            tx.send(3).expect("receiver alive");
+        });
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.push(rx.recv().expect("sender alive"));
+        }
+        handle.join().expect("sender thread");
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_drains_the_queue_before_reporting_disconnect() {
+        let (tx, rx) = bounded(4);
+        tx.send("a").expect("room");
+        tx.send("b").expect("room");
+        drop(tx);
+        assert_eq!(rx.recv(), Ok("a"));
+        assert_eq!(rx.recv(), Ok("b"));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_with_the_value_once_receiver_is_gone() {
+        let (tx, rx) = bounded(2);
+        drop(rx);
+        let err = tx.send(41u64).expect_err("no receiver");
+        assert_eq!(err.0, 41);
+    }
+
+    #[test]
+    fn dropping_the_receiver_unblocks_a_full_sender() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u8).expect("room");
+        let handle = std::thread::spawn(move || tx.send(1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        let out = handle.join().expect("sender thread");
+        assert!(out.is_err(), "send must fail after receiver drop");
+    }
+
+    #[test]
+    fn len_reports_queue_depth() {
+        let (tx, rx) = bounded(8);
+        assert!(rx.is_empty());
+        tx.send(1).expect("room");
+        tx.send(2).expect("room");
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        rx.recv().expect("queued");
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn cloned_senders_all_count_toward_disconnect() {
+        let (tx, rx) = bounded(4);
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(7).expect("receiver alive");
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let (tx, rx) = bounded(0);
+        tx.send(9u8).expect("room for one");
+        assert_eq!(rx.recv(), Ok(9));
+    }
+}

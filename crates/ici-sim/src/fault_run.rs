@@ -4,7 +4,10 @@
 //! deterministic [`FaultPlan`]: each round it applies the scheduled
 //! restarts and crashes, installs the round's message-fault profile on
 //! the send path, attempts to commit one block, and lets the surviving
-//! cluster members re-replicate. Recovery is verified at the content
+//! cluster members re-replicate. With [`StageChurn`] enabled, selected
+//! rounds additionally crash a verifier *between* lifecycle stages of
+//! the proposal itself (see [`ici_core::StageBoundary`]), restarting it
+//! once the proposal resolves. Recovery is verified at the content
 //! level — every repaired cluster must pass the shard-level Merkle audit
 //! ([`ici_core::merkle_audit`]), not merely report replicas present.
 //!
@@ -21,6 +24,7 @@ use ici_consensus::pbft::VOTE_BYTES;
 use ici_consensus::verdicts::{tally_votes, VerdictOutcome, VerifierVote};
 use ici_core::config::IciConfig;
 use ici_core::network::IciNetwork;
+use ici_core::StageBoundary;
 use ici_faults::plan::{
     ByzantineConfig, ChurnConfig, FaultError, FaultPlanConfig, MessageFaultSpec, PartitionPolicy,
     VerdictFault,
@@ -38,6 +42,62 @@ const GENESIS_BALANCE: u64 = u64::MAX / 1_000_000;
 
 /// Salt separating fault-mark trace ids from lifecycle stage ids.
 const FAULT_MARK_SALT: u64 = 0xFA17_0000_0000_0001;
+
+/// Salt seeding the stage-churn draw stream (independent of the plan's
+/// streams, so enabling stage churn never perturbs the other faults).
+const STAGE_CHURN_SALT: u64 = 0x57A6_EC4A_5400_0003;
+
+/// Stage-boundary churn: on every `interval`-th round, crash one live
+/// non-leader member of the proposing cluster at a seed-derived
+/// lifecycle stage boundary ([`StageBoundary`]), then restart it (disk
+/// intact) as soon as the proposal resolves — success or failure.
+///
+/// This exercises the staged lifecycle's liveness re-sync: forks
+/// snapshot liveness at build time, and a crash landing *between*
+/// stages must be adopted by every later stage. The draw depends only
+/// on `(seed, round)`, so runs replay byte-identically at any thread
+/// count. Inert by default (`interval == 0`), which keeps existing
+/// crash-only profiles byte-stable.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageChurn {
+    /// Inject on rounds where `(round + 1) % interval == 0`;
+    /// `0` disables stage churn entirely.
+    pub interval: usize,
+}
+
+impl StageChurn {
+    /// Whether this round draws a stage-boundary crash.
+    fn fires(&self, round: usize) -> bool {
+        self.interval > 0 && (round + 1) % self.interval == 0
+    }
+}
+
+/// Picks the boundary a stage crash lands on from a seed-derived mix.
+fn pick_boundary(mix: u64) -> StageBoundary {
+    match mix % 3 {
+        0 => StageBoundary::AfterBuild,
+        1 => StageBoundary::AfterDistribute,
+        _ => StageBoundary::AfterVerify,
+    }
+}
+
+/// Chooses this round's stage-crash victim: a live non-leader member of
+/// the proposing cluster, indexed by the seed-derived mix. `None` when
+/// no cluster can propose or the leader is the only live member.
+fn stage_churn_victim(network: &IciNetwork, mix: u64) -> Option<(NodeId, StageBoundary)> {
+    let height = network.tip().height + 1;
+    let home = network.proposer_cluster(height)?;
+    let members = network.live_members(home);
+    let parent_id = network.tip().id();
+    let up = |n: NodeId| network.net().is_up(n);
+    let leader = elect_live_leader(&parent_id, height, &members, up)?;
+    let candidates: Vec<NodeId> = members.into_iter().filter(|m| *m != leader).collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let victim = candidates[(mix % candidates.len() as u64) as usize];
+    Some((victim, pick_boundary(mix >> 32)))
+}
 
 /// Emits one `faults/<what>` instant per churn event so a trace viewer
 /// shows crashes and restarts on the timeline of the node they hit.
@@ -304,6 +364,10 @@ pub struct FaultProfile {
     /// verifiers). Inert by default and drawn from a dedicated stream, so
     /// crash-only profiles replay byte-identically.
     pub byzantine: ByzantineConfig,
+    /// Stage-boundary churn (crashes landing *inside* a proposal, between
+    /// lifecycle stages). Inert by default and drawn from a dedicated
+    /// salt, so profiles without it replay byte-identically.
+    pub stage_churn: StageChurn,
 }
 
 impl Default for FaultProfile {
@@ -316,6 +380,7 @@ impl Default for FaultProfile {
             partitions: PartitionPolicy::default(),
             messages: MessageFaultSpec::default(),
             byzantine: ByzantineConfig::default(),
+            stage_churn: StageChurn::default(),
         }
     }
 }
@@ -339,6 +404,13 @@ pub struct FaultRunSummary {
     pub crash_events: usize,
     /// Restart events applied.
     pub restart_events: usize,
+    /// Crashes injected *between* lifecycle stages of a proposal
+    /// (see [`StageChurn`]); each is restarted once the proposal
+    /// resolves and its cluster repaired the same round.
+    pub stage_crash_events: usize,
+    /// Stage-crash rounds whose proposal still committed (the quorum
+    /// margin absorbed the mid-round loss).
+    pub stage_crash_commits: usize,
     /// Completed crash-and-recover cycles per cluster (from the plan).
     pub cycles_per_cluster: Vec<usize>,
     /// Cluster repairs attempted after churn rounds.
@@ -486,6 +558,8 @@ pub fn run_ici_under_faults(
         skipped_rounds: 0,
         crash_events: 0,
         restart_events: 0,
+        stage_crash_events: 0,
+        stage_crash_commits: 0,
         cycles_per_cluster,
         recovery_attempts: 0,
         recovery_successes: 0,
@@ -538,6 +612,7 @@ pub fn run_ici_under_faults(
             generated_txs += fresh.len() as u64;
             fresh
         });
+        let mut stage_victims: Vec<NodeId> = Vec::new();
         if round.equivocation {
             let outcome = run_equivocation_round(&mut network, &batch, round.round);
             summary.equivocation_attempts += 1;
@@ -564,7 +639,41 @@ pub fn run_ici_under_faults(
                 pending = Some(batch);
             } else {
                 summary.byz_missed_cluster_verdicts += verdicts.missed_remote;
-                match network.propose_block(batch.clone()) {
+                // A stage-churn round crashes its victim mid-proposal at
+                // the drawn boundary and restarts it right after the
+                // proposal resolves — success or failure — so the crash
+                // is visible to exactly the stages past the boundary.
+                let stage_hit = if profile.stage_churn.fires(round.round) {
+                    let mix =
+                        ici_trace::derive_id(profile.seed ^ STAGE_CHURN_SALT, round.round as u64);
+                    stage_churn_victim(&network, mix)
+                } else {
+                    None
+                };
+                let proposed = match stage_hit {
+                    Some((victim, boundary)) => {
+                        summary.stage_crash_events += 1;
+                        stage_victims.push(victim);
+                        mark_churn(&network, "faults/stage_crash", &[victim], round.round);
+                        let outcome = network
+                            .propose_block_staged(batch.clone(), |stage, sim| {
+                                if stage == boundary {
+                                    sim.crash(victim);
+                                }
+                            })
+                            .map(|record| record.height);
+                        let _ = network.recover_node(victim);
+                        mark_churn(&network, "faults/stage_restart", &[victim], round.round);
+                        if outcome.is_ok() {
+                            summary.stage_crash_commits += 1;
+                        }
+                        outcome
+                    }
+                    None => network
+                        .propose_block(batch.clone())
+                        .map(|record| record.height),
+                };
+                match proposed {
                     Ok(_) => {
                         summary.committed_blocks += 1;
                         committed_txs += batch.len() as u64;
@@ -583,6 +692,7 @@ pub fn run_ici_under_faults(
             .crashes
             .iter()
             .chain(&round.restarts)
+            .chain(&stage_victims)
             .map(|n| network.membership().cluster_of(*n))
             .collect();
         affected.sort_unstable_by_key(|c| c.get());
@@ -893,6 +1003,61 @@ mod tests {
         assert_eq!(summary.liar_detection_rate(), 1.0, "{summary:?}");
         assert!(summary.wasted_bytes > 0);
         assert!(summary.final_audit_clean);
+    }
+
+    fn stage_profile(seed: u64) -> FaultProfile {
+        FaultProfile {
+            stage_churn: StageChurn { interval: 2 },
+            ..profile(seed)
+        }
+    }
+
+    #[test]
+    fn stage_churn_rounds_recover_and_stay_auditable() {
+        let (network, summary) =
+            run_ici_under_faults(config(), 4, workload(), stage_profile(3)).expect("plan");
+        assert!(summary.stage_crash_events > 0, "{}", summary.plan_render);
+        assert!(summary.stage_crash_commits <= summary.stage_crash_events);
+        // Every mid-proposal crash is restarted and its cluster repaired
+        // the same round, so nothing stays degraded or lost.
+        assert_eq!(summary.recovery_success_rate(), 1.0, "{summary:?}");
+        assert!(summary.final_audit_clean, "{summary:?}");
+        assert!(summary.unrecoverable_heights.is_empty());
+        assert_eq!(
+            summary.committed_blocks + summary.skipped_rounds as u64,
+            summary.rounds as u64
+        );
+        assert!(network.chain_len() > 1, "liveness survives stage churn");
+    }
+
+    #[test]
+    fn stage_churn_is_deterministic_and_thread_invariant() {
+        let jittery = IciConfig::builder()
+            .nodes(24)
+            .cluster_size(8)
+            .replication(2)
+            .seed(7)
+            .build()
+            .expect("valid");
+        ici_par::set_threads(1);
+        let (_, serial) =
+            run_ici_under_faults(jittery.clone(), 4, workload(), stage_profile(11)).expect("plan");
+        ici_par::set_threads(4);
+        let (_, parallel) =
+            run_ici_under_faults(jittery, 4, workload(), stage_profile(11)).expect("plan");
+        assert_eq!(serial, parallel, "stage churn must not depend on threads");
+    }
+
+    #[test]
+    fn inert_stage_churn_leaves_crash_only_runs_byte_stable() {
+        let (_, plain) = run_ici_under_faults(config(), 4, workload(), profile(11)).expect("plan");
+        let explicit = FaultProfile {
+            stage_churn: StageChurn { interval: 0 },
+            ..profile(11)
+        };
+        let (_, zeroed) = run_ici_under_faults(config(), 4, workload(), explicit).expect("plan");
+        assert_eq!(plain, zeroed);
+        assert_eq!(plain.stage_crash_events, 0);
     }
 
     #[test]

@@ -129,29 +129,41 @@ pub fn run_ici(
     config.genesis = genesis_for(&workload);
     let mut network = IciNetwork::new(config).expect("valid configuration");
     let mut generator = WorkloadGenerator::new(workload);
+    // Batches are pre-generated so the pipelined driver can keep
+    // several heights in flight; the cumulative counts reproduce the
+    // per-round mempool depth a lazy loop would have sampled, keeping
+    // the series identical at every pipeline depth.
+    let mut batches = Vec::with_capacity(blocks);
+    let mut cumulative_generated = Vec::with_capacity(blocks);
     let mut generated = 0u64;
-    let mut samples = Vec::new();
-    let mut tracker = ici_trace::series::TrafficTracker::new();
-    for round in 0..blocks {
+    for _ in 0..blocks {
         let batch = generator.batch(txs_per_block);
         generated += batch.len() as u64;
-        network.propose_block(batch).expect("block commits");
-        if ici_telemetry::enabled() {
-            let log = network.commit_log();
-            sample_round(
-                &mut samples,
-                &mut tracker,
-                round as u64,
-                log.last().map_or(0, |r| r.height),
-                network.now().as_micros(),
-                log.iter().map(|r| r.tx_count as u64).sum(),
-                generated,
-                network.net().live_nodes().len() as u64,
-                network.storage_bytes(),
-                network.net().meter(),
-            );
-        }
+        cumulative_generated.push(generated);
+        batches.push(batch);
     }
+    let mut samples = Vec::new();
+    let mut tracker = ici_trace::series::TrafficTracker::new();
+    let depth = ici_par::pipeline_depth();
+    network
+        .propose_blocks_pipelined(batches, depth, |net, round| {
+            if ici_telemetry::enabled() {
+                let log = net.commit_log();
+                sample_round(
+                    &mut samples,
+                    &mut tracker,
+                    round as u64,
+                    log.last().map_or(0, |r| r.height),
+                    net.now().as_micros(),
+                    log.iter().map(|r| r.tx_count as u64).sum(),
+                    cumulative_generated[round],
+                    net.net().live_nodes().len() as u64,
+                    net.storage_bytes(),
+                    net.net().meter(),
+                );
+            }
+        })
+        .expect("block commits");
     finish_series("ICIStrategy", network.config().nodes, samples);
 
     let log = network.commit_log();
@@ -458,6 +470,24 @@ mod tests {
         ici_par::set_threads(4);
         let (_, parallel) = run_ici(config(), 3, 5, workload());
         assert_eq!(serial, parallel, "summary must not depend on threads");
+    }
+
+    #[test]
+    fn jittery_summary_is_pipeline_depth_invariant() {
+        let config = || {
+            IciConfig::builder()
+                .nodes(24)
+                .cluster_size(8)
+                .replication(2)
+                .build()
+                .expect("valid")
+        };
+        ici_par::set_pipeline_depth(1);
+        let (_, serial) = run_ici(config(), 4, 5, workload());
+        ici_par::set_pipeline_depth(4);
+        let (_, piped) = run_ici(config(), 4, 5, workload());
+        ici_par::set_pipeline_depth(0);
+        assert_eq!(serial, piped, "summary must not depend on pipeline depth");
     }
 
     #[test]

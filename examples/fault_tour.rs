@@ -90,8 +90,10 @@ fn main() {
             max_extra_delay_ms: 20.0,
         },
         // Honest-but-crashing tour; the Byzantine roles get their own
-        // walkthrough in `e_byz`.
+        // walkthrough in `e_byz`, and stage-boundary churn its own
+        // showcase in `e_fault`.
         byzantine: ByzantineConfig::default(),
+        stage_churn: ici_sim::fault_run::StageChurn::default(),
     };
     let (network, summary) = run_ici_under_faults(
         config,
