@@ -2,8 +2,10 @@
 //!
 //! Linking `ici-bench` installs [`CountingAlloc`] as the process global
 //! allocator: a zero-configuration wrapper around [`System`] that
-//! counts every allocation and requested byte in two relaxed atomics.
-//! The counters always run (two uncontended atomic adds per
+//! counts every allocation and requested byte in relaxed atomics, and
+//! additionally tracks the live heap (allocated minus freed) with a
+//! peak high-water mark — the number the e_scale memory ceiling gates
+//! on. The counters always run (a few uncontended atomic ops per
 //! allocation); *reporting* is opt-in via `ICI_ALLOC_STATS=1`, which
 //! makes [`crate::emit`] print a machine-readable `ALLOC_STATS` line
 //! after the tables. The line goes to stdout only — it never enters the
@@ -24,37 +26,62 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Currently live (allocated minus freed) bytes.
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`LIVE_BYTES`].
+static PEAK_LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Records `size` freshly allocated bytes and advances the peak.
+///
+/// The load/fetch_max pair is not atomic as a unit, but any interleaved
+/// concurrent update only ever *raises* the peak, so the mark never
+/// understates a level the process actually reached.
+fn record_alloc(size: u64) {
+    ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES.fetch_add(size, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK_LIVE_BYTES.fetch_max(live, Ordering::Relaxed);
+}
 
 /// [`System`] wrapper that counts allocations and requested bytes.
 ///
-/// `dealloc` is deliberately uncounted: the interesting signal for the
-/// zero-copy work is how much the process *asks for*, not its live set.
+/// `dealloc` does not reduce `count`/`bytes` — the cumulative signal
+/// for the zero-copy work is how much the process *asks for* — but it
+/// does reduce the live-byte gauge feeding the peak high-water mark.
 /// `realloc` counts as one allocation of the new size (the common grow
-/// path allocates-and-copies under the hood).
+/// path allocates-and-copies under the hood) and adjusts the live gauge
+/// by the size delta.
 pub struct CountingAlloc;
 
 // SAFETY: pure pass-through to `System`; the atomics touch no
 // allocator state.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        record_alloc(layout.size() as u64);
         System.alloc(layout)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        record_alloc(layout.size() as u64);
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        let old = layout.size() as u64;
+        let new = new_size as u64;
+        let live = if new >= old {
+            LIVE_BYTES.fetch_add(new - old, Ordering::Relaxed) + (new - old)
+        } else {
+            LIVE_BYTES.fetch_sub(old - new, Ordering::Relaxed) - (old - new)
+        };
+        PEAK_LIVE_BYTES.fetch_max(live, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -69,13 +96,20 @@ pub struct AllocStats {
     pub count: u64,
     /// Bytes requested across those allocations.
     pub bytes: u64,
+    /// Bytes currently live (allocated minus freed).
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes` since process start.
+    pub peak_live_bytes: u64,
 }
 
-/// Reads the counters. Monotonic within a process; never reset.
+/// Reads the counters. `count`/`bytes`/`peak_live_bytes` are monotonic
+/// within a process and never reset; `live_bytes` is a gauge.
 pub fn stats() -> AllocStats {
     AllocStats {
         count: ALLOC_COUNT.load(Ordering::Relaxed),
         bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+        live_bytes: LIVE_BYTES.load(Ordering::Relaxed),
+        peak_live_bytes: PEAK_LIVE_BYTES.load(Ordering::Relaxed),
     }
 }
 
@@ -86,14 +120,20 @@ pub fn enabled() -> bool {
 
 /// Prints the `ALLOC_STATS` line for experiment `id` when enabled.
 ///
-/// Format (one line, stdout): `ALLOC_STATS id=<id> count=<n> bytes=<n>`.
-/// `scripts/ci.sh` parses this into `results/BENCH_alloc.json`.
+/// Format (one line, stdout):
+/// `ALLOC_STATS id=<id> count=<n> bytes=<n> live=<n> peak_live=<n>`.
+/// `scripts/ci.sh` parses this into `results/BENCH_alloc.json` and
+/// `results/BENCH_scale.json`; the two historical fields keep their
+/// positions so older parsers stay compatible.
 pub fn report(id: &str) {
     if !enabled() {
         return;
     }
     let s = stats();
-    println!("ALLOC_STATS id={id} count={} bytes={}", s.count, s.bytes);
+    println!(
+        "ALLOC_STATS id={id} count={} bytes={} live={} peak_live={}",
+        s.count, s.bytes, s.live_bytes, s.peak_live_bytes
+    );
 }
 
 #[cfg(test)]
@@ -121,5 +161,21 @@ mod tests {
         let _touch = vec![0u8; 64];
         let b = stats();
         assert!(b.count >= a.count && b.bytes >= a.bytes);
+        assert!(b.peak_live_bytes >= a.peak_live_bytes);
+    }
+
+    #[test]
+    fn peak_live_tracks_high_water_not_current() {
+        let before = stats();
+        {
+            // A buffer well above test noise raises the peak...
+            let _big = vec![0u8; 4 << 20];
+            let held = stats();
+            assert!(held.live_bytes >= before.live_bytes + (4 << 20));
+        }
+        // ...and the peak survives the free while the gauge drops.
+        let after = stats();
+        assert!(after.peak_live_bytes >= before.live_bytes + (4 << 20));
+        assert!(after.live_bytes < after.peak_live_bytes);
     }
 }

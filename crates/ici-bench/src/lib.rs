@@ -91,6 +91,7 @@ pub fn standard_workload(seed: u64) -> WorkloadConfig {
         payload: PayloadSize::Fixed(200),
         amount: 1,
         fee: 1,
+        fee_jitter: 0,
         seed,
     }
 }

@@ -6,7 +6,7 @@
 //! post-execution state.
 
 use crate::block::{Block, BlockHeader, BlockId, Height};
-use crate::state::{StateError, WorldState};
+use crate::state::{StateCommitment, StateError, WorldState};
 use crate::transaction::{Address, Transaction};
 
 /// Incrementally assembles the next block.
@@ -44,6 +44,7 @@ pub struct BlockBuilder {
     body_len: usize,
     max_txs: usize,
     max_body_bytes: usize,
+    commitment: StateCommitment,
 }
 
 /// Why a transaction was not added to the block under construction.
@@ -109,7 +110,15 @@ impl BlockBuilder {
             body_len: 0,
             max_txs: BlockBuilder::DEFAULT_MAX_TXS,
             max_body_bytes: BlockBuilder::DEFAULT_MAX_BODY_BYTES,
+            commitment: StateCommitment::FlatV1,
         }
+    }
+
+    /// Selects which state commitment the sealed header carries
+    /// (default: the flat v1 root, matching historical blocks).
+    pub fn commitment(&mut self, commitment: StateCommitment) -> &mut BlockBuilder {
+        self.commitment = commitment;
+        self
     }
 
     /// Overrides the transaction-count cap.
@@ -178,19 +187,20 @@ impl BlockBuilder {
     }
 
     /// Seals the block, consuming the builder.
-    pub fn seal(self) -> Block {
+    pub fn seal(mut self) -> Block {
         let _span = ici_telemetry::span!("chain/block_build");
         ici_telemetry::observe(
             "chain/block_txs",
             ici_telemetry::Label::Global,
             self.transactions.len() as u64,
         );
+        let state_root = self.state.root_for(self.commitment);
         Block::new(
             BlockHeader {
                 height: self.height,
                 parent: self.parent,
                 tx_root: ici_crypto::sha256::Digest::ZERO, // filled by Block::new
-                state_root: self.state.root(),
+                state_root,
                 timestamp_ms: self.timestamp_ms,
                 proposer: self.proposer,
                 pow_nonce: 0,

@@ -57,6 +57,7 @@ pub mod codec;
 pub mod genesis;
 pub mod hashing;
 pub mod mempool;
+pub mod shard;
 pub mod state;
 pub mod store;
 pub mod transaction;

@@ -6,10 +6,29 @@
 //! and evicts the cheapest transactions under memory pressure — the
 //! standard behaviour of deployed nodes, which the lifecycle's
 //! "signatures are checked on admission" assumption rests on.
+//!
+//! # Sharding and fee indexes
+//!
+//! Senders are range-partitioned into `ICI_STATE_SHARDS` shards (the
+//! same geometry as the world state, see [`crate::shard`]), so admission
+//! touches one shard. Two maintained `BTreeSet` fee indexes replace the
+//! historical full scans:
+//!
+//! * `all_fees` — every pending `(fee, sender, nonce)`; its minimum is
+//!   the fee-market eviction victim (what `cheapest()` used to scan for).
+//! * `heads` — one tuple per sender: the lowest-nonce (serveable) entry
+//!   of that sender's chain; its maximum is the next block pick.
+//!
+//! Block selection k-way merges the per-shard maxima, so both eviction
+//! and selection are O(shards + log n) per operation while the pop
+//! order stays byte-identical to the old scans (the tuples compared are
+//! exactly the ones the scans compared, with the same tie-breaks) at
+//! every shard count — shards=1 is the sequential reference layout.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 
+use crate::shard;
 use crate::transaction::{Address, Transaction, TxId};
 
 /// Why a transaction was not admitted.
@@ -51,6 +70,85 @@ struct Entry {
     id: TxId,
 }
 
+/// One sender-range shard: the nonce-ordered chains plus the two fee
+/// indexes maintained in lockstep with them.
+#[derive(Clone, Debug, Default)]
+struct PoolShard {
+    /// Per sender: nonce → entry. Both maps are BTreeMaps so iteration
+    /// (`iter`, head lookups) visits (sender, nonce) in a defined order —
+    /// a HashMap here would make tie-breaks and `iter()` output depend
+    /// on hasher state across runs.
+    by_sender: BTreeMap<Address, BTreeMap<u64, Entry>>,
+    /// Every pending `(fee, sender, nonce)`; min = eviction victim.
+    all_fees: BTreeSet<(u64, Address, u64)>,
+    /// Lowest-nonce entry per sender as `(fee, sender, nonce)`;
+    /// max = next block pick.
+    heads: BTreeSet<(u64, Address, u64)>,
+}
+
+impl PoolShard {
+    /// The serveable head of `sender`'s chain, as an index tuple.
+    fn head_of(&self, sender: &Address) -> Option<(u64, Address, u64)> {
+        self.by_sender
+            .get(sender)
+            .and_then(|chain| chain.iter().next())
+            .map(|(nonce, e)| (e.tx.fee(), *sender, *nonce))
+    }
+
+    /// Fee of the pending entry at `(sender, nonce)`, if any.
+    fn fee_at(&self, sender: &Address, nonce: u64) -> Option<u64> {
+        self.by_sender
+            .get(sender)
+            .and_then(|chain| chain.get(&nonce))
+            .map(|e| e.tx.fee())
+    }
+
+    /// Re-points the `heads` index after `sender`'s chain changed.
+    fn refresh_head(
+        &mut self,
+        old_head: Option<(u64, Address, u64)>,
+        new_head: Option<(u64, Address, u64)>,
+    ) {
+        if old_head == new_head {
+            return;
+        }
+        if let Some(h) = old_head {
+            self.heads.remove(&h);
+        }
+        if let Some(h) = new_head {
+            self.heads.insert(h);
+        }
+    }
+
+    /// Adds an entry (the caller guarantees `(sender, nonce)` is vacant)
+    /// and maintains both indexes.
+    fn insert_entry(&mut self, sender: Address, nonce: u64, entry: Entry) {
+        let old_head = self.head_of(&sender);
+        self.all_fees.insert((entry.tx.fee(), sender, nonce));
+        self.by_sender
+            .entry(sender)
+            .or_default()
+            .insert(nonce, entry);
+        let new_head = self.head_of(&sender);
+        self.refresh_head(old_head, new_head);
+    }
+
+    /// Removes the entry at `(sender, nonce)` — if present — dropping
+    /// empty chains and maintaining both indexes.
+    fn remove_entry(&mut self, sender: &Address, nonce: u64) -> Option<Entry> {
+        let old_head = self.head_of(sender);
+        let chain = self.by_sender.get_mut(sender)?;
+        let entry = chain.remove(&nonce)?;
+        if chain.is_empty() {
+            self.by_sender.remove(sender);
+        }
+        self.all_fees.remove(&(entry.tx.fee(), *sender, nonce));
+        let new_head = self.head_of(sender);
+        self.refresh_head(old_head, new_head);
+        Some(entry)
+    }
+}
+
 /// A fee-prioritised, nonce-ordered transaction pool.
 ///
 /// # Examples
@@ -73,32 +171,43 @@ struct Entry {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Mempool {
-    /// Per sender: nonce → entry. Both maps are BTreeMaps so iteration
-    /// (eviction scans, block selection, `iter`) visits (sender, nonce)
-    /// in a defined order — a HashMap here would make tie-breaks and
-    /// `iter()` output depend on hasher state across runs.
-    by_sender: BTreeMap<Address, BTreeMap<u64, Entry>>,
+    shards: Vec<PoolShard>,
     /// Membership check only — never iterated.
     ids: HashSet<TxId>,
     capacity: usize,
     len: usize,
+    evicted: u64,
 }
 
 impl Mempool {
-    /// Creates a pool bounded to `capacity` transactions.
+    /// Creates a pool bounded to `capacity` transactions, partitioned
+    /// into the configured (`ICI_STATE_SHARDS`) number of shards.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Mempool {
+        Mempool::with_shards(capacity, shard::state_shards())
+    }
+
+    /// [`Mempool::new`] with an explicit shard count (normalized to a
+    /// power of two in `[1, 64]`) — the deterministic-construction path
+    /// for tests and experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_shards(capacity: usize, shard_count: usize) -> Mempool {
         // lint:allow(panic) -- documented `# Panics` contract; capacity
         // is a construction-time constant, never attacker-controlled
         assert!(capacity > 0, "capacity must be positive");
+        let shard_count = shard::normalize_shards(shard_count);
         Mempool {
-            by_sender: BTreeMap::new(),
+            shards: vec![PoolShard::default(); shard_count],
             ids: HashSet::new(),
             capacity,
             len: 0,
+            evicted: 0,
         }
     }
 
@@ -117,9 +226,29 @@ impl Mempool {
         self.capacity
     }
 
+    /// Number of sender-range shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Transactions evicted by the fee market since construction.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The lowest pending fee — what a new transaction must beat to get
+    /// in once the pool is full.
+    pub fn fee_floor(&self) -> Option<u64> {
+        self.cheapest().map(|(fee, _, _)| fee)
+    }
+
     /// Whether `id` is pending.
     pub fn contains(&self, id: &TxId) -> bool {
         self.ids.contains(id)
+    }
+
+    fn shard_index(&self, sender: &Address) -> usize {
+        shard::shard_of(sender, self.shards.len())
     }
 
     /// Admits `tx`, verifying its signature and applying replace-by-fee
@@ -137,22 +266,13 @@ impl Mempool {
             return Err(MempoolError::Duplicate(id));
         }
         let sender = tx.sender_address();
-        if let Some(existing) = self
-            .by_sender
-            .get(&sender)
-            .and_then(|chain| chain.get(&tx.nonce()))
-        {
-            if existing.tx.fee() >= tx.fee() {
-                return Err(MempoolError::Underpriced {
-                    incumbent_fee: existing.tx.fee(),
-                });
+        let shard_idx = self.shard_index(&sender);
+        if let Some(incumbent_fee) = self.shards[shard_idx].fee_at(&sender, tx.nonce()) {
+            if incumbent_fee >= tx.fee() {
+                return Err(MempoolError::Underpriced { incumbent_fee });
             }
             // Replace-by-fee: drop the incumbent.
-            if let Some(old) = self
-                .by_sender
-                .get_mut(&sender)
-                .and_then(|chain| chain.remove(&tx.nonce()))
-            {
+            if let Some(old) = self.shards[shard_idx].remove_entry(&sender, tx.nonce()) {
                 self.ids.remove(&old.id);
                 self.len -= 1;
             }
@@ -161,23 +281,15 @@ impl Mempool {
         if self.len >= self.capacity {
             // Evict the globally cheapest pending transaction if this one
             // pays more; otherwise reject.
-            let cheapest = self.cheapest();
-            match cheapest {
+            match self.cheapest() {
                 Some((fee, victim_sender, victim_nonce)) if tx.fee() > fee => {
-                    if let Some(old) = self
-                        .by_sender
-                        .get_mut(&victim_sender)
-                        .and_then(|chain| chain.remove(&victim_nonce))
+                    let victim_shard = self.shard_index(&victim_sender);
+                    if let Some(old) =
+                        self.shards[victim_shard].remove_entry(&victim_sender, victim_nonce)
                     {
                         self.ids.remove(&old.id);
                         self.len -= 1;
-                    }
-                    if self
-                        .by_sender
-                        .get(&victim_sender)
-                        .is_some_and(|chain| chain.is_empty())
-                    {
-                        self.by_sender.remove(&victim_sender);
+                        self.evicted += 1;
                     }
                 }
                 _ => return Err(MempoolError::PoolFull),
@@ -185,61 +297,42 @@ impl Mempool {
         }
 
         self.ids.insert(id);
-        self.by_sender
-            .entry(sender)
-            .or_default()
-            .insert(tx.nonce(), Entry { tx, id });
+        self.shards[shard_idx].insert_entry(sender, tx.nonce(), Entry { tx, id });
         self.len += 1;
         Ok(())
     }
 
+    /// The globally cheapest pending `(fee, sender, nonce)`: the minimum
+    /// over the per-shard `all_fees` minima — the same tuple (and the
+    /// same tie-breaks) the historical full scan produced.
     fn cheapest(&self) -> Option<(u64, Address, u64)> {
-        self.by_sender
+        self.shards
             .iter()
-            .flat_map(|(sender, chain)| {
-                chain
-                    .iter()
-                    .map(move |(nonce, e)| (e.tx.fee(), *sender, *nonce))
-            })
+            .filter_map(|s| s.all_fees.iter().next().copied())
             .min()
     }
 
     /// Selects up to `max` transactions for a block: senders' chains are
     /// consumed in nonce order, highest head-fee first, so the result is
     /// executable as-is against a state that matches the pool's nonces.
+    /// Each pick k-way merges the per-shard `heads` maxima.
     pub fn take_for_block(&mut self, max: usize) -> Vec<Transaction> {
         let mut picked = Vec::with_capacity(max.min(self.len));
         while picked.len() < max {
-            // Head of each sender's chain, by fee.
             let best = self
-                .by_sender
+                .shards
                 .iter()
-                .filter_map(|(sender, chain)| {
-                    chain
-                        .iter()
-                        .next()
-                        .map(|(nonce, e)| (e.tx.fee(), *sender, *nonce))
-                })
+                .filter_map(|s| s.heads.iter().next_back().copied())
                 .max();
             let Some((_, sender, nonce)) = best else {
                 break;
             };
-            let Some(entry) = self
-                .by_sender
-                .get_mut(&sender)
-                .and_then(|chain| chain.remove(&nonce))
-            else {
+            let shard_idx = self.shard_index(&sender);
+            let Some(entry) = self.shards[shard_idx].remove_entry(&sender, nonce) else {
                 break;
             };
             self.ids.remove(&entry.id);
             self.len -= 1;
-            if self
-                .by_sender
-                .get(&sender)
-                .is_some_and(|chain| chain.is_empty())
-            {
-                self.by_sender.remove(&sender);
-            }
             picked.push(entry.tx);
         }
         picked
@@ -249,26 +342,26 @@ impl Mempool {
     /// `next_nonce` — called after a block commits to clear included or
     /// stale entries. Returns how many were removed.
     pub fn prune_below(&mut self, sender: &Address, next_nonce: u64) -> usize {
-        let Some(chain) = self.by_sender.get_mut(sender) else {
+        let shard_idx = self.shard_index(sender);
+        let Some(chain) = self.shards[shard_idx].by_sender.get(sender) else {
             return 0;
         };
         let stale: Vec<u64> = chain.range(..next_nonce).map(|(n, _)| *n).collect();
         for nonce in &stale {
-            if let Some(e) = chain.remove(nonce) {
+            if let Some(e) = self.shards[shard_idx].remove_entry(sender, *nonce) {
                 self.ids.remove(&e.id);
                 self.len -= 1;
             }
         }
-        if chain.is_empty() {
-            self.by_sender.remove(sender);
-        }
         stale.len()
     }
 
-    /// Iterates pending transactions in (sender, nonce) order.
+    /// Iterates pending transactions in (sender, nonce) order (shards
+    /// are sender ranges, so shard order concatenates to global order).
     pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
-        self.by_sender
-            .values()
+        self.shards
+            .iter()
+            .flat_map(|s| s.by_sender.values())
             .flat_map(|chain| chain.values().map(|e| &e.tx))
     }
 }
@@ -376,10 +469,12 @@ mod tests {
         // Fee 3 beats the cheapest (1) → evicts it.
         pool.insert(tx(3, 0, 3)).expect("evicts cheapest");
         assert_eq!(pool.len(), 2);
+        assert_eq!(pool.evicted(), 1);
         let fees: Vec<u64> = pool.iter().map(|t| t.fee()).collect();
         assert!(!fees.contains(&1));
         // Fee 2 does not beat the new cheapest (3) → rejected.
         assert_eq!(pool.insert(tx(4, 0, 2)), Err(MempoolError::PoolFull));
+        assert_eq!(pool.fee_floor(), Some(3));
     }
 
     #[test]
@@ -427,5 +522,28 @@ mod tests {
         assert!(pool.contains(&id));
         pool.take_for_block(1);
         assert!(!pool.contains(&id));
+    }
+
+    #[test]
+    fn index_invariants_hold_under_churn() {
+        let mut pool = Mempool::with_shards(8, 4);
+        for seed in 0..12 {
+            let _ = pool.insert(tx(seed, 0, (seed % 5) + 1));
+            let _ = pool.insert(tx(seed, 1, (seed % 3) + 1));
+        }
+        let _ = pool.take_for_block(5);
+        let _ = pool.prune_below(&Address::from_seed(3), 2);
+        let entries: usize = pool
+            .shards
+            .iter()
+            .map(|s| s.by_sender.values().map(|c| c.len()).sum::<usize>())
+            .sum();
+        let fees: usize = pool.shards.iter().map(|s| s.all_fees.len()).sum();
+        let heads: usize = pool.shards.iter().map(|s| s.heads.len()).sum();
+        let senders: usize = pool.shards.iter().map(|s| s.by_sender.len()).sum();
+        assert_eq!(entries, pool.len());
+        assert_eq!(fees, pool.len());
+        assert_eq!(heads, senders);
+        assert_eq!(pool.ids.len(), pool.len());
     }
 }

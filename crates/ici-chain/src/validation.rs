@@ -11,7 +11,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::block::{Block, BlockHeader};
-use crate::state::{StateError, WorldState};
+use crate::state::{StateCommitment, StateError, WorldState};
 use crate::transaction::Address;
 
 /// Why a block failed validation.
@@ -74,6 +74,47 @@ pub fn validate_block(
     parent: &BlockHeader,
     pre_state: &WorldState,
 ) -> Result<WorldState, ValidationError> {
+    validate_block_with_commitment(block, parent, pre_state, StateCommitment::FlatV1)
+}
+
+/// [`validate_block`] with an explicit header-commitment mode: blocks
+/// sealed under the v2 sharded commitment are checked against
+/// [`WorldState::sharded_root`] instead of the flat v1 root.
+///
+/// # Errors
+///
+/// Same as [`validate_block`].
+pub fn validate_block_with_commitment(
+    block: &Block,
+    parent: &BlockHeader,
+    pre_state: &WorldState,
+    commitment: StateCommitment,
+) -> Result<WorldState, ValidationError> {
+    let mut state = pre_state.clone();
+    validate_block_in_place(block, parent, &mut state, commitment)?;
+    Ok(state)
+}
+
+/// [`validate_block_with_commitment`] executing directly on `state`
+/// instead of cloning it — the scale path, where a validator advances
+/// one long-lived state per chain and a per-block O(accounts) copy
+/// would dominate.
+///
+/// On success `state` is the post-state. On a linkage/timestamp error
+/// `state` is untouched; on an execution or root-mismatch error it is
+/// left mid-block (transactions before the failure applied), exactly
+/// like [`WorldState::apply_block`] — callers that need rollback
+/// should use the cloning variant.
+///
+/// # Errors
+///
+/// Same as [`validate_block`].
+pub fn validate_block_in_place(
+    block: &Block,
+    parent: &BlockHeader,
+    state: &mut WorldState,
+    commitment: StateCommitment,
+) -> Result<(), ValidationError> {
     let _span = ici_telemetry::span!("chain/block_validate");
     let header = block.header();
     if header.height != parent.height + 1 {
@@ -89,15 +130,14 @@ pub fn validate_block(
         return Err(ValidationError::NonMonotonicTimestamp);
     }
 
-    let mut state = pre_state.clone();
     state
         .apply_block(block)
         .map_err(|(index, error)| ValidationError::BadTransaction { index, error })?;
 
-    if state.root() != header.state_root {
+    if state.root_for(commitment) != header.state_root {
         return Err(ValidationError::StateRootMismatch);
     }
-    Ok(state)
+    Ok(())
 }
 
 /// Verifies a contiguous transaction range `[start, end)` of `block`
@@ -350,6 +390,40 @@ mod tests {
 
         let broken = vec![*genesis.header(), *b2.header()];
         assert_eq!(validate_header_chain(&broken), Err(2));
+    }
+
+    #[test]
+    fn v2_commitment_round_trip() {
+        let (genesis, state) = setup();
+        let mut b = BlockBuilder::new(genesis.header(), state.clone(), 2, 1_000);
+        b.commitment(StateCommitment::ShardedV2);
+        for i in 0..3 {
+            b.push(transfer(i, 0, 10)).expect("valid");
+        }
+        let block = b.seal();
+        // The v1 path must reject a v2 header (domain separation)…
+        assert_eq!(
+            validate_block(&block, genesis.header(), &state),
+            Err(ValidationError::StateRootMismatch)
+        );
+        // …while the v2 path accepts it, cloning and in place alike.
+        let post = validate_block_with_commitment(
+            &block,
+            genesis.header(),
+            &state,
+            StateCommitment::ShardedV2,
+        )
+        .expect("valid under v2");
+        let mut in_place = state.clone();
+        validate_block_in_place(
+            &block,
+            genesis.header(),
+            &mut in_place,
+            StateCommitment::ShardedV2,
+        )
+        .expect("valid under v2");
+        assert_eq!(post, in_place);
+        assert_eq!(post.nonce(&Address::from_seed(0)), 1);
     }
 
     #[test]

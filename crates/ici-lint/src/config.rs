@@ -95,6 +95,7 @@ impl Default for Config {
                 "ici-trace/src/lib.rs",
                 "ici-bench/src/alloc.rs",
                 "ici-bench/src/harness.rs",
+                "ici-chain/src/shard.rs",
             ]
             .iter()
             .map(|s| s.to_string())

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use ici_chain::transaction::{Address, Transaction};
 use ici_crypto::sig::Keypair;
@@ -75,8 +76,13 @@ pub struct WorkloadConfig {
     pub payload: PayloadSize,
     /// Transfer amount per transaction.
     pub amount: u64,
-    /// Fee per transaction.
+    /// Base fee per transaction.
     pub fee: u64,
+    /// Extra fee drawn uniformly from `0..=fee_jitter` per transaction,
+    /// giving a fee-market pool a spread to prioritise. `0` (the
+    /// default) keeps fees flat *and consumes no RNG draw*, so
+    /// historical seeded streams are byte-identical.
+    pub fee_jitter: u64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -90,12 +96,24 @@ impl Default for WorkloadConfig {
             payload: PayloadSize::Fixed(128),
             amount: 1,
             fee: 1,
+            fee_jitter: 0,
             seed: 7,
         }
     }
 }
 
+/// Bound on the lazily-filled sender keypair cache. Zipf workloads
+/// concentrate on a few hot senders, so a small cache absorbs almost
+/// every derivation; cold senders past the bound fall back to deriving
+/// on the fly — the emitted stream is identical either way.
+const KEY_CACHE_CAP: usize = 4_096;
+
 /// A deterministic transaction stream with per-sender nonce tracking.
+///
+/// Construction is O(accounts) once (the Zipf cumulative table); each
+/// draw is O(log accounts) binary search plus an O(1) cached keypair
+/// lookup — nothing per-draw scales with the universe size, which is
+/// what lets the scale tier stream from 1M+ accounts.
 #[derive(Clone, Debug)]
 pub struct WorkloadGenerator {
     config: WorkloadConfig,
@@ -104,8 +122,12 @@ pub struct WorkloadGenerator {
     /// byte-compared artifacts, and the `unordered-iter` lint gates
     /// this crate, so even bookkeeping maps stay ordered.
     nonces: BTreeMap<u64, u64>,
-    /// Precomputed Zipf CDF (empty for uniform).
-    zipf_cdf: Vec<f64>,
+    /// Precomputed Zipf CDF (empty for uniform). `Arc`: the table is
+    /// immutable after construction and can be megabytes at 1M+
+    /// accounts, so clones share it.
+    zipf_cdf: Arc<[f64]>,
+    /// Lazily-filled sender keypairs, bounded by [`KEY_CACHE_CAP`].
+    key_cache: BTreeMap<u64, Keypair>,
     emitted: u64,
 }
 
@@ -117,7 +139,7 @@ impl WorkloadGenerator {
     /// Panics if `accounts == 0`.
     pub fn new(config: WorkloadConfig) -> WorkloadGenerator {
         assert!(config.accounts > 0, "need at least one account");
-        let zipf_cdf = match config.senders {
+        let zipf_cdf: Vec<f64> = match config.senders {
             SenderDistribution::Uniform => Vec::new(),
             SenderDistribution::Zipf { exponent } => {
                 let mut weights: Vec<f64> = (1..=config.accounts)
@@ -136,9 +158,24 @@ impl WorkloadGenerator {
             rng: Xoshiro256::seed_from_u64(config.seed ^ 0x774C_0AD5),
             config,
             nonces: BTreeMap::new(),
-            zipf_cdf,
+            zipf_cdf: zipf_cdf.into(),
+            key_cache: BTreeMap::new(),
             emitted: 0,
         }
+    }
+
+    /// The signing keypair for `sender`, from the bounded cache when
+    /// possible. Derivation is deterministic, so a cache hit and a
+    /// fresh derivation are indistinguishable in the output.
+    fn sender_keypair(&mut self, sender: u64) -> Keypair {
+        if let Some(pair) = self.key_cache.get(&sender) {
+            return *pair;
+        }
+        let pair = Keypair::from_seed(sender);
+        if self.key_cache.len() < KEY_CACHE_CAP {
+            self.key_cache.insert(sender, pair);
+        }
+        pair
     }
 
     /// Number of transactions emitted so far.
@@ -193,12 +230,18 @@ impl WorkloadGenerator {
             n
         };
         let payload = self.draw_payload();
+        let fee = if self.config.fee_jitter == 0 {
+            self.config.fee
+        } else {
+            self.config.fee + self.rng.gen_range(0..self.config.fee_jitter + 1)
+        };
         self.emitted += 1;
+        let pair = self.sender_keypair(sender);
         Transaction::signed(
-            &Keypair::from_seed(sender),
+            &pair,
             Address::from_seed(recipient),
             self.config.amount,
-            self.config.fee,
+            fee,
             nonce,
             payload,
         )
@@ -229,6 +272,82 @@ impl Iterator for WorkloadGenerator {
     type Item = Transaction;
     fn next(&mut self) -> Option<Transaction> {
         Some(self.next_tx())
+    }
+}
+
+/// Shape of sustained traffic: a base rate with periodic burst windows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrafficConfig {
+    /// Transactions emitted per round outside bursts.
+    pub base_txs_per_round: usize,
+    /// Every `burst_every`-th round is a burst (`0` disables bursts).
+    pub burst_every: u64,
+    /// Burst rounds emit `burst_multiplier * base_txs_per_round`.
+    pub burst_multiplier: usize,
+}
+
+impl Default for TrafficConfig {
+    /// 256 tx/round, a 3× burst every 8th round.
+    fn default() -> TrafficConfig {
+        TrafficConfig {
+            base_txs_per_round: 256,
+            burst_every: 8,
+            burst_multiplier: 3,
+        }
+    }
+}
+
+/// Sustained round-based traffic over a [`WorkloadGenerator`]: each
+/// round yields a batch sized by [`TrafficConfig`], with periodic
+/// bursts that overrun a fee-market mempool on purpose. Fully
+/// deterministic — round sizes depend only on the round counter, the
+/// transactions only on the generator's seed.
+#[derive(Clone, Debug)]
+pub struct TrafficStream {
+    generator: WorkloadGenerator,
+    traffic: TrafficConfig,
+    round: u64,
+}
+
+impl TrafficStream {
+    /// Wraps `generator` with the given traffic shape.
+    pub fn new(generator: WorkloadGenerator, traffic: TrafficConfig) -> TrafficStream {
+        TrafficStream {
+            generator,
+            traffic,
+            round: 0,
+        }
+    }
+
+    /// Rounds emitted so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The underlying generator (for `emitted()` and config access).
+    pub fn generator(&self) -> &WorkloadGenerator {
+        &self.generator
+    }
+
+    /// Whether the next [`TrafficStream::next_round`] call is a burst.
+    pub fn next_is_burst(&self) -> bool {
+        self.traffic.burst_every != 0 && (self.round + 1) % self.traffic.burst_every == 0
+    }
+
+    /// Transactions the next round will emit.
+    pub fn next_round_len(&self) -> usize {
+        if self.next_is_burst() {
+            self.traffic.base_txs_per_round * self.traffic.burst_multiplier.max(1)
+        } else {
+            self.traffic.base_txs_per_round
+        }
+    }
+
+    /// Emits the next round's batch.
+    pub fn next_round(&mut self) -> Vec<Transaction> {
+        let n = self.next_round_len();
+        self.round += 1;
+        self.generator.batch(n)
     }
 }
 
@@ -360,6 +479,121 @@ mod tests {
         let generator = WorkloadGenerator::new(WorkloadConfig::default());
         let txs: Vec<Transaction> = generator.take(5).collect();
         assert_eq!(txs.len(), 5);
+    }
+
+    /// The bounded keypair cache must not change the stream: a
+    /// generator that bypasses the cache (fresh derivation per draw,
+    /// the pre-cache behaviour) emits byte-identical transactions.
+    #[test]
+    fn key_cache_is_transparent() {
+        let config = WorkloadConfig {
+            accounts: 500,
+            senders: SenderDistribution::Zipf { exponent: 1.1 },
+            ..WorkloadConfig::default()
+        };
+        let cached: Vec<Vec<u8>> = WorkloadGenerator::new(config)
+            .batch(300)
+            .iter()
+            .map(Encode::to_bytes)
+            .collect();
+        let mut uncached_gen = WorkloadGenerator::new(config);
+        // Re-deriving every keypair from scratch mirrors pre-cache code.
+        let uncached: Vec<Vec<u8>> = (0..300)
+            .map(|_| {
+                uncached_gen.key_cache.clear();
+                Encode::to_bytes(&uncached_gen.next_tx())
+            })
+            .collect();
+        assert_eq!(cached, uncached);
+    }
+
+    #[test]
+    fn million_account_universe_draws_cheaply() {
+        // Construction pays the O(accounts) Zipf table once; draws must
+        // not scale with the universe (this test is fast because they
+        // don't — a per-draw O(accounts) regression would time out).
+        let mut generator = WorkloadGenerator::new(WorkloadConfig {
+            accounts: 1_000_000,
+            senders: SenderDistribution::Zipf { exponent: 1.1 },
+            payload: PayloadSize::Fixed(8),
+            ..WorkloadConfig::default()
+        });
+        let txs = generator.batch(2_000);
+        assert_eq!(txs.len(), 2_000);
+        assert_eq!(generator.emitted(), 2_000);
+    }
+
+    #[test]
+    fn fee_jitter_spreads_fees_without_breaking_validity() {
+        let mut generator = WorkloadGenerator::new(WorkloadConfig {
+            fee: 2,
+            fee_jitter: 9,
+            ..WorkloadConfig::default()
+        });
+        let genesis = GenesisConfig::uniform(64, 1_000_000);
+        let mut state: WorldState = genesis.initial_state();
+        let mut seen = std::collections::BTreeSet::new();
+        for tx in generator.batch(300) {
+            assert!(
+                (2..=11).contains(&tx.fee()),
+                "fee {} out of range",
+                tx.fee()
+            );
+            seen.insert(tx.fee());
+            state
+                .apply(&tx, Address::from_seed(999))
+                .unwrap_or_else(|e| panic!("generated invalid tx: {e}"));
+        }
+        assert!(
+            seen.len() > 5,
+            "jitter produced only {} fee levels",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn traffic_stream_bursts_on_schedule() {
+        let generator = WorkloadGenerator::new(WorkloadConfig::default());
+        let traffic = TrafficConfig {
+            base_txs_per_round: 10,
+            burst_every: 4,
+            burst_multiplier: 3,
+        };
+        let mut stream = TrafficStream::new(generator, traffic);
+        let sizes: Vec<usize> = (0..8).map(|_| stream.next_round().len()).collect();
+        assert_eq!(sizes, vec![10, 10, 10, 30, 10, 10, 10, 30]);
+        assert_eq!(stream.round(), 8);
+        assert_eq!(stream.generator().emitted(), 120);
+    }
+
+    #[test]
+    fn traffic_stream_without_bursts_is_flat() {
+        let generator = WorkloadGenerator::new(WorkloadConfig::default());
+        let traffic = TrafficConfig {
+            base_txs_per_round: 5,
+            burst_every: 0,
+            burst_multiplier: 9,
+        };
+        let mut stream = TrafficStream::new(generator, traffic);
+        assert!(!stream.next_is_burst());
+        assert!((0..6).all(|_| stream.next_round().len() == 5));
+    }
+
+    #[test]
+    fn traffic_stream_is_deterministic() {
+        let make = || {
+            TrafficStream::new(
+                WorkloadGenerator::new(WorkloadConfig {
+                    accounts: 1_000,
+                    senders: SenderDistribution::Zipf { exponent: 1.0 },
+                    ..WorkloadConfig::default()
+                }),
+                TrafficConfig::default(),
+            )
+        };
+        let a: Vec<_> = make().next_round().iter().map(|t| t.id()).collect();
+        let b: Vec<_> = make().next_round().iter().map(|t| t.id()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -222,6 +222,75 @@ done
 rm results/e_byz.ref.json
 echo "    determinism OK: e_byz.json byte-identical across depth {1,4} x threads {1,4}"
 
+echo "==> scale smoke (E-scale, pinned seed, shards {1,4} x threads {1,4})"
+# The committed record holds only deterministic tables (counts, roots,
+# ratios); every shard x thread matrix point must reproduce it byte for
+# byte. Host-dependent numbers ride the SCALE_STATS stdout line instead.
+ICI_STATE_SHARDS=1 ICI_PAR_THREADS=1 \
+    cargo run -q --release -p ici-bench --bin e_scale -- --seed 42 >/dev/null
+git diff --quiet -- results/e_scale.json || {
+    echo "E-scale drifted from committed results/e_scale.json; regenerate with"
+    echo "  cargo run -q --release -p ici-bench --bin e_scale -- --seed 42"
+    exit 1
+}
+for s in 1 4; do
+    for t in 1 4; do
+        [ "$s" = 1 ] && [ "$t" = 1 ] && continue
+        ICI_STATE_SHARDS=$s ICI_PAR_THREADS=$t \
+            cargo run -q --release -p ici-bench --bin e_scale -- --seed 42 >/dev/null
+        git diff --quiet -- results/e_scale.json || {
+            echo "e_scale.json diverged at shards=$s threads=$t"; exit 1;
+        }
+    done
+done
+echo "    determinism OK: e_scale.json byte-identical across shards {1,4} x threads {1,4}"
+
+echo "==> scale bench (E-scale, 4 shards x 4 threads, peak-live ceiling)"
+SCALE_OUT=$(ICI_STATE_SHARDS=4 ICI_PAR_THREADS=4 ICI_ALLOC_STATS=1 \
+    ./target/release/e_scale --seed 42)
+git diff --quiet -- results/e_scale.json || {
+    echo "instrumented scale run changed committed results/e_scale.json"; exit 1;
+}
+SCALE_LINE=$(printf '%s\n' "$SCALE_OUT" | grep '^SCALE_STATS ')
+python3 - "$SCALE_LINE" <<'EOF'
+import json, os, sys
+line = sys.argv[1]
+fields = dict(kv.split("=", 1) for kv in line.split()[1:])
+peak = int(fields["peak_live_bytes"])
+# Ceiling: 64 MiB for the small tier (50k accounts). The healthy run
+# peaks around 12 MiB; an O(accounts)-per-block regression (full-state
+# clone, flat-root recompute in the hot loop) blows straight through it.
+CEILING = 64 << 20
+assert peak <= CEILING, f"peak live {peak} bytes exceeds ceiling {CEILING}"
+host_cpus = os.cpu_count() or 1
+record = {
+    "id": "BENCH_scale",
+    "title": "E-scale: throughput, commit latency, and peak live heap",
+    "host_cpus": host_cpus,
+    "effective_threads": int(fields["threads"]),
+    "shards": int(fields["shards"]),
+    "peak_live_ceiling_bytes": CEILING,
+    "runs": [{
+        "bin": "e_scale",
+        "accounts": int(fields["accounts"]),
+        "committed_txs": int(fields["committed"]),
+        "wall_s": float(fields["wall_s"]),
+        "tps": float(fields["tps"]),
+        "commit_p50_ns": int(fields["commit_p50_ns"]),
+        "commit_p90_ns": int(fields["commit_p90_ns"]),
+        "commit_p99_ns": int(fields["commit_p99_ns"]),
+        "peak_live_bytes": peak,
+    }],
+}
+with open("results/BENCH_scale.json", "w") as f:
+    json.dump(record, f, indent=2)
+    f.write("\n")
+r = record["runs"][0]
+print(f"    e_scale: {r['committed_txs']} txs in {r['wall_s']:.2f}s "
+      f"({r['tps']:.0f} tx/s), commit p99 {r['commit_p99_ns']/1e6:.2f} ms, "
+      f"peak live {peak/2**20:.1f} MiB (ceiling {CEILING>>20} MiB)")
+EOF
+
 echo "==> shrinker determinism + reproducer replay (1 vs 4 threads)"
 # The ici-prop shrinker is part of the deterministic surface: the same
 # seed must descend to the same minimal counterexample byte for byte at

@@ -458,6 +458,129 @@ fn fault_plans_leave_recoverable_networks_repairable() {
     ));
 }
 
+/// A random transaction history applied through the sharded state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ShardScenario {
+    seed: u64,
+    blocks: usize,
+    txs_per_block: usize,
+}
+
+impl Shrink for ShardScenario {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for v in shrink_toward(self.blocks, 1) {
+            out.push(ShardScenario {
+                blocks: v,
+                ..self.clone()
+            });
+        }
+        for v in shrink_toward(self.txs_per_block, 1) {
+            out.push(ShardScenario {
+                txs_per_block: v,
+                ..self.clone()
+            });
+        }
+        for v in shrink_toward_u64(self.seed, 0) {
+            out.push(ShardScenario {
+                seed: v,
+                ..self.clone()
+            });
+        }
+        out
+    }
+}
+
+/// Any random nonce-correct history replayed at any physical shard
+/// count yields the flat reference's v1 root, v2 root, and contents —
+/// the commitment is a pure function of the account set, never of the
+/// partitioning that computed it.
+#[test]
+fn sharded_state_is_partition_independent() {
+    use ici_chain::block::{Block, BlockHeader};
+    use ici_chain::state::WorldState;
+    use ici_chain::transaction::{Address, Transaction};
+    use ici_crypto::sig::Keypair;
+
+    require_pass(check(
+        "sharded replay matches the flat reference",
+        &cfg(0xF7),
+        |rng| ShardScenario {
+            seed: rng.gen_range(0u64..1_000),
+            blocks: rng.gen_range(1usize..5),
+            txs_per_block: rng.gen_range(1usize..40),
+        },
+        |s: &ShardScenario| {
+            let universe = 48u64;
+            let funded: Vec<(Address, u64)> = (0..universe)
+                .map(|i| (Address::from_seed(i), 100_000))
+                .collect();
+            let mut rng = Xoshiro256::seed_from_u64(s.seed);
+            let mut nonces = std::collections::BTreeMap::new();
+            let blocks: Vec<Block> = (1..=s.blocks as u64)
+                .map(|height| {
+                    let txs: Vec<Transaction> = (0..s.txs_per_block)
+                        .map(|_| {
+                            let sender = rng.gen_range(0u64..universe);
+                            let nonce = nonces.entry(sender).or_insert(0u64);
+                            let tx = Transaction::signed(
+                                &Keypair::from_seed(sender),
+                                Address::from_seed(rng.gen_range(0u64..universe)),
+                                rng.gen_range(1u64..20),
+                                rng.gen_range(0u64..5),
+                                *nonce,
+                                Vec::new(),
+                            );
+                            *nonce += 1;
+                            tx
+                        })
+                        .collect();
+                    Block::new(
+                        BlockHeader {
+                            height,
+                            parent: ici_crypto::sha256::Digest::ZERO,
+                            tx_root: ici_crypto::sha256::Digest::ZERO,
+                            state_root: ici_crypto::sha256::Digest::ZERO,
+                            timestamp_ms: height,
+                            proposer: 1,
+                            pow_nonce: 0,
+                            tx_count: 0,
+                            body_len: 0,
+                        },
+                        txs,
+                    )
+                })
+                .collect();
+
+            let mut flat = WorldState::with_balances_sharded(funded.iter().copied(), 1);
+            for block in &blocks {
+                flat.apply_block(block)
+                    .map_err(|(i, e)| format!("flat reference rejected tx {i}: {e}"))?;
+            }
+            let (v1, v2) = (flat.root(), flat.sharded_root());
+
+            for shards in [2usize, 4, 64] {
+                let mut state = WorldState::with_balances_sharded(funded.iter().copied(), shards);
+                for block in &blocks {
+                    state
+                        .apply_block(block)
+                        .map_err(|(i, e)| format!("shards={shards} rejected tx {i}: {e}"))?;
+                }
+                if state.root() != v1 {
+                    return Err(format!("shards={shards}: v1 root diverged"));
+                }
+                if state.sharded_root() != v2 {
+                    return Err(format!("shards={shards}: v2 root diverged"));
+                }
+                if state != flat {
+                    return Err(format!("shards={shards}: contents diverged"));
+                }
+            }
+            Ok(())
+        },
+    ));
+}
+
 /// Bootstrap keeps integrity and never increases replication beyond r.
 /// Coordinates are generated in integer mills so the scenario renders
 /// and shrinks exactly.
